@@ -1,0 +1,150 @@
+"""Benchmark: Section 7.2 — scaling out by sharding.
+
+"The boosting decision may become a bottleneck when the number of
+services scales beyond a certain point.  In that case, we can duplicate
+the services into multiple shardings across CMP servers and use
+PowerChief to manage them separately with acceptable overhead."
+
+Two measurements:
+
+* the controller's per-decision cost grows with the number of instances
+  it manages (ranking is at least linear), so a single command center
+  over the whole fleet gets slower as the fleet grows;
+* a sharded deployment — one PowerChief per replica — serves N× the load
+  at (approximately) the single-replica latency, with each shard's
+  per-decision work fixed and every per-shard budget intact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.core.bottleneck import BottleneckIdentifier
+from repro.core.controller import ControllerConfig, PowerChiefController
+from repro.experiments.report import format_heading, format_table
+from repro.scale.sharding import Shard, ShardedDeployment
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.loadgen import ConstantLoad, PoissonLoadGenerator, QueryFactory
+from repro.workloads.sirius import (
+    build_sirius,
+    sirius_load_levels,
+    sirius_profiles,
+)
+
+from benchmarks.conftest import run_once, show
+
+LEVEL_1_8 = HASWELL_LADDER.level_of(1.8)
+
+
+def ranking_cost(n_instances_per_stage: int, repeats: int = 200) -> float:
+    """Mean seconds per full metric ranking of a pool of that size."""
+    sim = Simulator()
+    machine = Machine(sim, n_cores=3 * n_instances_per_stage)
+    app = build_sirius(
+        sim, machine, LEVEL_1_8, instances_per_stage=n_instances_per_stage
+    )
+    command_center = CommandCenter(sim, app)
+    identifier = BottleneckIdentifier(command_center)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        identifier.ranked(app)
+    return (time.perf_counter() - start) / repeats
+
+
+def sirius_shard_factory(sim: Simulator, index: int) -> Shard:
+    machine = Machine(sim, n_cores=16)
+    app = build_sirius(sim, machine, LEVEL_1_8)
+    command_center = CommandCenter(sim, app)
+    budget = PowerBudget(machine, 13.56)
+    controller = PowerChiefController(
+        sim,
+        app,
+        command_center,
+        budget,
+        DvfsActuator(sim),
+        ControllerConfig(adjust_interval_s=25.0, balance_threshold_s=0.25),
+    )
+    return Shard(
+        index=index,
+        application=app,
+        command_center=command_center,
+        budget=budget,
+        controller=controller,
+    )
+
+
+def run_sharded(n_shards: int, duration_s: float = 400.0, seed: int = 3):
+    """N shards under N x the single-replica high load."""
+    sim = Simulator()
+    deployment = ShardedDeployment(sim, n_shards, sirius_shard_factory)
+    deployment.start()
+    streams = RandomStreams(seed)
+    factory = QueryFactory(sirius_profiles(), streams)
+    rate = sirius_load_levels().high_qps * n_shards
+    arrival_stream = streams.stream("arrivals")
+
+    def arrive():
+        deployment.submit(factory.create())
+        gap = arrival_stream.exponential(1.0 / rate)
+        if sim.now + gap <= duration_s:
+            sim.schedule(gap, arrive)
+
+    sim.schedule(arrival_stream.exponential(1.0 / rate), arrive)
+    sim.run(until=duration_s)
+    deployment.stop()
+    deployment.assert_budgets()
+    return deployment
+
+
+def run_all():
+    costs = {n: ranking_cost(n) for n in (1, 4, 16, 64)}
+    single = run_sharded(1)
+    sharded = run_sharded(4)
+    return costs, single, sharded
+
+
+def test_scalability_and_sharding(benchmark):
+    costs, single, sharded = run_once(benchmark, run_all)
+
+    show(
+        format_heading("Per-decision ranking cost vs fleet size (one command center)")
+        + "\n"
+        + format_table(
+            ["instances", "ranking cost"],
+            [(3 * n, f"{cost * 1e6:.1f} us") for n, cost in costs.items()],
+        )
+        + "\n\n"
+        + format_heading("Sharded deployment: 4x load on 4 shards vs 1x on 1")
+        + "\n"
+        + format_table(
+            ["deployment", "queries", "mean latency", "p99 latency"],
+            [
+                (
+                    "1 shard, 1x load",
+                    single.completed,
+                    f"{single.summary().mean:.3f}s",
+                    f"{single.summary().p99:.3f}s",
+                ),
+                (
+                    "4 shards, 4x load",
+                    sharded.completed,
+                    f"{sharded.summary().mean:.3f}s",
+                    f"{sharded.summary().p99:.3f}s",
+                ),
+            ],
+        )
+    )
+
+    # Ranking cost grows with fleet size: a single command center does
+    # not scale for free...
+    assert costs[64] > 4.0 * costs[1]
+    # ... while sharding holds latency flat at 4x the load (within noise).
+    assert sharded.completed > 3 * single.completed
+    assert sharded.summary().mean <= 1.35 * single.summary().mean

@@ -1,0 +1,86 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure: these keep the substrate fast enough that the figure
+campaigns stay cheap, and catch accidental complexity regressions (e.g.
+an O(n^2) event queue) that would not flip any result but would make the
+harness unusable.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.core.metrics import MetricKind, compute_metric
+from repro.service.command_center import CommandCenter
+from repro.sim.engine import Simulator
+from repro.workloads.loadgen import ConstantLoad, PoissonLoadGenerator, QueryFactory
+from repro.sim.rng import RandomStreams
+from repro.workloads.sirius import build_sirius, sirius_profiles
+
+
+def test_engine_throughput_10k_events(benchmark):
+    def run_10k():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_10k) == 10_000
+
+
+def test_pipeline_throughput_one_simulated_minute(benchmark):
+    def run_minute():
+        sim = Simulator()
+        machine = Machine(sim, n_cores=16)
+        app = build_sirius(sim, machine, HASWELL_LADDER.level_of(1.8))
+        CommandCenter(sim, app)
+        streams = RandomStreams(1)
+        generator = PoissonLoadGenerator(
+            sim,
+            app,
+            QueryFactory(sirius_profiles(), streams),
+            ConstantLoad(1.0),
+            streams,
+            60.0,
+        )
+        generator.start()
+        sim.run(until=60.0)
+        return app.completed
+
+    assert benchmark(run_minute) > 0
+
+
+def test_metric_computation_cost(benchmark):
+    sim = Simulator()
+    machine = Machine(sim, n_cores=16)
+    app = build_sirius(sim, machine, HASWELL_LADDER.level_of(1.8))
+    command_center = CommandCenter(sim, app)
+    streams = RandomStreams(1)
+    generator = PoissonLoadGenerator(
+        sim,
+        app,
+        QueryFactory(sirius_profiles(), streams),
+        ConstantLoad(1.0),
+        streams,
+        120.0,
+    )
+    generator.start()
+    sim.run(until=120.0)
+    instances = app.running_instances()
+
+    def rank_all():
+        return [
+            compute_metric(command_center, instance, MetricKind.POWERCHIEF)
+            for instance in instances
+        ]
+
+    values = benchmark(rank_all)
+    assert len(values) == len(instances)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation:
+it runs the experiment once inside pytest-benchmark (rounds=1 — these are
+full simulation campaigns, not microbenchmarks), prints the ASCII analog
+of the figure, and asserts the paper's qualitative shape so a regression
+that flips a conclusion fails the bench rather than silently printing
+different numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round/iteration and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(text: str) -> None:
+    """Print a rendered figure with surrounding blank lines."""
+    print()
+    print(text)
+    print()

@@ -1,0 +1,167 @@
+"""PowerChief reproduction.
+
+A full Python reproduction of *PowerChief: Intelligent Power Allocation
+for Multi-Stage Applications to Improve Responsiveness on Power
+Constrained CMP* (Yang et al., ISCA 2017), including the discrete-event
+CMP/service substrate the evaluation needs.
+
+Quick start::
+
+    from repro import (
+        Simulator, Machine, PowerBudget, DvfsActuator, CommandCenter,
+        PowerChiefController, build_sirius, HASWELL_LADDER,
+    )
+
+    sim = Simulator()
+    machine = Machine(sim)
+    app = build_sirius(sim, machine, HASWELL_LADDER.level_of(1.8))
+    command_center = CommandCenter(sim, app)
+    controller = PowerChiefController(
+        sim, app, command_center, PowerBudget(machine, 13.56),
+        DvfsActuator(sim),
+    )
+    controller.start()
+    # ... submit queries, sim.run(...)
+
+or use the pre-wired experiment harness::
+
+    from repro.experiments import run_latency_experiment
+    from repro.workloads import ConstantLoad, sirius_load_levels
+
+    result = run_latency_experiment(
+        "sirius", "powerchief",
+        ConstantLoad(sirius_load_levels().high_qps), duration_s=600.0,
+    )
+    print(result.latency)
+"""
+
+from repro.analysis import (
+    LatencyBreakdown,
+    analyze_queries,
+    mg1_mean_wait,
+    mm1_mean_wait,
+)
+from repro.cluster import (
+    DEFAULT_POWER_MODEL,
+    HASWELL_LADDER,
+    CubicPowerModel,
+    DvfsActuator,
+    FrequencyLadder,
+    Machine,
+    PowerBudget,
+    PowerModel,
+    PowerTelemetry,
+    TabularPowerModel,
+)
+from repro.core import (
+    BoostingDecisionEngine,
+    BoostKind,
+    BottleneckIdentifier,
+    ControllerConfig,
+    FreqBoostController,
+    InstanceWithdrawer,
+    InstBoostController,
+    MetricKind,
+    PegasusController,
+    PowerChiefConserveController,
+    PowerChiefController,
+    PowerRecycler,
+    StaticController,
+)
+from repro.cluster.calibration import fit_cubic_model, reference_power_table
+from repro.errors import ReproError
+from repro.scale import LeastInFlightSplitter, RoundRobinSplitter, Shard, ShardedDeployment
+from repro.service import (
+    Application,
+    CommandCenter,
+    LogNormalDemand,
+    PowerLawSpeedup,
+    Query,
+    ServiceInstance,
+    ServiceProfile,
+    Stage,
+    StageKind,
+)
+from repro.sim import PeriodicProcess, RandomStreams, Simulator
+from repro.workloads import (
+    ConstantLoad,
+    PiecewiseLoad,
+    PoissonLoadGenerator,
+    QueryFactory,
+    build_application,
+    build_nlp,
+    build_sirius,
+    build_websearch,
+    nlp_load_levels,
+    sirius_load_levels,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # analysis
+    "LatencyBreakdown",
+    "analyze_queries",
+    "mm1_mean_wait",
+    "mg1_mean_wait",
+    # calibration
+    "fit_cubic_model",
+    "reference_power_table",
+    # scale
+    "Shard",
+    "ShardedDeployment",
+    "RoundRobinSplitter",
+    "LeastInFlightSplitter",
+    # sim
+    "Simulator",
+    "PeriodicProcess",
+    "RandomStreams",
+    # cluster
+    "FrequencyLadder",
+    "HASWELL_LADDER",
+    "PowerModel",
+    "CubicPowerModel",
+    "TabularPowerModel",
+    "DEFAULT_POWER_MODEL",
+    "Machine",
+    "PowerBudget",
+    "DvfsActuator",
+    "PowerTelemetry",
+    # service
+    "Application",
+    "CommandCenter",
+    "Query",
+    "ServiceInstance",
+    "ServiceProfile",
+    "Stage",
+    "StageKind",
+    "LogNormalDemand",
+    "PowerLawSpeedup",
+    # core
+    "MetricKind",
+    "BottleneckIdentifier",
+    "BoostingDecisionEngine",
+    "BoostKind",
+    "PowerRecycler",
+    "InstanceWithdrawer",
+    "ControllerConfig",
+    "PowerChiefController",
+    "StaticController",
+    "FreqBoostController",
+    "InstBoostController",
+    "PegasusController",
+    "PowerChiefConserveController",
+    # workloads
+    "ConstantLoad",
+    "PiecewiseLoad",
+    "PoissonLoadGenerator",
+    "QueryFactory",
+    "build_application",
+    "build_sirius",
+    "build_nlp",
+    "build_websearch",
+    "sirius_load_levels",
+    "nlp_load_levels",
+]

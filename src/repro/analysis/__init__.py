@@ -1,0 +1,35 @@
+"""Analysis tools: queueing-theory validation and latency breakdowns.
+
+:mod:`repro.analysis.queueing` provides the closed-form M/M/1 and M/G/1
+results the simulator is validated against; :mod:`repro.analysis.breakdown`
+implements the per-stage and tail-latency decomposition the paper's
+conclusion names as future work.
+"""
+
+from repro.analysis.breakdown import (
+    LatencyBreakdown,
+    StageContribution,
+    TailProfile,
+    analyze_queries,
+)
+from repro.analysis.queueing import (
+    lognormal_cv2,
+    mg1_mean_wait,
+    mm1_mean_response,
+    mm1_mean_wait,
+    required_instances,
+    utilization,
+)
+
+__all__ = [
+    "LatencyBreakdown",
+    "StageContribution",
+    "TailProfile",
+    "analyze_queries",
+    "lognormal_cv2",
+    "mg1_mean_wait",
+    "mm1_mean_response",
+    "mm1_mean_wait",
+    "required_instances",
+    "utilization",
+]

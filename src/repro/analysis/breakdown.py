@@ -1,0 +1,159 @@
+"""Latency breakdown: where does the response time (and its tail) go?
+
+The paper's conclusion names "analyz[ing] the tail latency behavior
+under the power constraint in more depth" as future work; this module is
+that analysis.  Given the completed queries of a run it decomposes:
+
+* per-stage mean/p99 queuing and serving contributions;
+* the *tail composition*: for the p99-slowest queries, which stage's
+  queuing or serving dominated — the actionable signal for whether the
+  next watt should buy a clone (queuing-dominated) or a frequency step
+  (serving-dominated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ExperimentError
+from repro.service.query import Query
+from repro.util.percentile import percentile
+
+__all__ = ["StageContribution", "TailProfile", "LatencyBreakdown", "analyze_queries"]
+
+
+@dataclass(frozen=True)
+class StageContribution:
+    """One stage's share of the end-to-end latency."""
+
+    stage_name: str
+    mean_queuing_s: float
+    mean_serving_s: float
+    p99_queuing_s: float
+    p99_serving_s: float
+    #: Fraction of the summed mean end-to-end latency this stage accounts for.
+    mean_share: float
+
+    @property
+    def mean_total_s(self) -> float:
+        return self.mean_queuing_s + self.mean_serving_s
+
+    @property
+    def queuing_dominated(self) -> bool:
+        """Whether waiting (not serving) is this stage's main cost."""
+        return self.mean_queuing_s > self.mean_serving_s
+
+
+@dataclass(frozen=True)
+class TailProfile:
+    """What the slowest (>= p99) queries spent their time on."""
+
+    tail_count: int
+    tail_threshold_s: float
+    dominant_stage: str
+    #: Fraction of tail-query latency spent queuing (vs serving), overall.
+    queuing_fraction: float
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Full decomposition of a run's completed queries."""
+
+    query_count: int
+    mean_latency_s: float
+    p99_latency_s: float
+    stages: tuple[StageContribution, ...]
+    tail: TailProfile
+
+    def stage(self, name: str) -> StageContribution:
+        for contribution in self.stages:
+            if contribution.stage_name == name:
+                return contribution
+        raise ExperimentError(f"no stage {name!r} in breakdown")
+
+    def bottleneck_stage(self) -> StageContribution:
+        """The stage with the largest mean contribution."""
+        return max(self.stages, key=lambda c: c.mean_total_s)
+
+
+def analyze_queries(
+    queries: Iterable[Query], stage_order: Sequence[str]
+) -> LatencyBreakdown:
+    """Decompose completed queries' latency by stage and tail.
+
+    Queries lacking a completion or a record for a listed stage are
+    skipped (in-flight queries at the end of a run); an empty result is
+    an error — there is nothing to analyse.
+    """
+    latencies: list[float] = []
+    per_stage: dict[str, list[tuple[float, float]]] = {name: [] for name in stage_order}
+    usable: list[Query] = []
+    for query in queries:
+        if not query.completed:
+            continue
+        records = {record.stage_name: record for record in query.records}
+        if any(name not in records for name in stage_order):
+            continue
+        usable.append(query)
+        latencies.append(query.end_to_end_latency)
+        for name in stage_order:
+            record = records[name]
+            per_stage[name].append((record.queuing_time, record.serving_time))
+    if not usable:
+        raise ExperimentError("no completed queries to analyse")
+
+    total_mean = sum(
+        sum(q + s for q, s in samples) / len(samples)
+        for samples in per_stage.values()
+    )
+    stages = []
+    for name in stage_order:
+        samples = per_stage[name]
+        queuing = [q for q, _ in samples]
+        serving = [s for _, s in samples]
+        mean_q = sum(queuing) / len(queuing)
+        mean_s = sum(serving) / len(serving)
+        stages.append(
+            StageContribution(
+                stage_name=name,
+                mean_queuing_s=mean_q,
+                mean_serving_s=mean_s,
+                p99_queuing_s=percentile(queuing, 99.0),
+                p99_serving_s=percentile(serving, 99.0),
+                mean_share=(mean_q + mean_s) / total_mean if total_mean > 0 else 0.0,
+            )
+        )
+
+    threshold = percentile(latencies, 99.0)
+    # The tail is the slowest ~1% of queries (at least one): selecting by
+    # ">= p99" would sweep in every query when the distribution has ties
+    # at the percentile.
+    tail_size = max(1, round(0.01 * len(usable)))
+    tail_queries = sorted(
+        usable, key=lambda q: q.end_to_end_latency, reverse=True
+    )[:tail_size]
+    stage_cost: dict[str, float] = {name: 0.0 for name in stage_order}
+    queuing_total = 0.0
+    grand_total = 0.0
+    for query in tail_queries:
+        for record in query.records:
+            if record.stage_name not in stage_cost:
+                continue
+            stage_cost[record.stage_name] += record.processing_delay
+            queuing_total += record.queuing_time
+            grand_total += record.processing_delay
+    dominant = max(stage_cost, key=lambda name: stage_cost[name])
+    tail = TailProfile(
+        tail_count=len(tail_queries),
+        tail_threshold_s=threshold,
+        dominant_stage=dominant,
+        queuing_fraction=queuing_total / grand_total if grand_total > 0 else 0.0,
+    )
+    return LatencyBreakdown(
+        query_count=len(usable),
+        mean_latency_s=sum(latencies) / len(latencies),
+        p99_latency_s=percentile(latencies, 99.0),
+        stages=tuple(stages),
+        tail=tail,
+    )

@@ -1,0 +1,100 @@
+"""Analytical queueing formulas for validating the simulator.
+
+The whole evaluation rests on the substrate's queueing behaviour being
+right, so this module provides the closed-form results — M/M/1 and
+M/G/1 (Pollaczek-Khinchine) waiting times — that the validation tests
+compare simulated pipelines against.  It is also useful on its own for
+capacity planning: ``required_instances`` answers "how many instances
+does stage X need at frequency f to keep its queuing delay under d".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "utilization",
+    "mm1_mean_wait",
+    "mm1_mean_response",
+    "mg1_mean_wait",
+    "lognormal_cv2",
+    "required_instances",
+]
+
+
+def utilization(arrival_rate: float, service_rate: float) -> float:
+    """Offered load ``rho = lambda / mu``; must be in [0, 1) to be stable."""
+    if arrival_rate < 0.0:
+        raise ConfigurationError(f"arrival rate must be >= 0, got {arrival_rate}")
+    if service_rate <= 0.0:
+        raise ConfigurationError(f"service rate must be > 0, got {service_rate}")
+    return arrival_rate / service_rate
+
+
+def _require_stable(rho: float) -> None:
+    if rho >= 1.0:
+        raise ConfigurationError(
+            f"queue is unstable at utilization {rho:.3f} (>= 1); "
+            f"closed-form waiting time does not exist"
+        )
+
+
+def mm1_mean_wait(arrival_rate: float, mean_service_time: float) -> float:
+    """Mean queuing delay of an M/M/1 queue: ``rho * s / (1 - rho)``."""
+    rho = utilization(arrival_rate, 1.0 / mean_service_time)
+    _require_stable(rho)
+    return rho * mean_service_time / (1.0 - rho)
+
+
+def mm1_mean_response(arrival_rate: float, mean_service_time: float) -> float:
+    """Mean response (wait + service) of an M/M/1 queue."""
+    return mm1_mean_wait(arrival_rate, mean_service_time) + mean_service_time
+
+
+def mg1_mean_wait(
+    arrival_rate: float, mean_service_time: float, service_cv2: float
+) -> float:
+    """Pollaczek-Khinchine mean wait for M/G/1.
+
+    ``W = rho * s * (1 + cv^2) / (2 * (1 - rho))`` where ``cv^2`` is the
+    squared coefficient of variation of the service time.
+    """
+    if service_cv2 < 0.0:
+        raise ConfigurationError(f"cv^2 must be >= 0, got {service_cv2}")
+    rho = utilization(arrival_rate, 1.0 / mean_service_time)
+    _require_stable(rho)
+    return rho * mean_service_time * (1.0 + service_cv2) / (2.0 * (1.0 - rho))
+
+
+def lognormal_cv2(sigma: float) -> float:
+    """Squared coefficient of variation of a log-normal: ``exp(sigma^2)-1``."""
+    if sigma < 0.0:
+        raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+    return math.exp(sigma * sigma) - 1.0
+
+
+def required_instances(
+    arrival_rate: float,
+    mean_service_time: float,
+    max_utilization: float = 0.8,
+) -> int:
+    """Instances needed to keep per-instance utilization under a cap.
+
+    Assumes an even load split (the shortest-queue dispatcher approaches
+    this); used for capacity planning of stage pools.
+    """
+    if not 0.0 < max_utilization < 1.0:
+        raise ConfigurationError(
+            f"max utilization must be in (0, 1), got {max_utilization}"
+        )
+    if arrival_rate < 0.0:
+        raise ConfigurationError(f"arrival rate must be >= 0, got {arrival_rate}")
+    if mean_service_time <= 0.0:
+        raise ConfigurationError(
+            f"mean service time must be > 0, got {mean_service_time}"
+        )
+    if arrival_rate == 0.0:
+        return 1
+    return max(1, math.ceil(arrival_rate * mean_service_time / max_utilization))

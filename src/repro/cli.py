@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three commands:
+
+* ``figures`` — regenerate a paper figure/table (or ``all``) and print
+  its ASCII rendering.
+* ``latency`` — one latency-mitigation run (Table-2 scenario) with a
+  chosen application, policy and load level.
+* ``qos`` — one power-conservation run (Table-3 scenario) with a chosen
+  deployment and policy.
+
+Both run commands can archive their full result with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.config import TABLE3_SIRIUS, TABLE3_WEBSEARCH
+from repro.experiments.export import (
+    qos_result_to_dict,
+    run_result_to_dict,
+    write_json,
+)
+from repro.experiments.runner import (
+    LATENCY_POLICIES,
+    QOS_POLICIES,
+    run_latency_experiment,
+    run_qos_experiment,
+)
+from repro.workloads.levels import LoadLevel
+from repro.workloads.loadgen import ConstantLoad
+from repro.workloads.nlp import nlp_load_levels
+from repro.workloads.sirius import sirius_load_levels
+
+__all__ = ["main", "build_parser"]
+
+
+def _figure_registry() -> dict[str, Callable[[], str]]:
+    from repro.experiments import figures as fig
+
+    return {
+        "fig02": lambda: fig.render_fig02(fig.run_fig02()),
+        "fig04": lambda: fig.render_fig04(fig.run_fig04()),
+        "fig10": lambda: fig.render_improvement_figure(fig.run_fig10()),
+        "fig11": lambda: fig.render_fig11(fig.run_fig11()),
+        "fig12": lambda: fig.render_fig12(fig.run_fig12()),
+        "fig13": lambda: fig.render_fig13(fig.run_fig13()),
+        "fig14": lambda: fig.render_fig14(fig.run_fig14()),
+        "table1": fig.render_table1,
+        "table4": fig.render_table4,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PowerChief (ISCA 2017) reproduction harness",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate a paper figure/table and print it"
+    )
+    figures.add_argument(
+        "which",
+        choices=sorted(_figure_registry()) + ["all"],
+        help="figure/table id, or 'all'",
+    )
+
+    latency = commands.add_parser(
+        "latency", help="one Table-2 latency-mitigation run"
+    )
+    latency.add_argument("app", choices=("sirius", "nlp"))
+    latency.add_argument("policy", choices=LATENCY_POLICIES)
+    latency.add_argument(
+        "--load",
+        choices=tuple(level.value for level in LoadLevel),
+        default="high",
+        help="load level relative to baseline saturation (default: high)",
+    )
+    latency.add_argument("--rate", type=float, help="explicit arrival rate (qps)")
+    latency.add_argument("--duration", type=float, default=600.0)
+    latency.add_argument("--seed", type=int, default=3)
+    latency.add_argument("--json", help="write the full result to this path")
+
+    campaign = commands.add_parser(
+        "campaign", help="run the whole evaluation and archive the renders"
+    )
+    campaign.add_argument(
+        "--output", help="directory for per-figure .txt files and report.md"
+    )
+
+    qos = commands.add_parser("qos", help="one Table-3 QoS-mode run")
+    qos.add_argument("app", choices=("sirius", "websearch"))
+    qos.add_argument("policy", choices=QOS_POLICIES)
+    qos.add_argument("--rate", type=float, help="arrival rate (qps)")
+    qos.add_argument("--duration", type=float, default=400.0)
+    qos.add_argument("--seed", type=int, default=3)
+    qos.add_argument("--json", help="write the full result to this path")
+
+    return parser
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    registry = _figure_registry()
+    names = sorted(registry) if args.which == "all" else [args.which]
+    for name in names:
+        print(registry[name]())
+        print()
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        levels = sirius_load_levels() if args.app == "sirius" else nlp_load_levels()
+        rate = levels.rate(LoadLevel(args.load))
+    result = run_latency_experiment(
+        args.app,
+        args.policy,
+        ConstantLoad(rate),
+        args.duration,
+        seed=args.seed,
+    )
+    print(
+        f"{result.app}/{result.policy}: {result.queries_completed} queries, "
+        f"mean {result.latency.mean:.3f}s, p99 {result.latency.p99:.3f}s, "
+        f"avg power {result.average_power_watts:.2f} W"
+    )
+    if args.json:
+        path = write_json(args.json, run_result_to_dict(result))
+        print(f"result written to {path}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import run_campaign
+
+    result = run_campaign(output_dir=args.output)
+    for name in result.artefacts:
+        print(result.render(name))
+        print()
+    if result.output_dir is not None:
+        print(f"campaign archived to {result.output_dir}")
+    return 0
+
+
+def _cmd_qos(args: argparse.Namespace) -> int:
+    setup = TABLE3_SIRIUS if args.app == "sirius" else TABLE3_WEBSEARCH
+    rate = args.rate if args.rate is not None else (7.0 if args.app == "sirius" else 8.0)
+    result = run_qos_experiment(
+        setup, args.policy, rate_qps=rate, duration_s=args.duration, seed=args.seed
+    )
+    print(
+        f"{result.app}/{result.policy}: latency {result.latency.mean:.3f}s "
+        f"({result.latency.mean / result.qos_target_s:.2f}x QoS), "
+        f"power {result.average_power_fraction:.3f} of peak "
+        f"(saving {result.power_saving_fraction * 100:.1f}%), "
+        f"violations {result.violation_fraction * 100:.1f}%"
+    )
+    if args.json:
+        path = write_json(args.json, qos_result_to_dict(result))
+        print(f"result written to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "latency": _cmd_latency,
+        "qos": _cmd_qos,
+        "campaign": _cmd_campaign,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""CMP cluster substrate: cores, DVFS ladder, power models and budget.
+
+This package simulates the hardware side of the paper's testbed (Intel
+Xeon E5-2630v3): a pool of physical cores (:class:`Machine`) with per-core
+DVFS over a discrete :class:`FrequencyLadder`, a calibrated core
+:class:`PowerModel`, a hard :class:`PowerBudget`, a :class:`DvfsActuator`
+standing in for the sysfs interface, and :class:`PowerTelemetry` for the
+power timelines of the QoS experiments.
+"""
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.calibration import CalibrationResult, fit_cubic_model, reference_power_table
+from repro.cluster.contention import ContentionModel, LinearContention, NoContention
+from repro.cluster.core import Core, CoreState
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER, FrequencyLadder
+from repro.cluster.machine import Machine
+from repro.cluster.power import (
+    DEFAULT_POWER_MODEL,
+    CubicPowerModel,
+    PowerModel,
+    TabularPowerModel,
+)
+from repro.cluster.telemetry import PowerSample, PowerTelemetry
+
+__all__ = [
+    "PowerBudget",
+    "CalibrationResult",
+    "fit_cubic_model",
+    "reference_power_table",
+    "ContentionModel",
+    "LinearContention",
+    "NoContention",
+    "Core",
+    "CoreState",
+    "DvfsActuator",
+    "FrequencyLadder",
+    "HASWELL_LADDER",
+    "Machine",
+    "PowerModel",
+    "CubicPowerModel",
+    "TabularPowerModel",
+    "DEFAULT_POWER_MODEL",
+    "PowerSample",
+    "PowerTelemetry",
+]

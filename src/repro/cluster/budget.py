@@ -1,0 +1,89 @@
+"""Power budget accounting and enforcement.
+
+The power constraint is the central invariant of the paper: "dynamically
+reallocates the constrained power budget across service stages" while
+never exceeding it.  :class:`PowerBudget` wraps a :class:`Machine` with a
+hard watt ceiling; controllers consult :meth:`available` before boosting
+and can assert the invariant after every reallocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.errors import ClusterError, PowerBudgetExceeded
+from repro.cluster.machine import Machine
+
+__all__ = ["PowerBudget", "PowerScope"]
+
+#: Slack used in comparisons so float noise never trips the hard invariant.
+_EPSILON_WATTS = 1e-9
+
+
+class PowerScope(Protocol):
+    """Anything whose draw can be budgeted (a machine, or one application)."""
+
+    def total_power(self) -> float: ...
+
+
+class PowerBudget:
+    """A hard cap on a power scope's draw.
+
+    By default the scope is the whole machine.  Passing an
+    :class:`~repro.service.application.Application` as ``scope`` gives
+    that application its own budget — the paper's collocation model
+    (Section 8.5: "PowerChief manages dynamic power allocation at per
+    application basis where each application has its own power budget"),
+    where several applications share a machine but each controller only
+    spends its own allocation.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        budget_watts: float,
+        scope: Optional[PowerScope] = None,
+    ) -> None:
+        if budget_watts <= 0.0:
+            raise ClusterError(f"budget must be > 0 W, got {budget_watts}")
+        self.machine = machine
+        self.budget_watts = float(budget_watts)
+        self._scope: PowerScope = scope if scope is not None else machine
+
+    # ------------------------------------------------------------------
+    def draw(self) -> float:
+        """Current draw of the budgeted scope in watts."""
+        return self._scope.total_power()
+
+    def available(self) -> float:
+        """Unallocated headroom in watts (never negative)."""
+        return max(0.0, self.budget_watts - self.draw())
+
+    def utilization(self) -> float:
+        """Fraction of the budget currently drawn."""
+        return self.draw() / self.budget_watts
+
+    def fits(self, extra_watts: float) -> bool:
+        """Whether an additional draw of ``extra_watts`` stays within budget."""
+        return extra_watts <= self.available() + _EPSILON_WATTS
+
+    def check(self, extra_watts: float) -> None:
+        """Raise :class:`PowerBudgetExceeded` unless ``extra_watts`` fits."""
+        if not self.fits(extra_watts):
+            raise PowerBudgetExceeded(extra_watts, self.available())
+
+    def assert_within(self) -> None:
+        """Assert the hard invariant: total draw never exceeds the budget.
+
+        Controllers call this after applying a reallocation plan; a failure
+        is a bug in the controller, not a recoverable condition.
+        """
+        draw = self.draw()
+        if draw > self.budget_watts + _EPSILON_WATTS:
+            raise PowerBudgetExceeded(draw - self.budget_watts, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PowerBudget({self.draw():.2f}/{self.budget_watts:.2f} W, "
+            f"{self.available():.2f} W free)"
+        )

@@ -1,0 +1,85 @@
+"""Power-model calibration from measured data.
+
+On real hardware the per-frequency core power comes from a measurement
+sweep (e.g. RAPL package power divided across loaded cores at each
+``cpufreq`` setting).  This module turns such a ``{GHz: W}`` table into
+the :class:`CubicPowerModel` the rest of the library consumes, by
+least-squares fitting ``P(f) = static + coeff * f^3`` — the same model
+family the paper borrows from Adrenaline [22].
+
+Pure stdlib: the normal equations of the two-parameter fit are solved in
+closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ClusterError
+from repro.cluster.frequency import FrequencyLadder, HASWELL_LADDER
+from repro.cluster.power import CubicPowerModel, DEFAULT_POWER_MODEL, PowerModel
+
+__all__ = ["CalibrationResult", "fit_cubic_model", "reference_power_table"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A fitted model plus its fit quality."""
+
+    model: CubicPowerModel
+    max_residual_watts: float
+    mean_residual_watts: float
+
+    @property
+    def static_watts(self) -> float:
+        return self.model.static_watts
+
+    @property
+    def dynamic_coeff(self) -> float:
+        return self.model.dynamic_coeff
+
+
+def fit_cubic_model(table: Mapping[float, float]) -> CalibrationResult:
+    """Least-squares fit of ``P(f) = a + b * f^3`` to a measured table.
+
+    Requires at least two distinct frequencies; raises
+    :class:`ClusterError` if the fit produces an unphysical model
+    (negative static power or non-positive cubic coefficient), which
+    indicates bad measurements rather than a usable calibration.
+    """
+    if len(table) < 2:
+        raise ClusterError("need at least two measurement points to fit")
+    points = sorted(table.items())
+    xs = [freq**3 for freq, _ in points]
+    ys = [watts for _, watts in points]
+    n = float(len(points))
+    sum_x = sum(xs)
+    sum_y = sum(ys)
+    sum_xx = sum(x * x for x in xs)
+    sum_xy = sum(x * y for x, y in zip(xs, ys))
+    denominator = n * sum_xx - sum_x * sum_x
+    if abs(denominator) < 1e-12:
+        raise ClusterError("measurement frequencies are degenerate; cannot fit")
+    coeff = (n * sum_xy - sum_x * sum_y) / denominator
+    static = (sum_y - coeff * sum_x) / n
+    if static < 0.0 or coeff <= 0.0:
+        raise ClusterError(
+            f"fit produced an unphysical model (static={static:.3f} W, "
+            f"coeff={coeff:.5f}); check the measurements"
+        )
+    model = CubicPowerModel(static_watts=static, dynamic_coeff=coeff)
+    residuals = [abs(model.power(freq) - watts) for freq, watts in points]
+    return CalibrationResult(
+        model=model,
+        max_residual_watts=max(residuals),
+        mean_residual_watts=sum(residuals) / len(residuals),
+    )
+
+
+def reference_power_table(
+    ladder: FrequencyLadder = HASWELL_LADDER,
+    model: PowerModel = DEFAULT_POWER_MODEL,
+) -> dict[float, float]:
+    """The calibrated per-level power table (useful as a fixture or export)."""
+    return {freq: model.power(freq) for freq in ladder}

@@ -1,0 +1,68 @@
+"""Shared-resource contention between collocated cores.
+
+Section 8.5: "even on separate cores, application collocation has the
+potential to generate performance interference and affect the
+effectiveness of our approach, which requires further investigation."
+This module is that investigation's instrument: a :class:`ContentionModel`
+maps the machine's occupancy (how many cores are active) to a slowdown
+factor applied to every instance's serving speed — the aggregate effect
+of shared LLC and memory-bandwidth pressure.
+
+The default is :class:`NoContention` (the paper's evaluation runs one
+application per machine with per-core exclusivity), so nothing changes
+unless an experiment opts in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ContentionModel", "NoContention", "LinearContention"]
+
+
+class ContentionModel(ABC):
+    """Occupancy-dependent serving slowdown (>= 1.0)."""
+
+    @abstractmethod
+    def slowdown(self, active_cores: int, total_cores: int) -> float:
+        """Execution-time multiplier when ``active_cores`` are running."""
+
+
+class NoContention(ContentionModel):
+    """Perfect isolation: the paper's baseline assumption."""
+
+    def slowdown(self, active_cores: int, total_cores: int) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NoContention()"
+
+
+class LinearContention(ContentionModel):
+    """Slowdown grows linearly with the number of *other* active cores.
+
+    ``slowdown = 1 + intensity * (active - 1) / (total - 1)`` — a single
+    active core is unimpeded; a fully packed machine pays the full
+    ``intensity`` (e.g. 0.3 = 30% longer serving times at full
+    occupancy).  A deliberately simple model: the point is the feedback
+    loop it creates (launching a clone now taxes *everyone*), not
+    microarchitectural fidelity.
+    """
+
+    def __init__(self, intensity: float = 0.3) -> None:
+        if intensity < 0.0:
+            raise ConfigurationError(
+                f"intensity must be >= 0, got {intensity}"
+            )
+        self.intensity = float(intensity)
+
+    def slowdown(self, active_cores: int, total_cores: int) -> float:
+        if active_cores <= 1 or total_cores <= 1:
+            return 1.0
+        crowding = (active_cores - 1) / (total_cores - 1)
+        return 1.0 + self.intensity * min(1.0, crowding)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinearContention(intensity={self.intensity})"

@@ -1,0 +1,77 @@
+"""DVFS actuation.
+
+A thin actuator between the controllers and the cores, standing in for the
+``cpufreq`` sysfs interface the real prototype would drive.  Haswell's
+fully-integrated voltage regulators make transitions sub-microsecond
+(Section 5.2), so the default transition latency is zero; a non-zero
+latency can be configured to study slower platforms — the level change is
+then applied after the delay through the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ClusterError
+from repro.cluster.core import Core
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+
+__all__ = ["DvfsActuator"]
+
+
+class DvfsActuator:
+    """Applies ladder-level changes to cores, optionally with latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transition_latency_s: float = 0.0,
+    ) -> None:
+        if transition_latency_s < 0.0:
+            raise ClusterError(
+                f"transition latency must be >= 0, got {transition_latency_s}"
+            )
+        self.sim = sim
+        self.transition_latency_s = float(transition_latency_s)
+        self._requests = 0
+
+    @property
+    def requests(self) -> int:
+        """Number of level-change requests issued through this actuator."""
+        return self._requests
+
+    def set_level(self, core: Core, level: int) -> None:
+        """Request ``core`` to move to ``level``.
+
+        With zero transition latency the change is synchronous; otherwise
+        the new level lands after the configured delay (the core keeps its
+        old level, and old power draw, until then).
+        """
+        core.ladder.validate_level(level)
+        self._requests += 1
+        if self.transition_latency_s == 0.0:
+            core.set_level(level)
+        else:
+            self.sim.schedule(
+                self.transition_latency_s,
+                core.set_level,
+                level,
+                priority=EventPriority.COMPLETION,
+            )
+
+    def step_down(self, core: Core) -> Optional[int]:
+        """Drop the core one level; returns the new level or ``None`` at floor."""
+        if core.level <= core.ladder.min_level:
+            return None
+        new_level = core.level - 1
+        self.set_level(core, new_level)
+        return new_level
+
+    def step_up(self, core: Core) -> Optional[int]:
+        """Raise the core one level; returns the new level or ``None`` at top."""
+        if core.level >= core.ladder.max_level:
+            return None
+        new_level = core.level + 1
+        self.set_level(core, new_level)
+        return new_level

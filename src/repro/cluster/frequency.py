@@ -1,0 +1,121 @@
+"""The DVFS frequency ladder.
+
+The paper's testbed (Intel Xeon E5-2630v3, Haswell) exposes per-core DVFS
+from 1.2 GHz to 2.4 GHz in 0.1 GHz steps (Section 8.1).  A
+:class:`FrequencyLadder` models that discrete ladder: controllers move
+cores between integer *levels*; level 0 is the slowest step.
+
+Frequencies are floats in GHz.  All level math is done on the integer
+index so floating-point noise never produces an off-ladder frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import FrequencyError
+
+__all__ = ["FrequencyLadder", "HASWELL_LADDER"]
+
+_TOLERANCE_GHZ = 1e-6
+
+
+@dataclass(frozen=True)
+class FrequencyLadder:
+    """A discrete set of equally spaced core frequencies.
+
+    Parameters
+    ----------
+    min_ghz, max_ghz, step_ghz:
+        Inclusive range and step of the ladder, in GHz.
+    """
+
+    min_ghz: float = 1.2
+    max_ghz: float = 2.4
+    step_ghz: float = 0.1
+    levels: tuple[float, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_ghz <= 0.0:
+            raise FrequencyError(f"min_ghz must be > 0, got {self.min_ghz}")
+        if self.step_ghz <= 0.0:
+            raise FrequencyError(f"step_ghz must be > 0, got {self.step_ghz}")
+        if self.max_ghz < self.min_ghz:
+            raise FrequencyError(
+                f"max_ghz ({self.max_ghz}) must be >= min_ghz ({self.min_ghz})"
+            )
+        span = self.max_ghz - self.min_ghz
+        count = int(round(span / self.step_ghz)) + 1
+        if not math.isclose(
+            self.min_ghz + (count - 1) * self.step_ghz,
+            self.max_ghz,
+            abs_tol=_TOLERANCE_GHZ,
+        ):
+            raise FrequencyError(
+                f"ladder span {span} GHz is not a whole number of "
+                f"{self.step_ghz} GHz steps"
+            )
+        levels = tuple(
+            round(self.min_ghz + i * self.step_ghz, 9) for i in range(count)
+        )
+        object.__setattr__(self, "levels", levels)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Number of steps on the ladder."""
+        return len(self.levels)
+
+    @property
+    def min_level(self) -> int:
+        """Index of the slowest step (always 0)."""
+        return 0
+
+    @property
+    def max_level(self) -> int:
+        """Index of the fastest step."""
+        return len(self.levels) - 1
+
+    def frequency_of(self, level: int) -> float:
+        """Frequency in GHz of the given level index."""
+        self.validate_level(level)
+        return self.levels[level]
+
+    def level_of(self, freq_ghz: float) -> int:
+        """Level index whose frequency equals ``freq_ghz`` (within tolerance)."""
+        for index, freq in enumerate(self.levels):
+            if math.isclose(freq, freq_ghz, abs_tol=_TOLERANCE_GHZ):
+                return index
+        raise FrequencyError(
+            f"{freq_ghz} GHz is not on the ladder "
+            f"[{self.min_ghz}..{self.max_ghz} step {self.step_ghz}]"
+        )
+
+    def validate_level(self, level: int) -> None:
+        """Raise :class:`FrequencyError` if ``level`` is off the ladder."""
+        if not isinstance(level, int) or isinstance(level, bool):
+            raise FrequencyError(f"level must be an int, got {level!r}")
+        if not 0 <= level < len(self.levels):
+            raise FrequencyError(
+                f"level {level} out of range [0, {len(self.levels) - 1}]"
+            )
+
+    def clamp_level(self, level: int) -> int:
+        """Clamp an integer to the valid level range."""
+        return max(0, min(int(level), self.max_level))
+
+    def nearest_level(self, freq_ghz: float) -> int:
+        """Level whose frequency is closest to ``freq_ghz``."""
+        raw = (freq_ghz - self.min_ghz) / self.step_ghz
+        return self.clamp_level(int(round(raw)))
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+
+#: The ladder of the paper's evaluation platform (Section 8.1).
+HASWELL_LADDER = FrequencyLadder(min_ghz=1.2, max_ghz=2.4, step_ghz=0.1)

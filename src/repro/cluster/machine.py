@@ -1,0 +1,128 @@
+"""The CMP machine: a pool of DVFS-capable cores.
+
+Models the evaluation platform of Section 8.1 — a dual-socket Xeon
+E5-2630v3 with 16 physical cores (SMT disabled), per-core DVFS from
+1.2 GHz to 2.4 GHz.  The machine hands out whole cores to service
+instances and aggregates their power draw.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ClusterError, NoCoreAvailable
+from repro.cluster.contention import ContentionModel, NoContention
+from repro.cluster.core import Core, CoreState
+from repro.cluster.frequency import HASWELL_LADDER, FrequencyLadder
+from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
+from repro.sim.engine import Simulator
+
+__all__ = ["Machine"]
+
+OccupancyListener = Callable[[int], None]
+
+
+class Machine:
+    """A fixed pool of physical cores sharing one frequency ladder.
+
+    An optional :class:`ContentionModel` makes the machine's occupancy
+    slow every instance down (Section 8.5's collocation-interference
+    investigation); occupancy listeners fire on core acquire/release so
+    in-flight work can be rescaled.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_cores: int = 16,
+        ladder: FrequencyLadder = HASWELL_LADDER,
+        power_model: PowerModel = DEFAULT_POWER_MODEL,
+        contention: Optional[ContentionModel] = None,
+    ) -> None:
+        if n_cores <= 0:
+            raise ClusterError(f"n_cores must be > 0, got {n_cores}")
+        self.sim = sim
+        self.ladder = ladder
+        self.power_model = power_model
+        self.contention = contention if contention is not None else NoContention()
+        self._occupancy_listeners: list[OccupancyListener] = []
+        self._cores = [
+            Core(cid, ladder, power_model, lambda: sim.now) for cid in range(n_cores)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return len(self._cores)
+
+    @property
+    def cores(self) -> tuple[Core, ...]:
+        return tuple(self._cores)
+
+    def active_cores(self) -> list[Core]:
+        """Cores currently allocated to service instances."""
+        return [core for core in self._cores if core.active]
+
+    def free_core_count(self) -> int:
+        return sum(1 for core in self._cores if not core.active)
+
+    # ------------------------------------------------------------------
+    def acquire_core(self, level: int) -> Core:
+        """Allocate a free core at ``level``; raises :class:`NoCoreAvailable`."""
+        for core in self._cores:
+            if core.state is CoreState.FREE:
+                core.activate(level)
+                self._notify_occupancy()
+                return core
+        raise NoCoreAvailable(
+            f"all {len(self._cores)} cores are allocated"
+        )
+
+    def release_core(self, core: Core) -> None:
+        """Return a core to the free pool."""
+        if core not in self._cores:
+            raise ClusterError(f"core {core.cid} does not belong to this machine")
+        core.deactivate()
+        self._notify_occupancy()
+
+    # ------------------------------------------------------------------
+    # Contention
+    # ------------------------------------------------------------------
+    def contention_slowdown(self) -> float:
+        """Serving-time multiplier at the current occupancy (>= 1)."""
+        return self.contention.slowdown(len(self.active_cores()), self.n_cores)
+
+    def add_occupancy_listener(self, listener: OccupancyListener) -> None:
+        """Subscribe to occupancy changes (receives the active-core count)."""
+        self._occupancy_listeners.append(listener)
+
+    def remove_occupancy_listener(self, listener: OccupancyListener) -> None:
+        try:
+            self._occupancy_listeners.remove(listener)
+        except ValueError:
+            raise ClusterError("occupancy listener was not registered") from None
+
+    def _notify_occupancy(self) -> None:
+        active = len(self.active_cores())
+        for listener in tuple(self._occupancy_listeners):
+            listener(active)
+
+    # ------------------------------------------------------------------
+    def total_power(self) -> float:
+        """Instantaneous draw of all active cores, in watts."""
+        return sum(core.power_watts for core in self._cores)
+
+    def total_energy(self) -> float:
+        """Total energy consumed by all cores so far, in joules."""
+        return sum(core.energy_joules() for core in self._cores)
+
+    def peak_power(self) -> float:
+        """Draw if every core ran active at the top ladder level."""
+        per_core = self.power_model.power_of_level(self.ladder, self.ladder.max_level)
+        return per_core * len(self._cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({len(self.active_cores())}/{len(self._cores)} cores active, "
+            f"{self.total_power():.2f} W)"
+        )

@@ -1,0 +1,95 @@
+"""Power telemetry: sampled power timelines for the QoS experiments.
+
+Figures 13 and 14 of the paper plot "fraction of peak power" over the
+experiment timeline.  :class:`PowerTelemetry` samples the machine's total
+draw on a fixed interval and exposes the series plus summary statistics
+(average, peak, energy) that the benchmark harness renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import ClusterError
+from repro.cluster.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["PowerSample", "PowerTelemetry"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One point on the power timeline."""
+
+    time: float
+    watts: float
+
+
+class PowerTelemetry:
+    """Samples total machine power on a fixed simulated interval."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        sample_interval_s: float = 1.0,
+    ) -> None:
+        if sample_interval_s <= 0.0:
+            raise ClusterError(
+                f"sample interval must be > 0, got {sample_interval_s}"
+            )
+        self.sim = sim
+        self.machine = machine
+        self.sample_interval_s = float(sample_interval_s)
+        self.samples: list[PowerSample] = []
+        self._process = PeriodicProcess(
+            sim,
+            sample_interval_s,
+            self._sample,
+            start_delay=0.0,
+            name="power-telemetry",
+        )
+
+    def start(self) -> None:
+        """Begin sampling (takes an immediate sample at the current time)."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Stop sampling; the collected series stays available."""
+        self._process.stop()
+
+    def _sample(self, now: float) -> None:
+        self.samples.append(PowerSample(now, self.machine.total_power()))
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def average_power(self, since: float = 0.0) -> float:
+        """Mean of the sampled draw from ``since`` onward (0 if no samples)."""
+        values = [s.watts for s in self.samples if s.time >= since]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def peak_power(self) -> float:
+        """Maximum sampled draw (0 if no samples)."""
+        if not self.samples:
+            return 0.0
+        return max(sample.watts for sample in self.samples)
+
+    def energy_joules(self) -> float:
+        """Trapezoidal integral of the sampled power series."""
+        if len(self.samples) < 2:
+            return 0.0
+        total = 0.0
+        for before, after in zip(self.samples, self.samples[1:]):
+            total += 0.5 * (before.watts + after.watts) * (after.time - before.time)
+        return total
+
+    def fractions_of(self, reference_watts: float) -> list[tuple[float, float]]:
+        """The series normalised to a reference draw (e.g. peak power)."""
+        if reference_watts <= 0.0:
+            raise ClusterError(
+                f"reference power must be > 0, got {reference_watts}"
+            )
+        return [(s.time, s.watts / reference_watts) for s in self.samples]

@@ -1,0 +1,74 @@
+"""PowerChief core: the paper's contribution.
+
+Bottleneck identification (Section 4), the adaptive boosting decision
+engine (Section 5, Algorithm 1), power recycling and instance withdraw
+(Section 6, Algorithm 2), the full :class:`PowerChiefController`, the
+baseline policies it is evaluated against, and the QoS-mode controllers
+(PowerChief-conserve and the Pegasus comparator, Section 8.4).
+"""
+
+from repro.core.actions import (
+    ActionRecord,
+    FrequencyChangeAction,
+    InstanceLaunchAction,
+    InstanceWithdrawAction,
+    SkipAction,
+)
+from repro.core.baselines import (
+    FreqBoostController,
+    InstBoostController,
+    StaticController,
+)
+from repro.core.boosting import BoostingDecision, BoostingDecisionEngine, BoostKind
+from repro.core.bottleneck import BottleneckIdentifier, RankedInstance
+from repro.core.conserve import PowerChiefConserveController
+from repro.core.controller import (
+    BaseController,
+    ControllerConfig,
+    PowerChiefController,
+)
+from repro.core.estimators import (
+    frequency_boost_expected_delay,
+    instance_boost_expected_delay,
+    unboosted_expected_delay,
+)
+from repro.core.metrics import MetricKind, compute_metric, equation1_metric
+from repro.core.oracle import StaticPlan, best_static_allocation, predict_mean_latency
+from repro.core.pegasus import PegasusController
+from repro.core.recycling import PlannedDrop, PowerRecycler, RecyclePlan
+from repro.core.withdraw import InstanceWithdrawer, WithdrawCandidate
+
+__all__ = [
+    "ActionRecord",
+    "FrequencyChangeAction",
+    "InstanceLaunchAction",
+    "InstanceWithdrawAction",
+    "SkipAction",
+    "FreqBoostController",
+    "InstBoostController",
+    "StaticController",
+    "BoostingDecision",
+    "BoostingDecisionEngine",
+    "BoostKind",
+    "BottleneckIdentifier",
+    "RankedInstance",
+    "PowerChiefConserveController",
+    "BaseController",
+    "ControllerConfig",
+    "PowerChiefController",
+    "frequency_boost_expected_delay",
+    "instance_boost_expected_delay",
+    "unboosted_expected_delay",
+    "MetricKind",
+    "compute_metric",
+    "equation1_metric",
+    "StaticPlan",
+    "best_static_allocation",
+    "predict_mean_latency",
+    "PegasusController",
+    "PlannedDrop",
+    "PowerRecycler",
+    "RecyclePlan",
+    "InstanceWithdrawer",
+    "WithdrawCandidate",
+]

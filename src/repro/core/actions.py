@@ -1,0 +1,67 @@
+"""Action records emitted by controllers.
+
+Every decision a controller applies — DVFS level changes, instance
+launches, withdrawals, skipped intervals — is logged as a typed record.
+The Figure-11 runtime-behaviour experiment and the tests reconstruct the
+controller's story from this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ActionRecord",
+    "FrequencyChangeAction",
+    "InstanceLaunchAction",
+    "InstanceWithdrawAction",
+    "SkipAction",
+]
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """Base record: when the action happened and which controller did it."""
+
+    time: float
+    controller: str
+
+
+@dataclass(frozen=True)
+class FrequencyChangeAction(ActionRecord):
+    """A DVFS retune of one instance's core.
+
+    ``reason`` distinguishes boosts from recycling from QoS conservation.
+    """
+
+    instance_name: str
+    stage_name: str
+    from_level: int
+    to_level: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class InstanceLaunchAction(ActionRecord):
+    """A new instance launched into a stage (instance boosting)."""
+
+    instance_name: str
+    stage_name: str
+    level: int
+    stolen_jobs: int
+
+
+@dataclass(frozen=True)
+class InstanceWithdrawAction(ActionRecord):
+    """An underutilized instance withdrawn and its power recycled."""
+
+    instance_name: str
+    stage_name: str
+    redirected_jobs: int
+
+
+@dataclass(frozen=True)
+class SkipAction(ActionRecord):
+    """An interval where the controller deliberately did nothing."""
+
+    reason: str

@@ -1,0 +1,125 @@
+"""Baseline policies the paper compares against (Sections 7.1, 8.1, 8.2).
+
+* :class:`StaticController` — the *stage-agnostic power allocation*
+  baseline: "divides the power budget equally across stages", one instance
+  per stage at the mid-ladder frequency, never adjusted.
+* :class:`FreqBoostController` — "frequency boosting consistently
+  increases the frequency of the service instance that is identified as
+  bottleneck service".
+* :class:`InstBoostController` — "instance boosting always launches a new
+  instance to accelerate the bottleneck service by sharing its load.  The
+  new instance takes the same frequency as the bottleneck service."
+
+Both single-technique baselines reuse PowerChief's bottleneck
+identification and power reallocation *without instance withdraw*, exactly
+as Section 8.2 sets up the comparison — which is what produces the
+Figure-11(b) lock-in, where every core ends at the ladder floor and no
+further clone can be funded.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import BaseController
+
+__all__ = ["StaticController", "FreqBoostController", "InstBoostController"]
+
+_EPSILON_WATTS = 1e-9
+
+
+class StaticController(BaseController):
+    """Stage-agnostic equal power split; takes no runtime action."""
+
+    name = "static"
+
+    def adjust(self, now: float) -> None:
+        self._skip("static allocation never adjusts")
+
+
+class FreqBoostController(BaseController):
+    """Always frequency-boost the bottleneck service.
+
+    Per boosting interval the bottleneck is raised to the level that one
+    instance's worth of extra power buys (the same ``calNewFreq``
+    equivalence PowerChief's decision engine uses, Section 5.2), recycling
+    exactly the required watts from the fastest instances.  The
+    power-equivalence cap is what produces the measured step behaviour of
+    Figure 11(a) — e.g. 1.8 GHz -> 2.3 GHz in the first interval with the
+    victims dropped to 1.2 GHz and 1.6 GHz — instead of a pathological
+    jump straight to the ladder top that would starve every other stage
+    under the cubic power model.
+    """
+
+    name = "freq-boost"
+
+    def adjust(self, now: float) -> None:
+        ranked = self.identifier.ranked(self.application)
+        if len(ranked) >= 2:
+            spread = ranked[-1].metric - ranked[0].metric
+            if spread < self.config.balance_threshold_s:
+                self._skip(
+                    f"metric spread {spread:.4f}s below balance threshold"
+                )
+                return
+        bottleneck = ranked[-1].instance
+        victims = [entry.instance for entry in ranked[:-1]]
+        ladder = self.budget.machine.ladder
+        model = self.budget.machine.power_model
+        if bottleneck.level >= ladder.max_level:
+            self._skip(f"bottleneck {bottleneck.name} already at max frequency")
+            return
+        # One instance's worth of power is the boost allowance.
+        current_power = model.power_of_level(ladder, bottleneck.level)
+        allowance = current_power
+        plan = self.recycler.plan(
+            max(0.0, allowance - self.budget.available()), victims
+        )
+        fundable = self.budget.available() + plan.recycled_watts
+        target = model.max_level_within(
+            ladder, current_power + min(fundable, allowance)
+        )
+        if target is None or target <= bottleneck.level:
+            self._skip("no higher frequency level affordable")
+            return
+        exact_need = model.power_of_level(ladder, target) - current_power
+        exact_plan = self.recycler.plan(
+            max(0.0, exact_need - self.budget.available()), victims
+        )
+        self.apply_recycle_plan(exact_plan)
+        self.set_instance_level(bottleneck, target, reason="boost")
+
+
+class InstBoostController(BaseController):
+    """Always clone the bottleneck if the clone's power can be funded."""
+
+    name = "inst-boost"
+
+    def adjust(self, now: float) -> None:
+        ranked = self.identifier.ranked(self.application)
+        if len(ranked) >= 2:
+            spread = ranked[-1].metric - ranked[0].metric
+            if spread < self.config.balance_threshold_s:
+                self._skip(
+                    f"metric spread {spread:.4f}s below balance threshold"
+                )
+                return
+        bottleneck = ranked[-1].instance
+        victims = [entry.instance for entry in ranked[:-1]]
+        model = self.budget.machine.power_model
+        ladder = self.budget.machine.ladder
+        clone_cost = model.power_of_level(ladder, bottleneck.level)
+        plan = self.recycler.plan(
+            max(0.0, clone_cost - self.budget.available()), victims
+        )
+        fundable = self.budget.available() + plan.recycled_watts
+        if fundable + _EPSILON_WATTS < clone_cost:
+            # The Figure-11(b) lock-in: everyone at the floor, no clone fits.
+            self._skip(
+                f"cannot fund a clone at level {bottleneck.level} "
+                f"({fundable:.2f} W < {clone_cost:.2f} W)"
+            )
+            return
+        if self.budget.machine.free_core_count() == 0:
+            self._skip("no free core for a clone")
+            return
+        self.apply_recycle_plan(plan)
+        self.launch_clone(bottleneck)

@@ -1,0 +1,76 @@
+"""Bottleneck service identification (Section 4).
+
+The :class:`BottleneckIdentifier` ranks every running instance by its
+latency metric.  "The one with the largest latency metric is identified
+as the bottleneck instance" (Section 4.2); the sorted list doubles as the
+power-recycling victim order (Section 6.1: "power recycling starts from
+the fastest service instance within the list").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+from repro.core.metrics import MetricKind, compute_metric
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.instance import ServiceInstance
+
+__all__ = ["RankedInstance", "BottleneckIdentifier"]
+
+
+@dataclass(frozen=True)
+class RankedInstance:
+    """An instance paired with its evaluated latency metric."""
+
+    instance: ServiceInstance
+    metric: float
+
+
+class BottleneckIdentifier:
+    """Ranks instances fast-to-slow by a configurable latency metric."""
+
+    def __init__(
+        self,
+        command_center: CommandCenter,
+        metric_kind: MetricKind = MetricKind.POWERCHIEF,
+    ) -> None:
+        self.command_center = command_center
+        self.metric_kind = metric_kind
+
+    def metric_of(self, instance: ServiceInstance) -> float:
+        """The latency metric of one instance at the current time."""
+        return compute_metric(self.command_center, instance, self.metric_kind)
+
+    def ranked(self, application: Application) -> list[RankedInstance]:
+        """All running instances sorted fast (smallest metric) to slow.
+
+        Ties break on instance id so the ordering — and therefore the
+        recycling victim order — is deterministic.
+        """
+        instances = application.running_instances()
+        if not instances:
+            raise ServiceError(
+                f"application {application.name} has no running instances"
+            )
+        entries = [
+            RankedInstance(instance, self.metric_of(instance))
+            for instance in instances
+        ]
+        entries.sort(key=lambda entry: (entry.metric, entry.instance.iid))
+        return entries
+
+    def bottleneck(self, application: Application) -> RankedInstance:
+        """The instance with the largest latency metric."""
+        return self.ranked(application)[-1]
+
+    def spread(self, application: Application) -> float:
+        """Metric difference between the slowest and fastest instances.
+
+        Compared against the *balance threshold* (Table 2): when the
+        spread is below it the controller skips the interval to avoid
+        power-reallocation oscillation (Section 8.1).
+        """
+        entries = self.ranked(application)
+        return entries[-1].metric - entries[0].metric

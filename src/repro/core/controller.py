@@ -1,0 +1,287 @@
+"""Runtime controllers: the command-center control loop.
+
+:class:`BaseController` owns the periodic adjust loop, the action log and
+the primitive operations every policy composes — applying a recycle plan,
+retuning a core, launching a clone with work stealing, withdrawing an
+instance.  After every tick the power-budget invariant is asserted: a
+controller that overspends is a bug, not a runtime condition.
+
+:class:`PowerChiefController` is the paper's full runtime (Sections 4-6):
+balance-threshold gate, Equation-1 bottleneck identification, Algorithm-1
+adaptive boosting with Algorithm-2 recycling, and the 150 s instance
+withdraw loop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.cluster.budget import PowerBudget
+from repro.cluster.dvfs import DvfsActuator
+from repro.core.actions import (
+    ActionRecord,
+    FrequencyChangeAction,
+    InstanceLaunchAction,
+    InstanceWithdrawAction,
+    SkipAction,
+)
+from repro.core.boosting import BoostingDecision, BoostingDecisionEngine, BoostKind
+from repro.core.bottleneck import BottleneckIdentifier
+from repro.core.metrics import MetricKind
+from repro.core.recycling import PowerRecycler, RecyclePlan
+from repro.core.withdraw import InstanceWithdrawer
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.instance import ServiceInstance
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["ControllerConfig", "BaseController", "PowerChiefController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Knobs shared by the latency-mitigation controllers (Table 2).
+
+    Defaults are the paper's experiment configuration: 25 s adjust
+    interval, 1 s balance threshold, 150 s withdraw interval.
+    """
+
+    adjust_interval_s: float = 25.0
+    balance_threshold_s: float = 1.0
+    withdraw_interval_s: float = 150.0
+    metric_kind: MetricKind = MetricKind.POWERCHIEF
+    min_queue_for_instance: int = 2
+    withdraw_utilization: float = 0.2
+    enable_withdraw: bool = True
+
+    def __post_init__(self) -> None:
+        if self.adjust_interval_s <= 0.0:
+            raise ConfigurationError(
+                f"adjust interval must be > 0, got {self.adjust_interval_s}"
+            )
+        if self.balance_threshold_s < 0.0:
+            raise ConfigurationError(
+                f"balance threshold must be >= 0, got {self.balance_threshold_s}"
+            )
+        if self.withdraw_interval_s <= 0.0:
+            raise ConfigurationError(
+                f"withdraw interval must be > 0, got {self.withdraw_interval_s}"
+            )
+
+
+class BaseController(ABC):
+    """Shared machinery for every runtime policy."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        application: Application,
+        command_center: CommandCenter,
+        budget: PowerBudget,
+        dvfs: DvfsActuator,
+        config: Optional[ControllerConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.application = application
+        self.command_center = command_center
+        self.budget = budget
+        self.dvfs = dvfs
+        self.config = config if config is not None else ControllerConfig()
+        self.identifier = BottleneckIdentifier(
+            command_center, self.config.metric_kind
+        )
+        self.recycler = PowerRecycler(
+            budget.machine.power_model, budget.machine.ladder
+        )
+        self.actions: list[ActionRecord] = []
+        self._process = PeriodicProcess(
+            sim,
+            self.config.adjust_interval_s,
+            self._tick,
+            name=f"{self.name}-controller",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic adjust loop."""
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    @property
+    def ticks(self) -> int:
+        return self._process.ticks
+
+    def _tick(self, now: float) -> None:
+        self.adjust(now)
+        self.budget.assert_within()
+
+    @abstractmethod
+    def adjust(self, now: float) -> None:
+        """One control interval; implemented by each policy."""
+
+    # ------------------------------------------------------------------
+    # Primitive operations (all logged)
+    # ------------------------------------------------------------------
+    def _log(self, record: ActionRecord) -> None:
+        self.actions.append(record)
+
+    def _skip(self, reason: str) -> None:
+        self._log(SkipAction(time=self.sim.now, controller=self.name, reason=reason))
+
+    def apply_recycle_plan(self, plan: RecyclePlan) -> None:
+        """Execute every planned frequency drop."""
+        for drop in plan.drops:
+            self.dvfs.set_level(drop.instance.core, drop.to_level)
+            self._log(
+                FrequencyChangeAction(
+                    time=self.sim.now,
+                    controller=self.name,
+                    instance_name=drop.instance.name,
+                    stage_name=drop.instance.stage_name,
+                    from_level=drop.from_level,
+                    to_level=drop.to_level,
+                    reason="recycle",
+                )
+            )
+
+    def set_instance_level(
+        self, instance: ServiceInstance, level: int, reason: str
+    ) -> None:
+        """Retune one instance's core, logging the change."""
+        old = instance.level
+        if level == old:
+            return
+        self.dvfs.set_level(instance.core, level)
+        self._log(
+            FrequencyChangeAction(
+                time=self.sim.now,
+                controller=self.name,
+                instance_name=instance.name,
+                stage_name=instance.stage_name,
+                from_level=old,
+                to_level=level,
+                reason=reason,
+            )
+        )
+
+    def launch_clone(self, bottleneck: ServiceInstance) -> ServiceInstance:
+        """Instance boosting: clone the bottleneck and steal half its queue.
+
+        "The new instance clones the frequency setting of the bottleneck
+        instance as well as shares half of its load." (Section 5.1)
+        """
+        stage = self.application.stage(bottleneck.stage_name)
+        clone = stage.launch_instance(bottleneck.level)
+        stolen = bottleneck.steal_half()
+        for job in stolen:
+            clone.enqueue(job)
+        self._log(
+            InstanceLaunchAction(
+                time=self.sim.now,
+                controller=self.name,
+                instance_name=clone.name,
+                stage_name=stage.name,
+                level=clone.level,
+                stolen_jobs=len(stolen),
+            )
+        )
+        return clone
+
+    def apply_boosting_decision(self, decision: BoostingDecision) -> None:
+        """Recycle then boost, per the engine's verdict.
+
+        An INSTANCE decision with a ``target_level`` is a de-boost clone:
+        the bottleneck is first lowered to that level (freeing its power
+        surplus) and the clone launched at it.
+        """
+        if decision.kind is BoostKind.NONE:
+            self._skip(decision.reason or "no actionable boost")
+            return
+        if (
+            decision.kind is BoostKind.INSTANCE
+            and decision.target_level is not None
+        ):
+            self.set_instance_level(
+                decision.bottleneck, decision.target_level, reason="deboost"
+            )
+        self.apply_recycle_plan(decision.recycle_plan)
+        if decision.kind is BoostKind.FREQUENCY:
+            assert decision.target_level is not None
+            self.set_instance_level(
+                decision.bottleneck, decision.target_level, reason="boost"
+            )
+        else:
+            self.launch_clone(decision.bottleneck)
+
+
+class PowerChiefController(BaseController):
+    """The full PowerChief runtime (bottleneck id + adaptive boost + withdraw)."""
+
+    name = "powerchief"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        application: Application,
+        command_center: CommandCenter,
+        budget: PowerBudget,
+        dvfs: DvfsActuator,
+        config: Optional[ControllerConfig] = None,
+    ) -> None:
+        super().__init__(sim, application, command_center, budget, dvfs, config)
+        self.engine = BoostingDecisionEngine(
+            command_center,
+            budget,
+            budget.machine,
+            self.recycler,
+            min_queue_for_instance=self.config.min_queue_for_instance,
+        )
+        self.withdrawer = InstanceWithdrawer(
+            self.identifier,
+            utilization_threshold=self.config.withdraw_utilization,
+        )
+        self._last_withdraw_check = 0.0
+        self.decisions: list[BoostingDecision] = []
+
+    def adjust(self, now: float) -> None:
+        self.withdrawer.observe(self.application, now)
+        if (
+            self.config.enable_withdraw
+            and now - self._last_withdraw_check >= self.config.withdraw_interval_s
+        ):
+            self._last_withdraw_check = now
+            for candidate in self.withdrawer.run(self.application, now):
+                self._log(
+                    InstanceWithdrawAction(
+                        time=now,
+                        controller=self.name,
+                        instance_name=candidate.instance.name,
+                        stage_name=candidate.instance.stage_name,
+                        redirected_jobs=candidate.redirected_jobs,
+                    )
+                )
+
+        ranked = self.identifier.ranked(self.application)
+        if len(ranked) >= 2:
+            spread = ranked[-1].metric - ranked[0].metric
+            if spread < self.config.balance_threshold_s:
+                self._skip(
+                    f"metric spread {spread:.4f}s below balance threshold "
+                    f"{self.config.balance_threshold_s}s"
+                )
+                return
+        bottleneck = ranked[-1].instance
+        victims = [entry.instance for entry in ranked[:-1]]
+        decision = self.engine.select(bottleneck, victims)
+        self.decisions.append(decision)
+        self.apply_boosting_decision(decision)

@@ -1,0 +1,74 @@
+"""Expected-delay estimators for the boosting decision engine (Section 5).
+
+Both estimators predict the *expected delay* of the bottleneck instance —
+the time until the last query currently in its queue completes — under a
+candidate boosting technique, without applying it:
+
+* **Instance boosting** (Equation 2): a clone takes half the queued
+  queries, so the queuing term halves while serving speed is unchanged::
+
+      T_inst = (L - 1) * (q + s) / 2 + s
+
+* **Frequency boosting** (Equation 3): raising the core from ``f_l`` to
+  ``f_h`` scales both queuing and serving by the offline-profiled
+  execution-time ratio ``alpha_lh``::
+
+      T_freq = alpha_lh * ((L - 1) * (q + s) + s)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "unboosted_expected_delay",
+    "instance_boost_expected_delay",
+    "frequency_boost_expected_delay",
+]
+
+
+def _validate(queue_length: int, avg_queuing: float, avg_serving: float) -> None:
+    if queue_length < 1:
+        raise ValueError(
+            f"expected delay is defined for queue length >= 1, got {queue_length}"
+        )
+    if avg_queuing < 0.0:
+        raise ValueError(f"avg queuing must be >= 0, got {avg_queuing}")
+    if avg_serving < 0.0:
+        raise ValueError(f"avg serving must be >= 0, got {avg_serving}")
+
+
+def unboosted_expected_delay(
+    queue_length: int, avg_queuing: float, avg_serving: float
+) -> float:
+    """Delay until the last queued query finishes with no boosting.
+
+    ``(L - 1) * (q + s) + s`` — the baseline both techniques are compared
+    against (Section 5.1).
+    """
+    _validate(queue_length, avg_queuing, avg_serving)
+    return (queue_length - 1) * (avg_queuing + avg_serving) + avg_serving
+
+
+def instance_boost_expected_delay(
+    queue_length: int, avg_queuing: float, avg_serving: float
+) -> float:
+    """Equation 2: expected delay after cloning the bottleneck instance."""
+    _validate(queue_length, avg_queuing, avg_serving)
+    return (queue_length - 1) * (avg_queuing + avg_serving) / 2.0 + avg_serving
+
+
+def frequency_boost_expected_delay(
+    alpha_lh: float, queue_length: int, avg_queuing: float, avg_serving: float
+) -> float:
+    """Equation 3: expected delay after boosting ``f_l`` to ``f_h``.
+
+    ``alpha_lh`` is the execution-time ratio ``r_h / r_l`` from offline
+    profiling (< 1 for a genuine boost; 1 when no higher level exists).
+    """
+    if not 0.0 < alpha_lh <= 1.0 + 1e-9:
+        raise ValueError(
+            f"alpha must be in (0, 1] for a boost to a >= frequency, got {alpha_lh}"
+        )
+    _validate(queue_length, avg_queuing, avg_serving)
+    return alpha_lh * unboosted_expected_delay(
+        queue_length, avg_queuing, avg_serving
+    )

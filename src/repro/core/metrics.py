@@ -1,0 +1,76 @@
+"""Latency metrics for bottleneck identification.
+
+Table 1 of the paper lists the candidate metrics (average / 99th
+queuing, serving and processing delay).  Their shared weakness is that
+"they only present the historical processing ability of the service
+instance without considering its current load" (Section 4.2), so
+PowerChief combines history with the realtime queue length:
+
+    ``LatencyMetric = L_i * q_i + s_i``                      (Equation 1)
+
+the delay an incoming query should expect, since the instance must work
+through its queue first.  All metric kinds are implemented so the
+ablation benchmark can compare Equation 1 against the plain Table-1
+metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.service.command_center import CommandCenter
+from repro.service.instance import ServiceInstance
+
+__all__ = ["MetricKind", "equation1_metric", "compute_metric"]
+
+
+class MetricKind(enum.Enum):
+    """Which latency metric drives bottleneck identification."""
+
+    AVG_QUEUING = "avg_queuing"
+    AVG_SERVING = "avg_serving"
+    AVG_PROCESSING = "avg_processing"
+    P99_QUEUING = "p99_queuing"
+    P99_SERVING = "p99_serving"
+    P99_PROCESSING = "p99_processing"
+    POWERCHIEF = "powerchief"
+
+
+def equation1_metric(queue_length: int, avg_queuing: float, avg_serving: float) -> float:
+    """Equation 1: expected delay ``L * q + s`` for an incoming query."""
+    if queue_length < 0:
+        raise ValueError(f"queue length must be >= 0, got {queue_length}")
+    if avg_queuing < 0.0 or avg_serving < 0.0:
+        raise ValueError("latency statistics must be >= 0")
+    return queue_length * avg_queuing + avg_serving
+
+
+def compute_metric(
+    command_center: CommandCenter,
+    instance: ServiceInstance,
+    kind: MetricKind = MetricKind.POWERCHIEF,
+) -> float:
+    """Evaluate a latency metric for one instance from windowed statistics."""
+    if kind is MetricKind.POWERCHIEF:
+        return equation1_metric(
+            instance.queue_length,
+            command_center.avg_queuing(instance),
+            command_center.avg_serving(instance),
+        )
+    if kind is MetricKind.AVG_QUEUING:
+        return command_center.avg_queuing(instance)
+    if kind is MetricKind.AVG_SERVING:
+        return command_center.avg_serving(instance)
+    if kind is MetricKind.AVG_PROCESSING:
+        return command_center.avg_queuing(instance) + command_center.avg_serving(
+            instance
+        )
+    if kind is MetricKind.P99_QUEUING:
+        return command_center.p99_queuing(instance)
+    if kind is MetricKind.P99_SERVING:
+        return command_center.p99_serving(instance)
+    if kind is MetricKind.P99_PROCESSING:
+        return command_center.p99_queuing(instance) + command_center.p99_serving(
+            instance
+        )
+    raise ValueError(f"unknown metric kind: {kind!r}")

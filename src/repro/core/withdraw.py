@@ -1,0 +1,141 @@
+"""Instance withdraw (Section 6.2).
+
+"PowerChief monitors the latency statistics of each service instance
+during runtime, it then calculates how much time each instance actually
+spends on processing queries during the withdraw interval.  If the
+processing time is less than 20% of the withdraw interval, the service
+instance is considered underutilized and being withdrew to recycle the
+power budget."
+
+Rules implemented exactly as the paper states them:
+
+* utilisation is busy time over the *elapsed interval since the last
+  check*, threshold 20 %;
+* at most one instance is withdrawn per stage per reallocation interval;
+* a stage's last instance is never withdrawn;
+* the withdrawn instance's waiting load is redirected to the fastest
+  (smallest latency metric) surviving instance of the stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bottleneck import BottleneckIdentifier
+from repro.service.application import Application
+from repro.service.instance import ServiceInstance
+
+__all__ = ["WithdrawCandidate", "InstanceWithdrawer"]
+
+
+@dataclass(frozen=True)
+class WithdrawCandidate:
+    """An instance judged underutilized, with its measured utilisation."""
+
+    instance: ServiceInstance
+    utilization: float
+    redirected_jobs: int
+
+
+class InstanceWithdrawer:
+    """Applies the 20 %-utilisation withdraw rule across stages."""
+
+    def __init__(
+        self,
+        identifier: BottleneckIdentifier,
+        utilization_threshold: float = 0.2,
+    ) -> None:
+        if not 0.0 < utilization_threshold < 1.0:
+            raise ValueError(
+                f"utilization threshold must be in (0, 1), got {utilization_threshold}"
+            )
+        self.identifier = identifier
+        self.utilization_threshold = float(utilization_threshold)
+        # instance name -> (checkpoint time, busy seconds at checkpoint)
+        self._checkpoints: dict[str, tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, application: Application, now: float) -> None:
+        """Checkpoint newly seen instances so their first interval is fair.
+
+        Called every controller tick; an instance launched mid-interval is
+        measured only from its first observation, never judged on time it
+        did not exist.
+        """
+        for instance in application.running_instances():
+            if instance.name not in self._checkpoints:
+                self._checkpoints[instance.name] = (now, instance.busy_seconds())
+
+    def utilization_of(self, instance: ServiceInstance, now: float) -> float:
+        """Busy fraction since the instance's last checkpoint (1.0 if unknown).
+
+        Unknown instances report full utilisation so they are never
+        withdrawn before a complete measurement interval.
+        """
+        checkpoint = self._checkpoints.get(instance.name)
+        if checkpoint is None:
+            return 1.0
+        check_time, busy_at_check = checkpoint
+        elapsed = now - check_time
+        if elapsed <= 0.0:
+            return 1.0
+        busy = instance.busy_seconds() - busy_at_check
+        return max(0.0, min(1.0, busy / elapsed))
+
+    def checkpoint_all(self, application: Application, now: float) -> None:
+        """Restart the measurement interval for every running instance.
+
+        The QoS-mode conserving controller uses per-tick utilisation, so
+        it re-checkpoints after each decision instead of only after a
+        withdraw pass.
+        """
+        for instance in application.running_instances():
+            self._checkpoints[instance.name] = (now, instance.busy_seconds())
+
+    # ------------------------------------------------------------------
+    def run(self, application: Application, now: float) -> list[WithdrawCandidate]:
+        """One withdraw pass: per stage, withdraw at most one idle instance.
+
+        Returns the candidates actually withdrawn.  All surviving
+        instances are re-checkpointed so the next pass measures a fresh
+        interval.
+        """
+        self.observe(application, now)
+        withdrawn: list[WithdrawCandidate] = []
+        for stage in application.stages:
+            running = stage.running_instances()
+            if len(running) < 2:
+                continue
+            measured = [
+                (self.utilization_of(instance, now), instance)
+                for instance in running
+            ]
+            idle = [
+                (utilization, instance)
+                for utilization, instance in measured
+                if utilization < self.utilization_threshold
+            ]
+            if not idle:
+                continue
+            # Withdraw the most idle instance; ties break on instance id.
+            idle.sort(key=lambda item: (item[0], item[1].iid))
+            utilization, victim = idle[0]
+            survivors = [inst for inst in running if inst is not victim]
+            fastest = min(
+                survivors,
+                key=lambda inst: (self.identifier.metric_of(inst), inst.iid),
+            )
+            redirected = victim.waiting_count
+            stage.withdraw_instance(victim, redirect_to=fastest)
+            self._checkpoints.pop(victim.name, None)
+            withdrawn.append(
+                WithdrawCandidate(
+                    instance=victim,
+                    utilization=utilization,
+                    redirected_jobs=redirected,
+                )
+            )
+        # Fresh measurement interval for every surviving instance.
+        for instance in application.running_instances():
+            self._checkpoints[instance.name] = (now, instance.busy_seconds())
+        return withdrawn

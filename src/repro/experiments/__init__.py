@@ -1,0 +1,50 @@
+"""Experiment harness: configurations, runners and per-figure drivers."""
+
+from repro.experiments.config import (
+    TABLE2_CONTROLLER_CONFIG,
+    TABLE2_INITIAL_FREQ_GHZ,
+    TABLE2_POWER_BUDGET_WATTS,
+    TABLE3_SIRIUS,
+    TABLE3_WEBSEARCH,
+    Table3Setup,
+)
+from repro.experiments.report import format_heading, format_table
+from repro.experiments.runner import (
+    LATENCY_POLICIES,
+    QOS_POLICIES,
+    QosRunResult,
+    RunResult,
+    StageAllocation,
+    run_latency_experiment,
+    run_qos_experiment,
+)
+from repro.experiments.sampling import (
+    QosSample,
+    QosSampler,
+    StageSnapshot,
+    StateSample,
+    StateSampler,
+)
+
+__all__ = [
+    "TABLE2_CONTROLLER_CONFIG",
+    "TABLE2_INITIAL_FREQ_GHZ",
+    "TABLE2_POWER_BUDGET_WATTS",
+    "TABLE3_SIRIUS",
+    "TABLE3_WEBSEARCH",
+    "Table3Setup",
+    "format_heading",
+    "format_table",
+    "LATENCY_POLICIES",
+    "QOS_POLICIES",
+    "QosRunResult",
+    "RunResult",
+    "StageAllocation",
+    "run_latency_experiment",
+    "run_qos_experiment",
+    "QosSample",
+    "QosSampler",
+    "StageSnapshot",
+    "StateSample",
+    "StateSampler",
+]

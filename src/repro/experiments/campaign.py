@@ -1,0 +1,85 @@
+"""Full evaluation campaigns: every figure and table in one run.
+
+``run_campaign`` regenerates the complete evaluation section — Figures
+2-14 and Tables 1/4 — renders each as text, and optionally archives the
+renders plus a combined Markdown report to a directory.  This is what
+``python -m repro campaign`` drives; the per-figure shape assertions live
+in the benchmark suite, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Optional
+
+from repro.errors import ExperimentError
+
+__all__ = ["CampaignResult", "default_registry", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """Rendered artefacts of one campaign run."""
+
+    renders: dict[str, str] = field(default_factory=dict)
+    output_dir: Optional[Path] = None
+
+    @property
+    def artefacts(self) -> list[str]:
+        return sorted(self.renders)
+
+    def render(self, name: str) -> str:
+        try:
+            return self.renders[name]
+        except KeyError:
+            raise ExperimentError(f"campaign has no artefact {name!r}") from None
+
+    def combined_report(self) -> str:
+        """All renders concatenated into one Markdown document."""
+        sections = ["# PowerChief reproduction — evaluation campaign\n"]
+        for name in self.artefacts:
+            sections.append(f"## {name}\n\n```\n{self.renders[name]}\n```\n")
+        return "\n".join(sections)
+
+
+def default_registry() -> dict[str, Callable[[], str]]:
+    """The full evaluation: every figure/table keyed by artefact id."""
+    from repro.experiments import figures as fig
+
+    return {
+        "fig02": lambda: fig.render_fig02(fig.run_fig02()),
+        "fig04": lambda: fig.render_fig04(fig.run_fig04()),
+        "fig10": lambda: fig.render_improvement_figure(fig.run_fig10()),
+        "fig11": lambda: fig.render_fig11(fig.run_fig11()),
+        "fig12": lambda: fig.render_fig12(fig.run_fig12()),
+        "fig13": lambda: fig.render_fig13(fig.run_fig13()),
+        "fig14": lambda: fig.render_fig14(fig.run_fig14()),
+        "table1": fig.render_table1,
+        "table4": fig.render_table4,
+    }
+
+
+def run_campaign(
+    output_dir: Optional[str | Path] = None,
+    registry: Optional[Mapping[str, Callable[[], str]]] = None,
+) -> CampaignResult:
+    """Run every registered artefact; optionally archive the renders.
+
+    When ``output_dir`` is given, each artefact is written as
+    ``<name>.txt`` alongside a combined ``report.md``.
+    """
+    chosen = dict(registry) if registry is not None else default_registry()
+    if not chosen:
+        raise ExperimentError("campaign registry is empty")
+    result = CampaignResult()
+    for name in sorted(chosen):
+        result.renders[name] = chosen[name]()
+    if output_dir is not None:
+        target = Path(output_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        for name, text in result.renders.items():
+            (target / f"{name}.txt").write_text(text + "\n")
+        (target / "report.md").write_text(result.combined_report())
+        result.output_dir = target
+    return result

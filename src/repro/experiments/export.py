@@ -1,0 +1,68 @@
+"""Result export: experiment results as plain dicts / JSON files.
+
+Experiment campaigns are cheap to re-run but their outputs should be
+archivable and diffable; these helpers flatten the result dataclasses
+(including action logs and timeline samples) into JSON-serialisable
+structures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.runner import QosRunResult, RunResult
+
+__all__ = ["run_result_to_dict", "qos_result_to_dict", "write_json"]
+
+
+def _action_to_dict(action: Any) -> dict[str, Any]:
+    payload = dataclasses.asdict(action)
+    payload["type"] = type(action).__name__
+    return payload
+
+
+def run_result_to_dict(result: RunResult) -> dict[str, Any]:
+    """A latency-mitigation run as a JSON-serialisable dict."""
+    return {
+        "app": result.app,
+        "policy": result.policy,
+        "duration_s": result.duration_s,
+        "queries_submitted": result.queries_submitted,
+        "queries_completed": result.queries_completed,
+        "latency": dataclasses.asdict(result.latency),
+        "average_power_watts": result.average_power_watts,
+        "actions": [_action_to_dict(action) for action in result.actions],
+        "state_samples": [
+            dataclasses.asdict(sample) for sample in result.state_samples
+        ],
+    }
+
+
+def qos_result_to_dict(result: QosRunResult) -> dict[str, Any]:
+    """A QoS-mode run as a JSON-serialisable dict."""
+    return {
+        "app": result.app,
+        "policy": result.policy,
+        "duration_s": result.duration_s,
+        "qos_target_s": result.qos_target_s,
+        "reference_power_watts": result.reference_power_watts,
+        "queries_submitted": result.queries_submitted,
+        "queries_completed": result.queries_completed,
+        "latency": dataclasses.asdict(result.latency),
+        "average_power_fraction": result.average_power_fraction,
+        "power_saving_fraction": result.power_saving_fraction,
+        "violation_fraction": result.violation_fraction,
+        "actions": [_action_to_dict(action) for action in result.actions],
+        "qos_samples": [dataclasses.asdict(sample) for sample in result.qos_samples],
+    }
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Write a payload as pretty-printed JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

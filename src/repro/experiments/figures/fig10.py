@@ -1,0 +1,109 @@
+"""Figure 10: Sirius latency improvement across policies and load levels.
+
+"Compared to other boosting techniques, it is clear that PowerChief
+achieves the most latency reduction under all loads" — frequency
+boosting, instance boosting and PowerChief, each against the
+stage-agnostic baseline, at the paper's three load levels.  The
+across-load averages are the paper's Section 8.2 headline numbers
+(20.3x average, 13.3x tail on their testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.figures.common import (
+    DEFAULT_SEEDS,
+    ImprovementCell,
+    improvement_grid,
+)
+from repro.experiments.report import format_heading, format_table
+from repro.workloads.sirius import sirius_load_levels
+
+__all__ = ["ImprovementFigureResult", "run_fig10", "render_improvement_figure"]
+
+POLICIES = ("freq-boost", "inst-boost", "powerchief")
+LOADS = ("low", "medium", "high")
+
+
+@dataclass(frozen=True)
+class ImprovementFigureResult:
+    """Shared result shape for Figures 10 and 12."""
+
+    app: str
+    figure: str
+    cells: tuple[ImprovementCell, ...]
+
+    def cell(self, policy: str, load: str) -> ImprovementCell:
+        for candidate in self.cells:
+            if candidate.policy == policy and candidate.load == load:
+                return candidate
+        raise ExperimentError(f"no cell for {policy}@{load}")
+
+    def average_improvement(self, policy: str) -> tuple[float, float]:
+        """(avg, p99) improvement of a policy averaged across load levels."""
+        cells = [cell for cell in self.cells if cell.policy == policy]
+        if not cells:
+            raise ExperimentError(f"no cells for policy {policy!r}")
+        avg = sum(cell.avg_improvement for cell in cells) / len(cells)
+        p99 = sum(cell.p99_improvement for cell in cells) / len(cells)
+        return avg, p99
+
+
+def run_fig10(
+    duration_s: float = 600.0,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ImprovementFigureResult:
+    """Run the full Figure-10 grid for Sirius."""
+    levels = sirius_load_levels()
+    cells = improvement_grid(
+        app="sirius",
+        loads={
+            "low": levels.low_qps,
+            "medium": levels.medium_qps,
+            "high": levels.high_qps,
+        },
+        policies=POLICIES,
+        duration_s=duration_s,
+        seeds=seeds,
+    )
+    return ImprovementFigureResult(
+        app="sirius", figure="Figure 10", cells=tuple(cells)
+    )
+
+
+def render_improvement_figure(result: ImprovementFigureResult) -> str:
+    """ASCII rendering shared by Figures 10 and 12."""
+    sections = [
+        format_heading(
+            f"{result.figure}: latency improvement for {result.app} "
+            f"(vs stage-agnostic baseline)"
+        )
+    ]
+    for load in LOADS:
+        rows = []
+        for policy in POLICIES:
+            cell = result.cell(policy, load)
+            rows.append(
+                (
+                    policy,
+                    f"{cell.avg_improvement:.2f}x",
+                    f"{cell.p99_improvement:.2f}x",
+                    f"{cell.mean_latency_s:.3f}s",
+                )
+            )
+        sections.append(f"({load} load)")
+        sections.append(
+            format_table(
+                ["policy", "avg latency", "99th latency", "mean latency"], rows
+            )
+        )
+    rows = []
+    for policy in POLICIES:
+        avg, p99 = result.average_improvement(policy)
+        rows.append((policy, f"{avg:.2f}x", f"{p99:.2f}x"))
+    sections.append("(across-load averages — the paper's headline numbers)")
+    sections.append(format_table(["policy", "avg latency", "99th latency"], rows))
+    return "\n".join(sections)

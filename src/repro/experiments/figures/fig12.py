@@ -1,0 +1,47 @@
+"""Figure 12: NLP latency improvement across policies and load levels.
+
+The NLP (Senna) analog of Figure 10: "PowerChief achieves the most
+average and 99% latency reduction in all cases" — with the paper's
+Section 8.3 headline of 32.4x average / 19.4x tail on their testbed.  At
+low load PowerChief tracks frequency boosting; at medium and high load it
+tracks (or beats) instance boosting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures.common import DEFAULT_SEEDS, improvement_grid
+from repro.experiments.figures.fig10 import (
+    POLICIES,
+    ImprovementFigureResult,
+    render_improvement_figure,
+)
+from repro.workloads.nlp import nlp_load_levels
+
+__all__ = ["run_fig12", "render_fig12"]
+
+
+def run_fig12(
+    duration_s: float = 600.0,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ImprovementFigureResult:
+    """Run the full Figure-12 grid for the NLP application."""
+    levels = nlp_load_levels()
+    cells = improvement_grid(
+        app="nlp",
+        loads={
+            "low": levels.low_qps,
+            "medium": levels.medium_qps,
+            "high": levels.high_qps,
+        },
+        policies=POLICIES,
+        duration_s=duration_s,
+        seeds=seeds,
+    )
+    return ImprovementFigureResult(app="nlp", figure="Figure 12", cells=tuple(cells))
+
+
+def render_fig12(result: ImprovementFigureResult) -> str:
+    """ASCII rendering of Figure 12."""
+    return render_improvement_figure(result)

@@ -1,0 +1,98 @@
+"""The paper's headline numbers, computed from the figure experiments.
+
+Section 8.2/8.3: "PowerChief improves the average latency by 20.3x and
+32.4x (99% tail latency by 13.3x and 19.4x) for Sirius and Natural
+Language Processing applications respectively compared to stage-agnostic
+power allocation."  Section 8.4: "PowerChief saves 25% and 43% power over
+the baseline" for Sirius and Web Search "whereas Pegasus saves 2% and
+10%".
+
+:func:`compute_headline` derives the same aggregates from this
+reproduction's figure results so EXPERIMENTS.md (and the abstract-style
+summary printed by ``python -m repro figures all``) always reflect the
+measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.figures.fig10 import ImprovementFigureResult
+from repro.experiments.figures.fig13 import QosFigureResult
+
+__all__ = ["Headline", "compute_headline", "format_headline"]
+
+
+@dataclass(frozen=True)
+class Headline:
+    """The reproduction's analog of the abstract's four claims."""
+
+    sirius_avg_improvement: float
+    sirius_p99_improvement: float
+    nlp_avg_improvement: float
+    nlp_p99_improvement: float
+    sirius_power_saving: Optional[float] = None
+    websearch_power_saving: Optional[float] = None
+    sirius_pegasus_saving: Optional[float] = None
+    websearch_pegasus_saving: Optional[float] = None
+
+
+def compute_headline(
+    fig10: ImprovementFigureResult,
+    fig12: ImprovementFigureResult,
+    fig13: Optional[QosFigureResult] = None,
+    fig14: Optional[QosFigureResult] = None,
+) -> Headline:
+    """Aggregate the figure results into the abstract's headline numbers."""
+    sirius_avg, sirius_p99 = fig10.average_improvement("powerchief")
+    nlp_avg, nlp_p99 = fig12.average_improvement("powerchief")
+    headline = {
+        "sirius_avg_improvement": sirius_avg,
+        "sirius_p99_improvement": sirius_p99,
+        "nlp_avg_improvement": nlp_avg,
+        "nlp_p99_improvement": nlp_p99,
+    }
+    if fig13 is not None:
+        headline["sirius_power_saving"] = fig13.saving_over_baseline("powerchief")
+        headline["sirius_pegasus_saving"] = fig13.saving_over_baseline("pegasus")
+    if fig14 is not None:
+        headline["websearch_power_saving"] = fig14.saving_over_baseline(
+            "powerchief"
+        )
+        headline["websearch_pegasus_saving"] = fig14.saving_over_baseline(
+            "pegasus"
+        )
+    return Headline(**headline)
+
+
+def format_headline(headline: Headline) -> str:
+    """An abstract-style sentence pair with the measured values."""
+    lines = [
+        "Measured headline (this reproduction):",
+        (
+            f"  PowerChief improves the average latency by "
+            f"{headline.sirius_avg_improvement:.1f}x and "
+            f"{headline.nlp_avg_improvement:.1f}x (99% tail latency by "
+            f"{headline.sirius_p99_improvement:.1f}x and "
+            f"{headline.nlp_p99_improvement:.1f}x) for Sirius and NLP "
+            f"respectively, compared to stage-agnostic power allocation."
+        ),
+    ]
+    if (
+        headline.sirius_power_saving is not None
+        and headline.websearch_power_saving is not None
+    ):
+        lines.append(
+            f"  For the given QoS target, PowerChief reduces the power "
+            f"consumption of Sirius and Web Search by "
+            f"{headline.sirius_power_saving * 100:.0f}% and "
+            f"{headline.websearch_power_saving * 100:.0f}% respectively "
+            f"(Pegasus: {headline.sirius_pegasus_saving * 100:.0f}% and "
+            f"{headline.websearch_pegasus_saving * 100:.0f}%)."
+        )
+    lines.append(
+        "  (Paper, on its hardware testbed: 20.3x / 32.4x avg, 13.3x / "
+        "19.4x p99; 25% / 43% power vs Pegasus's 2% / 10%.)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each figure/table of the paper as an ASCII
+table; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_heading"]
+
+
+def format_heading(title: str) -> str:
+    """A boxed section heading."""
+    bar = "=" * len(title)
+    return f"{bar}\n{title}\n{bar}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller so each figure controls its own precision.
+    """
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    table = [list(map(str, headers))]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        table.append(list(map(str, row)))
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = []
+    for index, line in enumerate(table):
+        cells = [cell.ljust(width) for cell, width in zip(line, widths)]
+        lines.append("  ".join(cells).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,396 @@
+"""Experiment runners.
+
+Two entry points drive every figure of the evaluation:
+
+* :func:`run_latency_experiment` — the Sections 8.2/8.3 scenario: reduce
+  response latency while guarding the Table-2 power budget, under a
+  chosen policy (static baseline, frequency boosting, instance boosting
+  or PowerChief).
+* :func:`run_qos_experiment` — the Section 8.4 scenario: reduce power
+  while meeting a latency QoS on a Table-3 over-provisioned deployment
+  (no-control baseline, Pegasus, or PowerChief-conserve).
+
+Runs with the same seed replay byte-identical arrivals and demands across
+policies, so improvement ratios compare the policies and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.cluster.budget import PowerBudget
+from repro.cluster.contention import ContentionModel
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.core.actions import ActionRecord
+from repro.core.baselines import (
+    FreqBoostController,
+    InstBoostController,
+    StaticController,
+)
+from repro.core.conserve import PowerChiefConserveController
+from repro.core.controller import BaseController, ControllerConfig, PowerChiefController
+from repro.core.pegasus import PegasusController
+from repro.experiments.config import (
+    TABLE2_CONTROLLER_CONFIG,
+    TABLE2_INITIAL_FREQ_GHZ,
+    TABLE2_POWER_BUDGET_WATTS,
+    Table3Setup,
+)
+from repro.experiments.sampling import QosSampler, StateSampler, StateSample, QosSample
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.profile import ServiceProfile
+from repro.service.stage import StageKind
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.util.percentile import LatencySummary, summarize
+from repro.workloads.loadgen import (
+    ConstantLoad,
+    LoadTrace,
+    PoissonLoadGenerator,
+    QueryFactory,
+)
+from repro.workloads.nlp import nlp_profiles
+from repro.workloads.sirius import sirius_profiles
+from repro.workloads.websearch import websearch_profiles
+
+__all__ = [
+    "LATENCY_POLICIES",
+    "QOS_POLICIES",
+    "StageAllocation",
+    "RunResult",
+    "QosRunResult",
+    "run_latency_experiment",
+    "run_qos_experiment",
+]
+
+#: Latency-mitigation policies by name (Sections 8.2/8.3).
+LATENCY_POLICIES = ("static", "freq-boost", "inst-boost", "powerchief")
+
+#: QoS-mode policies by name (Section 8.4).
+QOS_POLICIES = ("baseline", "pegasus", "powerchief")
+
+_PROFILE_BUILDERS = {
+    "sirius": sirius_profiles,
+    "nlp": nlp_profiles,
+    "websearch": websearch_profiles,
+}
+
+_SCATTER_GATHER_STAGES = {"websearch": ("LEAF",)}
+
+
+@dataclass(frozen=True)
+class StageAllocation:
+    """A fixed (instance count, ladder level) deployment for one stage."""
+
+    count: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {self.count}")
+
+
+@dataclass
+class RunResult:
+    """Everything a latency-mitigation run produced."""
+
+    app: str
+    policy: str
+    duration_s: float
+    queries_submitted: int
+    queries_completed: int
+    latency: LatencySummary
+    average_power_watts: float
+    actions: tuple[ActionRecord, ...]
+    state_samples: tuple[StateSample, ...]
+
+    @property
+    def completion_fraction(self) -> float:
+        if self.queries_submitted == 0:
+            return 0.0
+        return self.queries_completed / self.queries_submitted
+
+
+@dataclass
+class QosRunResult:
+    """Everything a QoS-mode run produced."""
+
+    app: str
+    policy: str
+    duration_s: float
+    qos_target_s: float
+    reference_power_watts: float
+    queries_submitted: int
+    queries_completed: int
+    latency: LatencySummary
+    average_power_fraction: float
+    violation_fraction: float
+    actions: tuple[ActionRecord, ...]
+    qos_samples: tuple[QosSample, ...]
+
+    @property
+    def power_saving_fraction(self) -> float:
+        """1 - average power fraction: the Figure-13/14 headline number."""
+        return 1.0 - self.average_power_fraction
+
+
+def _profiles_for(app: str) -> list[ServiceProfile]:
+    try:
+        return _PROFILE_BUILDERS[app]()
+    except KeyError:
+        known = ", ".join(sorted(_PROFILE_BUILDERS))
+        raise ConfigurationError(f"unknown app {app!r} (known: {known})") from None
+
+
+def _build_app(
+    app: str,
+    sim: Simulator,
+    machine: Machine,
+    allocation: Mapping[str, StageAllocation],
+) -> Application:
+    profiles = _profiles_for(app)
+    application = Application(app, sim, machine)
+    scatter = _SCATTER_GATHER_STAGES.get(app, ())
+    for profile in profiles:
+        kind = (
+            StageKind.SCATTER_GATHER
+            if profile.name in scatter
+            else StageKind.PIPELINE
+        )
+        stage = application.add_stage(profile, kind=kind)
+        stage_alloc = allocation.get(profile.name)
+        if stage_alloc is None:
+            raise ConfigurationError(
+                f"no allocation given for stage {profile.name!r}"
+            )
+        for _ in range(stage_alloc.count):
+            stage.launch_instance(stage_alloc.level)
+    return application
+
+
+def _uniform_allocation(
+    app: str,
+    level: int,
+    instances_per_stage: Mapping[str, int] | int,
+) -> dict[str, StageAllocation]:
+    allocation: dict[str, StageAllocation] = {}
+    for profile in _profiles_for(app):
+        if isinstance(instances_per_stage, int):
+            count = instances_per_stage
+        else:
+            count = instances_per_stage.get(profile.name, 1)
+        allocation[profile.name] = StageAllocation(count=count, level=level)
+    return allocation
+
+
+def _summarize_completed(command_center: CommandCenter, context: str) -> LatencySummary:
+    latencies = command_center.all_latencies
+    if not latencies:
+        raise ExperimentError(
+            f"{context}: no queries completed; extend the duration or raise "
+            f"the arrival rate"
+        )
+    return summarize(latencies)
+
+
+# ----------------------------------------------------------------------
+# Latency-mitigation runs (Sections 8.2 / 8.3)
+# ----------------------------------------------------------------------
+def run_latency_experiment(
+    app: str,
+    policy: str,
+    trace: LoadTrace,
+    duration_s: float,
+    seed: int = 1,
+    budget_watts: float = TABLE2_POWER_BUDGET_WATTS,
+    initial_freq_ghz: float = TABLE2_INITIAL_FREQ_GHZ,
+    controller_config: ControllerConfig = TABLE2_CONTROLLER_CONFIG,
+    allocation: Optional[Mapping[str, StageAllocation]] = None,
+    n_cores: int = 16,
+    sample_interval_s: float = 5.0,
+    stats_window_s: float = 60.0,
+    contention: Optional[ContentionModel] = None,
+) -> RunResult:
+    """Run one (application, policy, load) cell of Figures 2/4/10/11/12.
+
+    ``allocation`` overrides the Table-2 one-instance-per-stage deployment
+    (Figure 2's static single-stage boosts use this).
+    """
+    if policy not in LATENCY_POLICIES:
+        raise ConfigurationError(
+            f"unknown policy {policy!r} (known: {', '.join(LATENCY_POLICIES)})"
+        )
+    if duration_s <= 0.0:
+        raise ConfigurationError(f"duration must be > 0, got {duration_s}")
+    sim = Simulator()
+    machine = Machine(sim, n_cores=n_cores, contention=contention)
+    initial_level = HASWELL_LADDER.level_of(initial_freq_ghz)
+    if allocation is None:
+        allocation = _uniform_allocation(app, initial_level, 1)
+    application = _build_app(app, sim, machine, allocation)
+    budget = PowerBudget(machine, budget_watts)
+    budget.assert_within()
+    command_center = CommandCenter(sim, application, window_s=stats_window_s)
+    dvfs = DvfsActuator(sim)
+
+    controller_types: dict[str, type[BaseController]] = {
+        "static": StaticController,
+        "freq-boost": FreqBoostController,
+        "inst-boost": InstBoostController,
+        "powerchief": PowerChiefController,
+    }
+    controller = controller_types[policy](
+        sim, application, command_center, budget, dvfs, controller_config
+    )
+
+    streams = RandomStreams(seed)
+    factory = QueryFactory(_profiles_for(app), streams)
+    generator = PoissonLoadGenerator(
+        sim, application, factory, trace, streams, duration_s
+    )
+    sampler = StateSampler(sim, application, sample_interval_s)
+
+    controller.start()
+    sampler.start()
+    generator.start()
+    sim.run(until=duration_s)
+    controller.stop()
+    sampler.stop()
+    budget.assert_within()
+
+    energy = machine.total_energy()
+    return RunResult(
+        app=app,
+        policy=policy,
+        duration_s=duration_s,
+        queries_submitted=generator.queries_submitted,
+        queries_completed=application.completed,
+        latency=_summarize_completed(
+            command_center, f"{app}/{policy} latency run"
+        ),
+        average_power_watts=energy / duration_s,
+        actions=tuple(controller.actions),
+        state_samples=tuple(sampler.samples),
+    )
+
+
+# ----------------------------------------------------------------------
+# QoS-mode runs (Section 8.4)
+# ----------------------------------------------------------------------
+def run_qos_experiment(
+    setup: Table3Setup,
+    policy: str,
+    rate_qps: float,
+    duration_s: float,
+    seed: int = 1,
+    hold_fraction: float = 0.85,
+    conserve_fraction: float = 0.75,
+    guard_fraction: float = 0.92,
+    n_cores: int = 16,
+    sample_interval_s: float = 5.0,
+    e2e_window_s: Optional[float] = None,
+) -> QosRunResult:
+    """Run one (deployment, policy) timeline of Figures 13/14.
+
+    The reference power for the fraction-of-peak axis is the
+    over-provisioned deployment's draw at the maximum frequency — the
+    baseline's constant consumption, which Figures 13/14 normalise to.
+    """
+    if policy not in QOS_POLICIES:
+        raise ConfigurationError(
+            f"unknown policy {policy!r} (known: {', '.join(QOS_POLICIES)})"
+        )
+    if rate_qps <= 0.0:
+        raise ConfigurationError(f"rate must be > 0, got {rate_qps}")
+    if duration_s <= 0.0:
+        raise ConfigurationError(f"duration must be > 0, got {duration_s}")
+    sim = Simulator()
+    machine = Machine(sim, n_cores=n_cores)
+    initial_level = HASWELL_LADDER.level_of(setup.initial_freq_ghz)
+    allocation = _uniform_allocation(
+        setup.app, initial_level, dict(setup.instances_per_stage)
+    )
+    application = _build_app(setup.app, sim, machine, allocation)
+    reference_power = application.total_power()
+    # QoS mode has no budget ceiling: the machine's peak is the cap.
+    budget = PowerBudget(machine, machine.peak_power())
+    window = (
+        e2e_window_s
+        if e2e_window_s is not None
+        else max(3.0 * setup.adjust_interval_s, 10.0)
+    )
+    command_center = CommandCenter(
+        sim, application, window_s=window, e2e_window_s=window
+    )
+    dvfs = DvfsActuator(sim)
+
+    controller: Optional[BaseController] = None
+    config = setup.controller_config()
+    if policy == "pegasus":
+        controller = PegasusController(
+            sim,
+            application,
+            command_center,
+            budget,
+            dvfs,
+            qos_target_s=setup.qos_target_s,
+            config=config,
+            hold_fraction=hold_fraction,
+        )
+    elif policy == "powerchief":
+        controller = PowerChiefConserveController(
+            sim,
+            application,
+            command_center,
+            budget,
+            dvfs,
+            qos_target_s=setup.qos_target_s,
+            config=config,
+            conserve_fraction=conserve_fraction,
+            guard_fraction=guard_fraction,
+        )
+
+    streams = RandomStreams(seed)
+    factory = QueryFactory(_profiles_for(setup.app), streams)
+    generator = PoissonLoadGenerator(
+        sim, application, factory, ConstantLoad(rate_qps), streams, duration_s
+    )
+    sampler = QosSampler(
+        sim,
+        application,
+        command_center,
+        qos_target_s=setup.qos_target_s,
+        reference_power_watts=reference_power,
+        sample_interval_s=sample_interval_s,
+    )
+
+    if controller is not None:
+        controller.start()
+    sampler.start()
+    generator.start()
+    sim.run(until=duration_s)
+    if controller is not None:
+        controller.stop()
+    sampler.stop()
+
+    return QosRunResult(
+        app=setup.app,
+        policy=policy,
+        duration_s=duration_s,
+        qos_target_s=setup.qos_target_s,
+        reference_power_watts=reference_power,
+        queries_submitted=generator.queries_submitted,
+        queries_completed=application.completed,
+        latency=_summarize_completed(
+            command_center, f"{setup.app}/{policy} QoS run"
+        ),
+        average_power_fraction=sampler.average_power_fraction(),
+        violation_fraction=sampler.violation_fraction(),
+        actions=tuple(controller.actions) if controller is not None else (),
+        qos_samples=tuple(sampler.samples),
+    )

@@ -1,0 +1,17 @@
+"""Scale-out support: sharded deployments (Section 7.2)."""
+
+from repro.scale.sharding import (
+    LeastInFlightSplitter,
+    QuerySplitter,
+    RoundRobinSplitter,
+    Shard,
+    ShardedDeployment,
+)
+
+__all__ = [
+    "LeastInFlightSplitter",
+    "QuerySplitter",
+    "RoundRobinSplitter",
+    "Shard",
+    "ShardedDeployment",
+]

@@ -1,0 +1,147 @@
+"""Sharded deployments: scaling PowerChief beyond one command center.
+
+Section 7.2: "The boosting decision may become a bottleneck when the
+number of services scales beyond a certain point.  In that case, we can
+duplicate the services into multiple shardings across CMP servers and
+use PowerChief to manage them separately with acceptable overhead."
+
+A :class:`ShardedDeployment` owns N :class:`Shard` replicas — each a full
+(machine, application, command center, budget, controller) stack, i.e.
+one CMP server — and splits incoming queries across them.  Each shard's
+PowerChief sees only its own instances, so the per-decision cost stays
+flat as the fleet grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.cluster.budget import PowerBudget
+from repro.core.controller import BaseController
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.query import Query
+from repro.sim.engine import Simulator
+from repro.util.percentile import LatencySummary, summarize
+
+__all__ = ["Shard", "QuerySplitter", "RoundRobinSplitter", "LeastInFlightSplitter", "ShardedDeployment"]
+
+
+@dataclass
+class Shard:
+    """One replica: an application stack on its own CMP server."""
+
+    index: int
+    application: Application
+    command_center: CommandCenter
+    budget: PowerBudget
+    controller: Optional[BaseController] = None
+
+    @property
+    def in_flight(self) -> int:
+        return self.application.in_flight
+
+
+class QuerySplitter:
+    """Chooses the shard for each incoming query."""
+
+    def select(self, shards: Sequence[Shard]) -> Shard:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RoundRobinSplitter(QuerySplitter):
+    """Cycle through shards — the stateless front-end load balancer."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, shards: Sequence[Shard]) -> Shard:
+        shard = shards[self._next % len(shards)]
+        self._next += 1
+        return shard
+
+
+class LeastInFlightSplitter(QuerySplitter):
+    """Send each query to the shard with the fewest in-flight queries."""
+
+    def select(self, shards: Sequence[Shard]) -> Shard:
+        return min(shards, key=lambda shard: (shard.in_flight, shard.index))
+
+
+class ShardedDeployment:
+    """N application replicas behind a query splitter.
+
+    ``shard_factory(sim, index)`` builds one complete shard; the
+    deployment starts/stops every shard's controller and aggregates
+    their statistics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_shards: int,
+        shard_factory: Callable[[Simulator, int], Shard],
+        splitter: Optional[QuerySplitter] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"need >= 1 shard, got {n_shards}")
+        self.sim = sim
+        self.shards: list[Shard] = [
+            shard_factory(sim, index) for index in range(n_shards)
+        ]
+        self.splitter = splitter if splitter is not None else LeastInFlightSplitter()
+        self._submitted = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every shard's controller (if it has one)."""
+        for shard in self.shards:
+            if shard.controller is not None:
+                shard.controller.start()
+
+    def stop(self) -> None:
+        for shard in self.shards:
+            if shard.controller is not None:
+                shard.controller.stop()
+
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> Shard:
+        """Route a query to a shard; returns the shard that took it."""
+        shard = self.splitter.select(self.shards)
+        shard.application.submit(query)
+        self._submitted += 1
+        return shard
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted
+
+    @property
+    def completed(self) -> int:
+        return sum(shard.application.completed for shard in self.shards)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(shard.in_flight for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    def all_latencies(self) -> list[float]:
+        """End-to-end latencies pooled across every shard."""
+        latencies: list[float] = []
+        for shard in self.shards:
+            latencies.extend(shard.command_center.all_latencies)
+        return latencies
+
+    def summary(self) -> LatencySummary:
+        """Pooled latency summary across the deployment."""
+        return summarize(self.all_latencies())
+
+    def total_power(self) -> float:
+        return sum(shard.application.total_power() for shard in self.shards)
+
+    def assert_budgets(self) -> None:
+        """Every shard's budget invariant, in one call."""
+        for shard in self.shards:
+            shard.budget.assert_within()

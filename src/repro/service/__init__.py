@@ -1,0 +1,63 @@
+"""Multi-stage service substrate.
+
+Implements the application model of the paper: queries
+(:class:`Query`) carrying per-instance latency records
+(:class:`StageRecord`) flow through an ordered pipeline of stages
+(:class:`Stage`), each a pool of single-core service instances
+(:class:`ServiceInstance`).  The :class:`CommandCenter` ingests the
+records when queries complete and serves windowed latency statistics to
+the controllers.
+"""
+
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.demand import (
+    DemandDistribution,
+    DeterministicDemand,
+    ExponentialDemand,
+    LogNormalDemand,
+)
+from repro.service.dispatch import (
+    Dispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    ShortestQueueDispatcher,
+)
+from repro.service.instance import InstanceState, Job, ServiceInstance
+from repro.service.profile import (
+    PowerLawSpeedup,
+    ServiceProfile,
+    SpeedupCurve,
+    TabularSpeedup,
+)
+from repro.service.query import Query
+from repro.service.records import StageRecord
+from repro.service.rpc import RpcFabric
+from repro.service.stage import Stage, StageKind
+from repro.service.window import LatencyWindow
+
+__all__ = [
+    "Application",
+    "CommandCenter",
+    "DemandDistribution",
+    "DeterministicDemand",
+    "ExponentialDemand",
+    "LogNormalDemand",
+    "Dispatcher",
+    "RandomDispatcher",
+    "RoundRobinDispatcher",
+    "ShortestQueueDispatcher",
+    "InstanceState",
+    "Job",
+    "ServiceInstance",
+    "PowerLawSpeedup",
+    "ServiceProfile",
+    "SpeedupCurve",
+    "TabularSpeedup",
+    "Query",
+    "StageRecord",
+    "RpcFabric",
+    "Stage",
+    "StageKind",
+    "LatencyWindow",
+]

@@ -1,0 +1,209 @@
+"""A multi-stage application: an ordered pipeline of stages.
+
+"A query to an IPA application flows through Automatic Speech Recognition,
+Natural Language Processing, Image Matching and Question-Answering stages
+to generate an intelligent response." (Section 1, Figure 1)
+
+The application routes queries stage to stage, stamps arrival and
+completion times, and notifies completion listeners — the command center
+registers itself as one to ingest the per-instance latency records the
+query carried along.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, StageError
+from repro.cluster.machine import Machine
+from repro.service.dispatch import Dispatcher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.service.rpc import RpcFabric
+from repro.service.instance import ServiceInstance
+from repro.service.profile import ServiceProfile
+from repro.service.query import Query
+from repro.service.stage import Stage, StageKind
+from repro.sim.engine import Simulator
+
+__all__ = ["Application"]
+
+CompletionListener = Callable[[Query], None]
+
+
+class Application:
+    """An ordered pipeline of :class:`Stage` objects sharing one machine.
+
+    ``hop_delay_s`` models the RPC/network delay between consecutive
+    stages and on the final response (Section 8.5: "the joint design of
+    service and query in our approach is extensible to include the
+    network delays"); the paper's own evaluation uses zero.  Passing an
+    :class:`~repro.service.rpc.RpcFabric` instead routes every hop — and
+    the per-query statistics report to the command center — through the
+    fabric, with its latency and message accounting; a fabric takes
+    precedence over ``hop_delay_s``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        machine: Machine,
+        hop_delay_s: float = 0.0,
+        fabric: Optional["RpcFabric"] = None,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("application needs a non-empty name")
+        if hop_delay_s < 0.0:
+            raise ConfigurationError(
+                f"hop delay must be >= 0, got {hop_delay_s}"
+            )
+        self.name = name
+        self.sim = sim
+        self.machine = machine
+        self.hop_delay_s = float(hop_delay_s)
+        self.fabric = fabric
+        self._stages: list[Stage] = []
+        self._stage_by_name: dict[str, Stage] = {}
+        self._iid_counter = itertools.count(0)
+        self._listeners: list[CompletionListener] = []
+        self._submitted = 0
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_stage(
+        self,
+        profile: ServiceProfile,
+        kind: StageKind = StageKind.PIPELINE,
+        dispatcher: Optional[Dispatcher] = None,
+    ) -> Stage:
+        """Append a stage to the pipeline; queries flow in add order."""
+        if profile.name in self._stage_by_name:
+            raise ConfigurationError(
+                f"application {self.name} already has a stage {profile.name!r}"
+            )
+        stage = Stage(
+            name=profile.name,
+            profile=profile,
+            machine=self.machine,
+            sim=self.sim,
+            iid_counter=self._iid_counter,
+            dispatcher=dispatcher,
+            kind=kind,
+        )
+        self._stages.append(stage)
+        self._stage_by_name[profile.name] = stage
+        return stage
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return tuple(self._stages)
+
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._stage_by_name[name]
+        except KeyError:
+            raise StageError(
+                f"application {self.name} has no stage {name!r}"
+            ) from None
+
+    def stage_names(self) -> list[str]:
+        return [stage.name for stage in self._stages]
+
+    # ------------------------------------------------------------------
+    # Instance-pool views
+    # ------------------------------------------------------------------
+    def all_instances(self) -> list[ServiceInstance]:
+        """Every non-withdrawn instance across all stages."""
+        return [inst for stage in self._stages for inst in stage.instances]
+
+    def running_instances(self) -> list[ServiceInstance]:
+        return [
+            inst for stage in self._stages for inst in stage.running_instances()
+        ]
+
+    def total_power(self) -> float:
+        return sum(stage.total_power() for stage in self._stages)
+
+    def total_queue_length(self) -> int:
+        return sum(stage.total_queue_length() for stage in self._stages)
+
+    # ------------------------------------------------------------------
+    # Query flow
+    # ------------------------------------------------------------------
+    def add_completion_listener(self, listener: CompletionListener) -> None:
+        """Subscribe to query completions (the command center does this)."""
+        self._listeners.append(listener)
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def in_flight(self) -> int:
+        return self._submitted - self._completed
+
+    def submit(self, query: Query) -> None:
+        """Inject a query into the first stage."""
+        if not self._stages:
+            raise StageError(f"application {self.name} has no stages")
+        missing = [
+            stage.name for stage in self._stages if stage.name not in query.demands
+        ]
+        if missing:
+            raise StageError(
+                f"query {query.qid} lacks demands for stages {missing}"
+            )
+        query.arrival_time = self.sim.now
+        self._submitted += 1
+        self._advance(query, 0)
+
+    def _advance(self, query: Query, stage_index: int) -> None:
+        if stage_index >= len(self._stages):
+            query.completion_time = self.sim.now
+            self._completed += 1
+            if self.fabric is not None:
+                # The latency statistics travel to the command center as
+                # one RPC message per query (Section 4.1, Figure 6).
+                self.fabric.send(
+                    f"stage:{self._stages[-1].name}",
+                    "command-center",
+                    lambda: self._notify(query),
+                )
+            else:
+                self._notify(query)
+            return
+        stage = self._stages[stage_index]
+        stage.submit(query, lambda done: self._hop(done, stage_index + 1))
+
+    def _notify(self, query: Query) -> None:
+        for listener in tuple(self._listeners):
+            listener(query)
+
+    def _hop(self, query: Query, next_index: int) -> None:
+        """Route onward, paying the inter-stage network delay if any."""
+        if self.fabric is not None:
+            src = f"stage:{self._stages[next_index - 1].name}"
+            dst = (
+                f"stage:{self._stages[next_index].name}"
+                if next_index < len(self._stages)
+                else "user"
+            )
+            self.fabric.send(src, dst, lambda: self._advance(query, next_index))
+        elif self.hop_delay_s == 0.0:
+            self._advance(query, next_index)
+        else:
+            self.sim.schedule(self.hop_delay_s, self._advance, query, next_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = " -> ".join(self.stage_names())
+        return f"Application({self.name!r}: {names})"

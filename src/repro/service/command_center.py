@@ -1,0 +1,227 @@
+"""The command center: latency-statistics aggregation across stages.
+
+"After the query completes the last stage of the processing pipeline,
+these latency statistics are sent to the command center.  The bottleneck
+identifier then calculates the latency metrics such as average and 99%
+percentile queuing and serving delay of each service instance using the
+latency statistics." (Section 4.1)
+
+The command center keeps a moving :class:`LatencyWindow` per instance and
+per stage.  A freshly launched instance has no history, so lookups fall
+back from the instance window to its stage's pooled window and finally to
+the offline profile's expectation — without the fallback a new instance
+would report a zero latency metric and immediately be chosen as a power
+recycling victim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.service.application import Application
+from repro.service.instance import ServiceInstance
+from repro.service.query import Query
+from repro.service.window import LatencyWindow
+from repro.sim.engine import Simulator
+from repro.util.percentile import LatencySummary, summarize
+
+__all__ = ["CommandCenter"]
+
+
+class CommandCenter:
+    """Ingests completed-query records and serves latency statistics."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        application: Application,
+        window_s: float = 60.0,
+        e2e_window_s: float = 30.0,
+        retain_queries: bool = False,
+    ) -> None:
+        if window_s <= 0.0:
+            raise ConfigurationError(f"window must be > 0 s, got {window_s}")
+        if e2e_window_s <= 0.0:
+            raise ConfigurationError(
+                f"e2e window must be > 0 s, got {e2e_window_s}"
+            )
+        self.sim = sim
+        self.application = application
+        self.window_s = float(window_s)
+        self.e2e_window_s = float(e2e_window_s)
+        self._instance_windows: dict[str, LatencyWindow] = {}
+        self._stage_windows: dict[str, LatencyWindow] = {}
+        self._all_latencies: list[float] = []
+        self._recent_e2e: deque[tuple[float, float]] = deque()
+        self.retain_queries = retain_queries
+        self._completed_queries: list[Query] = []
+        self._stats_messages = 0
+        self._records_ingested = 0
+        application.add_completion_listener(self.ingest)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, query: Query) -> None:
+        """Record a completed query's latency statistics.
+
+        One ingest call is one statistics message: the query carried every
+        instance's record along, so the command center hears from the
+        pipeline exactly once per query.
+        """
+        self._stats_messages += 1
+        for record in query.records:
+            if not record.complete:
+                continue
+            self._records_ingested += 1
+            window = self._instance_windows.get(record.instance_name)
+            if window is None:
+                window = LatencyWindow(self.window_s)
+                self._instance_windows[record.instance_name] = window
+            window.add(record.finish_time, record.queuing_time, record.serving_time)
+            stage_window = self._stage_windows.get(record.stage_name)
+            if stage_window is None:
+                stage_window = LatencyWindow(self.window_s)
+                self._stage_windows[record.stage_name] = stage_window
+            stage_window.add(
+                record.finish_time, record.queuing_time, record.serving_time
+            )
+        latency = query.end_to_end_latency
+        self._all_latencies.append(latency)
+        if self.retain_queries:
+            self._completed_queries.append(query)
+        self._recent_e2e.append((self.sim.now, latency))
+        cutoff = self.sim.now - self.e2e_window_s
+        while self._recent_e2e and self._recent_e2e[0][0] < cutoff:
+            self._recent_e2e.popleft()
+
+    # ------------------------------------------------------------------
+    # Per-instance statistics (with fallbacks for fresh instances)
+    # ------------------------------------------------------------------
+    def avg_queuing(self, instance: ServiceInstance) -> float:
+        """Windowed average queuing time ``q_i`` of an instance."""
+        now = self.sim.now
+        window = self._instance_windows.get(instance.name)
+        if window is not None:
+            value = window.avg_queuing(now)
+            if value is not None:
+                return value
+        stage_window = self._stage_windows.get(instance.stage_name)
+        if stage_window is not None:
+            value = stage_window.avg_queuing(now)
+            if value is not None:
+                return value
+        return 0.0
+
+    def avg_serving(self, instance: ServiceInstance) -> float:
+        """Windowed average serving time ``s_i`` of an instance.
+
+        Falls back to the stage's pooled window and finally to the offline
+        profile's expected serving time at the instance's current
+        frequency.
+        """
+        now = self.sim.now
+        window = self._instance_windows.get(instance.name)
+        if window is not None:
+            value = window.avg_serving(now)
+            if value is not None:
+                return value
+        stage_window = self._stage_windows.get(instance.stage_name)
+        if stage_window is not None:
+            value = stage_window.avg_serving(now)
+            if value is not None:
+                return value
+        return instance.profile.mean_serving_time(instance.frequency_ghz)
+
+    def p99_queuing(self, instance: ServiceInstance) -> float:
+        window = self._instance_windows.get(instance.name)
+        if window is not None:
+            value = window.p99_queuing(self.sim.now)
+            if value is not None:
+                return value
+        return self.avg_queuing(instance)
+
+    def p99_serving(self, instance: ServiceInstance) -> float:
+        window = self._instance_windows.get(instance.name)
+        if window is not None:
+            value = window.p99_serving(self.sim.now)
+            if value is not None:
+                return value
+        return self.avg_serving(instance)
+
+    def sample_count(self, instance: ServiceInstance) -> int:
+        """Windowed sample count for the instance (0 if fresh)."""
+        window = self._instance_windows.get(instance.name)
+        if window is None:
+            return 0
+        return window.count(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # End-to-end statistics
+    # ------------------------------------------------------------------
+    @property
+    def all_latencies(self) -> list[float]:
+        """End-to-end latency of every completed query (run-lifetime)."""
+        return list(self._all_latencies)
+
+    @property
+    def stats_messages(self) -> int:
+        """Statistics messages received: one per completed query.
+
+        The service/query joint design "eliminates the large amount of
+        communications between service instances and the command center"
+        (Section 4.1): compare with :attr:`naive_stats_messages`, what a
+        per-instance reporting scheme would have sent.
+        """
+        return self._stats_messages
+
+    @property
+    def naive_stats_messages(self) -> int:
+        """Messages a report-per-instance-visit design would have sent."""
+        return self._records_ingested
+
+    @property
+    def completed_queries(self) -> list[Query]:
+        """Completed queries, if ``retain_queries`` was enabled.
+
+        Feeds :func:`repro.analysis.analyze_queries` for latency
+        breakdowns; off by default to keep long runs memory-bounded.
+        """
+        return list(self._completed_queries)
+
+    def summary(self) -> LatencySummary:
+        """Run-lifetime end-to-end latency summary."""
+        return summarize(self._all_latencies)
+
+    def recent_latency_avg(self) -> Optional[float]:
+        """Windowed average end-to-end latency (None if no recent queries)."""
+        self._trim_recent()
+        if not self._recent_e2e:
+            return None
+        return sum(latency for _, latency in self._recent_e2e) / len(
+            self._recent_e2e
+        )
+
+    def recent_latency_max(self) -> Optional[float]:
+        """Windowed max end-to-end latency (what a QoS guard watches)."""
+        self._trim_recent()
+        if not self._recent_e2e:
+            return None
+        return max(latency for _, latency in self._recent_e2e)
+
+    def recent_count(self) -> int:
+        self._trim_recent()
+        return len(self._recent_e2e)
+
+    def _trim_recent(self) -> None:
+        cutoff = self.sim.now - self.e2e_window_s
+        while self._recent_e2e and self._recent_e2e[0][0] < cutoff:
+            self._recent_e2e.popleft()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommandCenter(app={self.application.name!r}, "
+            f"{len(self._all_latencies)} queries ingested)"
+        )

@@ -1,0 +1,68 @@
+"""Dispatch policies: which instance in a stage receives the next query.
+
+The paper load-balances queries across the service instances of a stage
+(Figure 3) without prescribing a policy; shortest-queue is the default
+here because it is what a Thrift-style connection pool with backpressure
+approximates.  Round-robin and random are provided for ablations and
+tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import StageError
+from repro.service.instance import ServiceInstance
+from repro.sim.rng import SeededStream
+
+__all__ = [
+    "Dispatcher",
+    "ShortestQueueDispatcher",
+    "RoundRobinDispatcher",
+    "RandomDispatcher",
+]
+
+
+class Dispatcher(ABC):
+    """Chooses one instance out of a stage's running pool."""
+
+    @abstractmethod
+    def select(self, instances: Sequence[ServiceInstance]) -> ServiceInstance:
+        """Pick the instance for the next query; ``instances`` is non-empty."""
+
+    def _require_instances(self, instances: Sequence[ServiceInstance]) -> None:
+        if not instances:
+            raise StageError("cannot dispatch: stage has no running instances")
+
+
+class ShortestQueueDispatcher(Dispatcher):
+    """Join-the-shortest-queue; ties go to the earlier instance."""
+
+    def select(self, instances: Sequence[ServiceInstance]) -> ServiceInstance:
+        self._require_instances(instances)
+        return min(instances, key=lambda inst: (inst.queue_length, inst.iid))
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Cycle through instances in order, skipping none."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, instances: Sequence[ServiceInstance]) -> ServiceInstance:
+        self._require_instances(instances)
+        choice = instances[self._next % len(instances)]
+        self._next += 1
+        return choice
+
+
+class RandomDispatcher(Dispatcher):
+    """Uniform random choice from a dedicated stream (for ablations)."""
+
+    def __init__(self, rng: SeededStream) -> None:
+        self._rng = rng
+
+    def select(self, instances: Sequence[ServiceInstance]) -> ServiceInstance:
+        self._require_instances(instances)
+        return instances[self._rng.randrange(len(instances))]

@@ -1,0 +1,321 @@
+"""A service instance: one worker process pinned to one core.
+
+"Each service instance is running on an individual processor core and
+maintains its own queue structure to smooth load burst.  In the meanwhile,
+each service instance can adjust its processing speed through manipulating
+the core frequency." (Section 2.1)
+
+The instance implements the timing side of the service/query joint design:
+it stamps enqueue / start / finish times into a :class:`StageRecord` and
+appends the record to the query when serving completes.  It also keeps the
+busy-time accounting that the withdraw mechanism's 20 %-utilisation rule
+reads (Section 6.2).
+
+Serving is work-based: a job carries ``work`` seconds of execution at the
+slowest ladder frequency; the wall-clock serving time is that work
+divided by the instance's current *work rate* — the speedup curve at the
+core's frequency, further divided by the machine's contention slowdown
+when a :class:`~repro.cluster.contention.ContentionModel` is active.  If
+DVFS retunes the core (or machine occupancy shifts the contention)
+mid-service, the remaining work is rescaled and the completion event
+rescheduled — frequency boosting therefore accelerates the query already
+on the core, not just future ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InstanceStateError
+from repro.cluster.core import Core
+from repro.service.profile import ServiceProfile
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.cluster.machine import Machine
+from repro.service.query import Query
+from repro.service.records import StageRecord
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventPriority
+
+__all__ = ["Job", "InstanceState", "ServiceInstance"]
+
+
+@dataclass
+class Job:
+    """One unit of work submitted to an instance.
+
+    ``on_done`` is invoked with the query when serving finishes; the stage
+    uses it to route the query onward (or to count scatter-gather shards).
+    ``enqueue_time`` is normally stamped by the instance; work stealing and
+    withdraw redirection preserve the original stamp so processing-delay
+    accounting spans the whole time the query spent waiting.
+    """
+
+    query: Query
+    work: float
+    on_done: Callable[[Query], None]
+    enqueue_time: Optional[float] = None
+    record: Optional[StageRecord] = field(default=None, repr=False)
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle of a service instance."""
+
+    RUNNING = "running"
+    DRAINING = "draining"
+    WITHDRAWN = "withdrawn"
+
+
+class ServiceInstance:
+    """A single-core worker with a private FIFO queue."""
+
+    def __init__(
+        self,
+        iid: int,
+        name: str,
+        stage_name: str,
+        profile: ServiceProfile,
+        core: Core,
+        sim: Simulator,
+        machine: Optional["Machine"] = None,
+    ) -> None:
+        self.iid = iid
+        self.name = name
+        self.stage_name = stage_name
+        self.profile = profile
+        self.core = core
+        self.sim = sim
+        self._machine = machine
+        self._state = InstanceState.RUNNING
+        self._queue: deque[Job] = deque()
+        self._current: Optional[Job] = None
+        self._remaining_work = 0.0
+        self._segment_start = 0.0
+        self._segment_rate = 1.0
+        self._completion: Optional[Event] = None
+        self._on_drained: Optional[Callable[["ServiceInstance"], None]] = None
+        self._busy_accumulated = 0.0
+        self._busy_since: Optional[float] = None
+        self._queries_served = 0
+        core.add_observer(self._on_frequency_change)
+        if machine is not None:
+            machine.add_occupancy_listener(self._on_occupancy_change)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> InstanceState:
+        return self._state
+
+    @property
+    def running(self) -> bool:
+        return self._state is InstanceState.RUNNING
+
+    @property
+    def busy(self) -> bool:
+        """Whether a job is currently being served."""
+        return self._current is not None
+
+    @property
+    def waiting_count(self) -> int:
+        """Jobs waiting in the queue (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def queue_length(self) -> int:
+        """Realtime queue length ``L_i``: waiting jobs plus the one in service.
+
+        This is the ``L`` of Equation 1 — with a single query on the core
+        and nothing waiting, the expected delay for a newcomer is one
+        queuing term plus its own serving time.
+        """
+        return len(self._queue) + (1 if self._current is not None else 0)
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self.core.frequency_ghz
+
+    @property
+    def level(self) -> int:
+        return self.core.level
+
+    @property
+    def power_watts(self) -> float:
+        return self.core.power_watts
+
+    @property
+    def queries_served(self) -> int:
+        return self._queries_served
+
+    def busy_seconds(self) -> float:
+        """Cumulative time this instance has spent serving queries."""
+        total = self._busy_accumulated
+        if self._busy_since is not None:
+            total += self.sim.now - self._busy_since
+        return total
+
+    # ------------------------------------------------------------------
+    # Work submission
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job) -> None:
+        """Accept a job; only RUNNING instances take new work."""
+        if self._state is not InstanceState.RUNNING:
+            raise InstanceStateError(
+                f"instance {self.name} is {self._state.value}; cannot enqueue"
+            )
+        if job.work < 0.0:
+            raise InstanceStateError(f"job work must be >= 0, got {job.work}")
+        enqueue_time = self.sim.now if job.enqueue_time is None else job.enqueue_time
+        job.enqueue_time = enqueue_time
+        job.record = StageRecord(
+            instance_id=self.iid,
+            instance_name=self.name,
+            stage_name=self.stage_name,
+            enqueue_time=enqueue_time,
+        )
+        self._queue.append(job)
+        if self._current is None:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # Boosting support
+    # ------------------------------------------------------------------
+    def steal_half(self) -> list[Job]:
+        """Remove the back half of the waiting queue for a cloned instance.
+
+        Instance boosting offloads "half of the queries queued at the
+        bottleneck instance" to the new clone (Section 5.1, Figure 7(a)).
+        The in-service job is never stolen.  The jobs keep their original
+        enqueue stamps so their eventual records cover the full wait.
+        """
+        steal_count = len(self._queue) // 2
+        stolen: list[Job] = []
+        for _ in range(steal_count):
+            job = self._queue.pop()
+            job.record = None
+            stolen.append(job)
+        stolen.reverse()
+        return stolen
+
+    def take_all_waiting(self) -> list[Job]:
+        """Remove every waiting job (withdraw redirects them elsewhere)."""
+        taken = list(self._queue)
+        self._queue.clear()
+        for job in taken:
+            job.record = None
+        return taken
+
+    # ------------------------------------------------------------------
+    # Withdraw lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, on_drained: Callable[["ServiceInstance"], None]) -> None:
+        """Stop accepting work and call back once fully idle.
+
+        The withdraw mechanism "assur[es] there is no query waiting or
+        running on the underutilized service instance" before the core is
+        released (Section 6.2).
+        """
+        if self._state is not InstanceState.RUNNING:
+            raise InstanceStateError(
+                f"instance {self.name} is {self._state.value}; cannot drain"
+            )
+        self._state = InstanceState.DRAINING
+        self._on_drained = on_drained
+        if self._current is None and not self._queue:
+            self._finish_drain()
+
+    def _finish_drain(self) -> None:
+        self._state = InstanceState.WITHDRAWN
+        self.core.remove_observer(self._on_frequency_change)
+        if self._machine is not None:
+            self._machine.remove_occupancy_listener(self._on_occupancy_change)
+        callback = self._on_drained
+        self._on_drained = None
+        if callback is not None:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # Serving internals
+    # ------------------------------------------------------------------
+    def _work_rate(self) -> float:
+        """Work consumed per wall-clock second at the current conditions."""
+        rate = self.profile.speedup.speedup(self.frequency_ghz)
+        if self._machine is not None:
+            rate /= self._machine.contention_slowdown()
+        return rate
+
+    def _start_segment(self) -> None:
+        """Open a constant-rate serving segment for the current job."""
+        self._segment_start = self.sim.now
+        self._segment_rate = self._work_rate()
+        duration = self._remaining_work / self._segment_rate
+        self._completion = self.sim.schedule(
+            duration, self._complete, priority=EventPriority.COMPLETION
+        )
+
+    def _start_next(self) -> None:
+        job = self._queue.popleft()
+        self._current = job
+        self._remaining_work = job.work
+        assert job.record is not None
+        job.record.start_time = self.sim.now
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        self._start_segment()
+
+    def _complete(self) -> None:
+        job = self._current
+        assert job is not None and job.record is not None
+        job.record.finish_time = self.sim.now
+        job.query.append_record(job.record)
+        self._current = None
+        self._completion = None
+        self._remaining_work = 0.0
+        self._queries_served += 1
+        if self._queue:
+            self._start_next()
+        else:
+            if self._busy_since is not None:
+                self._busy_accumulated += self.sim.now - self._busy_since
+                self._busy_since = None
+        job.on_done(job.query)
+        if (
+            self._state is InstanceState.DRAINING
+            and self._current is None
+            and not self._queue
+        ):
+            self._finish_drain()
+
+    def _rescale(self) -> None:
+        """Close the current serving segment and reopen at the new rate.
+
+        Called when anything that determines the work rate changes —
+        a DVFS retune of this core, or (under a contention model) any
+        occupancy change on the machine.
+        """
+        if self._current is None:
+            return
+        elapsed = self.sim.now - self._segment_start
+        consumed = elapsed * self._segment_rate
+        self._remaining_work = max(0.0, self._remaining_work - consumed)
+        if self._completion is not None:
+            self._completion.cancel()
+        self._start_segment()
+
+    def _on_frequency_change(self, core: Core, old_level: int, new_level: int) -> None:
+        self._rescale()
+
+    def _on_occupancy_change(self, active_cores: int) -> None:
+        self._rescale()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceInstance({self.name!r}, {self._state.value}, "
+            f"{self.frequency_ghz:.1f} GHz, L={self.queue_length})"
+        )

@@ -1,0 +1,85 @@
+"""The extended query data structure.
+
+A :class:`Query` is a user request flowing through the multi-stage
+pipeline.  Besides its payload stand-in (per-stage work demands, sampled
+once at creation so every policy sees the identical workload), it carries
+the list of :class:`StageRecord` latency statistics that the service/query
+joint design appends at each stage (Section 4.1, Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import ServiceError
+from repro.service.records import StageRecord
+
+__all__ = ["Query"]
+
+
+@dataclass
+class Query:
+    """One user query and the latency statistics it accumulates.
+
+    Parameters
+    ----------
+    qid:
+        Unique id within a run.
+    demands:
+        Per-stage work, in seconds of execution *at the slowest ladder
+        frequency*.  Sampled once by the load generator so that different
+        controllers replay byte-identical work.
+    """
+
+    qid: int
+    demands: Mapping[str, float]
+    arrival_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    records: list[StageRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for stage, demand in self.demands.items():
+            if demand < 0.0:
+                raise ServiceError(
+                    f"query {self.qid}: demand for stage {stage!r} is negative"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        """Whether the query has finished the last pipeline stage."""
+        return self.completion_time is not None
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Response latency: completion minus arrival."""
+        if self.arrival_time is None or self.completion_time is None:
+            raise ServiceError(f"query {self.qid} has not completed")
+        return self.completion_time - self.arrival_time
+
+    def demand_for(self, stage_name: str) -> float:
+        """Work demand for a stage; raises if the stage is unknown."""
+        try:
+            return self.demands[stage_name]
+        except KeyError:
+            raise ServiceError(
+                f"query {self.qid} has no demand for stage {stage_name!r}"
+            ) from None
+
+    def record_for(self, stage_name: str) -> StageRecord:
+        """First record the query collected at the named stage."""
+        for record in self.records:
+            if record.stage_name == stage_name:
+                return record
+        raise ServiceError(
+            f"query {self.qid} has no record for stage {stage_name!r}"
+        )
+
+    def append_record(self, record: StageRecord) -> None:
+        """Append a latency record (called by the service instance)."""
+        self.records.append(record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "done" if self.completed else "in-flight"
+        return f"Query(qid={self.qid}, {status}, records={len(self.records)})"

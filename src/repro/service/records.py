@@ -1,0 +1,64 @@
+"""Per-instance latency records carried by queries.
+
+The paper's service/query joint design (Section 4.1, Figure 6): "when a
+service instance finishes processing a query, it appends latency
+statistics, including instance signature (ID), the queuing and processing
+time, to the extended query data structure".  :class:`StageRecord` is that
+appended entry; the list of them rides on the query until the pipeline
+completes, then the command center ingests it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["StageRecord"]
+
+
+@dataclass
+class StageRecord:
+    """Timing of one query's visit to one service instance.
+
+    ``enqueue_time`` is stamped when the query enters the instance's queue,
+    ``start_time`` when the instance begins serving it, ``finish_time``
+    when serving completes.  All timestamps are local to the instance —
+    the design needs no global clock synchronisation (Section 4.1).
+    """
+
+    instance_id: int
+    instance_name: str
+    stage_name: str
+    enqueue_time: float
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the record has both start and finish stamps."""
+        return self.start_time is not None and self.finish_time is not None
+
+    @property
+    def queuing_time(self) -> float:
+        """Time spent waiting in the instance's queue."""
+        if self.start_time is None:
+            raise ServiceError(
+                f"record for {self.instance_name} has no start_time yet"
+            )
+        return self.start_time - self.enqueue_time
+
+    @property
+    def serving_time(self) -> float:
+        """Time spent being processed by the instance."""
+        if self.start_time is None or self.finish_time is None:
+            raise ServiceError(
+                f"record for {self.instance_name} is not complete yet"
+            )
+        return self.finish_time - self.start_time
+
+    @property
+    def processing_delay(self) -> float:
+        """Queuing plus serving time (the Table-1 'processing delay')."""
+        return self.queuing_time + self.serving_time

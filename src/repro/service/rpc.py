@@ -1,0 +1,86 @@
+"""A simulated RPC fabric (the Apache Thrift stand-in).
+
+Section 3: "Service instances across stages can run in distributed way
+and communicate with command center as well as each other through remote
+procedure call (RPC)."  The prototype used Apache Thrift (Section 7.1);
+in the simulation an :class:`RpcFabric` carries the same traffic: each
+``send`` delivers a callback after the configured one-way latency
+(optionally jittered), and per-link message counters make the
+communication overhead measurable — including the Section-4.1 claim that
+the query-carried statistics design needs only one report per query.
+
+The paper's evaluation sets network delay to zero ("the network delays
+are not considered in our study"), which is the default here too.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.rng import SeededStream
+
+__all__ = ["RpcFabric"]
+
+
+class RpcFabric:
+    """Message transport between stages, users and the command center."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+        rng: Optional[SeededStream] = None,
+    ) -> None:
+        if latency_s < 0.0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
+        if jitter_s < 0.0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter_s}")
+        if jitter_s > 0.0 and rng is None:
+            raise ConfigurationError("jitter requires an rng stream")
+        self.sim = sim
+        self.latency_s = float(latency_s)
+        self.jitter_s = float(jitter_s)
+        self._rng = rng
+        self._messages = 0
+        self._links: Counter[tuple[str, str]] = Counter()
+
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, deliver: Callable[[], None]) -> None:
+        """Send one message; ``deliver`` runs after the one-way latency."""
+        if not src or not dst:
+            raise ConfigurationError("src and dst endpoints must be non-empty")
+        self._messages += 1
+        self._links[(src, dst)] += 1
+        delay = self.latency_s
+        if self.jitter_s > 0.0:
+            assert self._rng is not None
+            delay += self._rng.uniform(0.0, self.jitter_s)
+        if delay == 0.0:
+            deliver()
+        else:
+            self.sim.schedule(delay, deliver, priority=EventPriority.NORMAL)
+
+    # ------------------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        """Total messages carried by the fabric."""
+        return self._messages
+
+    def link_count(self, src: str, dst: str) -> int:
+        """Messages sent over one directed link."""
+        return self._links[(src, dst)]
+
+    def links(self) -> dict[tuple[str, str], int]:
+        """All directed links and their message counts."""
+        return dict(self._links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RpcFabric(latency={self.latency_s}s, "
+            f"{self._messages} messages over {len(self._links)} links)"
+        )

@@ -1,0 +1,212 @@
+"""A processing stage: a pool of service instances behind a dispatcher.
+
+"To sustain the large amount of user queries, each stage consists of
+multiple service instances to alleviate the load." (Section 1, Figure 3)
+
+Two stage kinds are supported:
+
+* ``PIPELINE`` — the default: each query is served by exactly one instance
+  of the stage (Sirius's ASR/IMM/QA, NLP's POS/PSG/SRL).
+* ``SCATTER_GATHER`` — every query fans out to *all* running instances,
+  each serving an equal shard, and the stage completes when the last shard
+  finishes.  This models Web Search's leaf tier (Table 3: "1 aggregation
+  service and 10 leaf services"), where withdrawing a leaf redistributes
+  its shard of the index across the survivors.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import StageError
+from repro.cluster.machine import Machine
+from repro.service.dispatch import Dispatcher, ShortestQueueDispatcher
+from repro.service.instance import Job, ServiceInstance
+from repro.service.profile import ServiceProfile
+from repro.service.query import Query
+from repro.sim.engine import Simulator
+
+__all__ = ["Stage", "StageKind"]
+
+
+class StageKind(enum.Enum):
+    """How queries map onto the stage's instance pool."""
+
+    PIPELINE = "pipeline"
+    SCATTER_GATHER = "scatter_gather"
+
+
+class Stage:
+    """One stage of a multi-stage application."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: ServiceProfile,
+        machine: Machine,
+        sim: Simulator,
+        iid_counter: "itertools.count[int]",
+        dispatcher: Optional[Dispatcher] = None,
+        kind: StageKind = StageKind.PIPELINE,
+    ) -> None:
+        if not name:
+            raise StageError("stage needs a non-empty name")
+        self.name = name
+        self.profile = profile
+        self.machine = machine
+        self.sim = sim
+        self.kind = kind
+        self.dispatcher = dispatcher if dispatcher is not None else ShortestQueueDispatcher()
+        self._iid_counter = iid_counter
+        self._name_counter = itertools.count(1)
+        self._instances: list[ServiceInstance] = []
+        self._launches = 0
+        self._withdrawals = 0
+
+    # ------------------------------------------------------------------
+    # Pool introspection
+    # ------------------------------------------------------------------
+    @property
+    def instances(self) -> tuple[ServiceInstance, ...]:
+        """All non-withdrawn instances (running and draining)."""
+        return tuple(self._instances)
+
+    def running_instances(self) -> list[ServiceInstance]:
+        return [inst for inst in self._instances if inst.running]
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    @property
+    def launches(self) -> int:
+        """Total instances launched into this stage over the run."""
+        return self._launches
+
+    @property
+    def withdrawals(self) -> int:
+        """Total instances withdrawn from this stage over the run."""
+        return self._withdrawals
+
+    def total_power(self) -> float:
+        return sum(inst.power_watts for inst in self._instances)
+
+    def total_queue_length(self) -> int:
+        return sum(inst.queue_length for inst in self._instances)
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def launch_instance(self, level: int) -> ServiceInstance:
+        """Start a new instance at the given ladder level.
+
+        Acquires a core from the machine; power-budget enforcement is the
+        caller's job (the controller checks before boosting).
+        """
+        core = self.machine.acquire_core(level)
+        name = f"{self.name}_{next(self._name_counter)}"
+        instance = ServiceInstance(
+            iid=next(self._iid_counter),
+            name=name,
+            stage_name=self.name,
+            profile=self.profile,
+            core=core,
+            sim=self.sim,
+            machine=self.machine,
+        )
+        self._instances.append(instance)
+        self._launches += 1
+        return instance
+
+    def withdraw_instance(
+        self,
+        instance: ServiceInstance,
+        redirect_to: Optional[ServiceInstance] = None,
+    ) -> None:
+        """Withdraw an instance: redirect its waiting load, drain, release.
+
+        "The additional load is then redirected to the fastest service
+        instance that has the least possibility to be overwhelmed"
+        (Section 6.2): the PowerChief withdrawer passes that instance as
+        ``redirect_to``; without it the stage's dispatcher spreads the
+        jobs over the remaining pool.  A stage never drops to zero
+        instances ("an underutilized instance can be withdrew only if there
+        are more than one instance within the same stage").
+        """
+        if instance not in self._instances:
+            raise StageError(f"{instance.name} is not in stage {self.name}")
+        if not instance.running:
+            raise StageError(f"{instance.name} is already {instance.state.value}")
+        remaining = [inst for inst in self.running_instances() if inst is not instance]
+        if not remaining:
+            raise StageError(
+                f"cannot withdraw the only instance of stage {self.name}"
+            )
+        if redirect_to is not None and redirect_to not in remaining:
+            raise StageError(
+                f"redirect target {redirect_to.name} is not a running "
+                f"instance of stage {self.name}"
+            )
+        for job in instance.take_all_waiting():
+            target = (
+                redirect_to
+                if redirect_to is not None
+                else self.dispatcher.select(remaining)
+            )
+            target.enqueue(job)
+        self._withdrawals += 1
+        instance.drain(self._on_drained)
+
+    def _on_drained(self, instance: ServiceInstance) -> None:
+        self.machine.release_core(instance.core)
+        self._instances.remove(instance)
+
+    # ------------------------------------------------------------------
+    # Query flow
+    # ------------------------------------------------------------------
+    def submit(self, query: Query, on_stage_done: Callable[[Query], None]) -> None:
+        """Route a query into the stage; ``on_stage_done`` fires on completion."""
+        running = self.running_instances()
+        if not running:
+            raise StageError(f"stage {self.name} has no running instances")
+        if self.kind is StageKind.PIPELINE:
+            self._submit_pipeline(query, running, on_stage_done)
+        else:
+            self._submit_scatter_gather(query, running, on_stage_done)
+
+    def _submit_pipeline(
+        self,
+        query: Query,
+        running: list[ServiceInstance],
+        on_stage_done: Callable[[Query], None],
+    ) -> None:
+        work = query.demand_for(self.name)
+        instance = self.dispatcher.select(running)
+        instance.enqueue(Job(query=query, work=work, on_done=on_stage_done))
+
+    def _submit_scatter_gather(
+        self,
+        query: Query,
+        running: list[ServiceInstance],
+        on_stage_done: Callable[[Query], None],
+    ) -> None:
+        total_work = query.demand_for(self.name)
+        shard_work = total_work / len(running)
+        outstanding = len(running)
+
+        def shard_done(done_query: Query) -> None:
+            nonlocal outstanding
+            outstanding -= 1
+            if outstanding == 0:
+                on_stage_done(done_query)
+
+        for instance in running:
+            instance.enqueue(Job(query=query, work=shard_work, on_done=shard_done))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Stage({self.name!r}, {self.kind.value}, "
+            f"{len(self._instances)} instances)"
+        )

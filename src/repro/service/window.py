@@ -1,0 +1,109 @@
+"""Moving-window latency statistics.
+
+"PowerChief leverages a moving time window to calculate this latency
+metric for each service instance" (Section 4.2).  A :class:`LatencyWindow`
+holds (finish_time, queuing, serving) samples and evicts everything older
+than the window span; averages and percentiles are computed over whatever
+remains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.util.percentile import percentile
+
+__all__ = ["LatencyWindow"]
+
+
+class LatencyWindow:
+    """Time-bounded window of per-query (queuing, serving) samples."""
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0.0:
+            raise ConfigurationError(f"window must be > 0 s, got {window_s}")
+        self.window_s = float(window_s)
+        self._samples: deque[tuple[float, float, float]] = deque()
+        self._total_ingested = 0
+
+    # ------------------------------------------------------------------
+    def add(self, time: float, queuing: float, serving: float) -> None:
+        """Record one completed query's stats, stamped at ``time``."""
+        if self._samples and time < self._samples[-1][0]:
+            # Records arrive when the *pipeline* completes, so a slow later
+            # stage can deliver an earlier stage's sample out of order.
+            # Insert in place to keep eviction correct.
+            self._insert_sorted(time, queuing, serving)
+        else:
+            self._samples.append((time, queuing, serving))
+        self._total_ingested += 1
+        self._evict(time)
+
+    def _insert_sorted(self, time: float, queuing: float, serving: float) -> None:
+        items = list(self._samples)
+        index = len(items)
+        while index > 0 and items[index - 1][0] > time:
+            index -= 1
+        items.insert(index, (time, queuing, serving))
+        self._samples = deque(items)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    # ------------------------------------------------------------------
+    def count(self, now: float) -> int:
+        self._evict(now)
+        return len(self._samples)
+
+    @property
+    def total_ingested(self) -> int:
+        """All samples ever added, including evicted ones."""
+        return self._total_ingested
+
+    def _values(self, now: float, index: int) -> list[float]:
+        self._evict(now)
+        return [sample[index] for sample in self._samples]
+
+    def avg_queuing(self, now: float) -> Optional[float]:
+        values = self._values(now, 1)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def avg_serving(self, now: float) -> Optional[float]:
+        values = self._values(now, 2)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def avg_processing(self, now: float) -> Optional[float]:
+        self._evict(now)
+        if not self._samples:
+            return None
+        total = sum(q + s for _, q, s in self._samples)
+        return total / len(self._samples)
+
+    def p99_queuing(self, now: float) -> Optional[float]:
+        values = self._values(now, 1)
+        if not values:
+            return None
+        return percentile(values, 99.0)
+
+    def p99_serving(self, now: float) -> Optional[float]:
+        values = self._values(now, 2)
+        if not values:
+            return None
+        return percentile(values, 99.0)
+
+    def p99_processing(self, now: float) -> Optional[float]:
+        self._evict(now)
+        if not self._samples:
+            return None
+        return percentile([q + s for _, q, s in self._samples], 99.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyWindow({self.window_s}s, {len(self._samples)} samples)"

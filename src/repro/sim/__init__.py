@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+This package provides the simulation engine that the PowerChief
+reproduction runs on: a deterministic event loop (:class:`Simulator`),
+cancellable :class:`Event` objects with stable tie-breaking
+(:class:`EventPriority`), reproducible named random streams
+(:class:`RandomStreams`) and periodic control-loop processes
+(:class:`PeriodicProcess`).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventPriority
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams, SeededStream
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventPriority",
+    "PeriodicProcess",
+    "RandomStreams",
+    "SeededStream",
+]

@@ -1,0 +1,179 @@
+"""The discrete-event simulation engine.
+
+The :class:`Simulator` is the heartbeat of the whole reproduction: the CMP
+power substrate, the multi-stage service pipeline, the load generators and
+the PowerChief controllers all advance by scheduling callbacks on a single
+shared simulator.  Time is a ``float`` in seconds.
+
+The engine is intentionally minimal and deterministic:
+
+* events fire in ``(time, priority, seq)`` order (see
+  :class:`repro.sim.events.EventPriority`),
+* cancelled events are lazily skipped when popped,
+* exceptions raised by callbacks abort the run — silent failure would make
+  experiment results meaningless.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, EventPriority
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if start_time < 0.0:
+            raise SimulationError(f"start_time must be >= 0, got {start_time}")
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events whose callbacks have run."""
+        return self._events_processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still scheduled (including cancelled stragglers)."""
+        return sum(1 for event in self._queue if event.pending)
+
+    def empty(self) -> bool:
+        """Whether no pending (non-cancelled) events remain."""
+        return not any(event.pending for event in self._queue)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Schedule ``action(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SchedulingError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self._now + delay, action, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.NORMAL,
+    ) -> Event:
+        """Schedule ``action(*args)`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time}; simulator is already at t={self._now}"
+            )
+        if not callable(action):
+            raise SchedulingError(f"event action must be callable, got {action!r}")
+        event = Event(time, int(priority), next(self._seq), action, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        self._drop_cancelled_head()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event._mark_fired()
+        self._events_processed += 1
+        event.action(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or the budget hits.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            the clock is advanced to ``until`` so periodic processes can be
+            resumed seamlessly by a later ``run`` call.
+        max_events:
+            Safety valve for tests; raises :class:`SimulationError` when
+            exceeded, which usually indicates a runaway event loop.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until}; simulator is already at t={self._now}"
+            )
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={self.pending_count})"

@@ -1,0 +1,90 @@
+"""Recurring simulated processes.
+
+:class:`PeriodicProcess` is the building block behind every controller in
+this reproduction: PowerChief's 25 s adjust interval, the 150 s withdraw
+interval, Pegasus's 2 s / 10 s control loops and the power telemetry
+sampler are all periodic callbacks on the shared simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventPriority
+
+__all__ = ["PeriodicProcess"]
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``interval`` simulated seconds.
+
+    The callback receives the current simulated time.  The process arms its
+    next tick *after* the callback returns, so a callback that stops the
+    process does not leave a stray event behind.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[float], Any],
+        *,
+        start_delay: Optional[float] = None,
+        priority: int = EventPriority.CONTROL,
+        name: str = "periodic",
+    ) -> None:
+        if interval <= 0.0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        self.sim = sim
+        self.interval = float(interval)
+        self.callback = callback
+        self.priority = priority
+        self.name = name
+        self._event: Optional[Event] = None
+        self._running = False
+        self._ticks = 0
+        self._start_delay = self.interval if start_delay is None else float(start_delay)
+        if self._start_delay < 0.0:
+            raise SimulationError(f"start_delay must be >= 0, got {self._start_delay}")
+
+    @property
+    def running(self) -> bool:
+        """Whether the process currently has a tick scheduled."""
+        return self._running
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has run."""
+        return self._ticks
+
+    def start(self) -> None:
+        """Arm the first tick; starting an already-running process fails."""
+        if self._running:
+            raise SimulationError(f"process {self.name!r} is already running")
+        self._running = True
+        self._event = self.sim.schedule(
+            self._start_delay, self._tick, priority=self.priority
+        )
+
+    def stop(self) -> None:
+        """Cancel the pending tick, if any.  Stopping twice is a no-op."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._ticks += 1
+        self.callback(self.sim.now)
+        if self._running:
+            self._event = self.sim.schedule(
+                self.interval, self._tick, priority=self.priority
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return f"PeriodicProcess({self.name!r}, every {self.interval}s, {state})"

@@ -1,0 +1,5 @@
+"""Small shared utilities (percentiles, latency summaries)."""
+
+from repro.util.percentile import LatencySummary, percentile, summarize
+
+__all__ = ["LatencySummary", "percentile", "summarize"]

@@ -1,0 +1,65 @@
+"""Percentile and latency-summary helpers.
+
+The paper reports average and 99th-percentile ("tail") latency throughout
+its evaluation.  We use the nearest-rank percentile definition, which is
+exact on small samples and never interpolates a latency that no query
+actually experienced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["percentile", "LatencySummary", "summarize"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (``p`` in [0, 100]).
+
+    Raises ``ValueError`` on an empty sample — returning a silent 0 would
+    corrupt improvement ratios downstream.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not values:
+        raise ValueError("cannot take the percentile of an empty sample")
+    ordered = sorted(values)
+    # max(1, ...) guards sub-epsilon p values whose rank would otherwise
+    # round to 0 and wrap around to the maximum.
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4f}s p50={self.p50:.4f}s "
+            f"p95={self.p95:.4f}s p99={self.p99:.4f}s max={self.max:.4f}s"
+        )
+
+
+def summarize(values: Iterable[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary`; raises on an empty sample."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarize an empty latency sample")
+    return LatencySummary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p50=percentile(data, 50.0),
+        p95=percentile(data, 95.0),
+        p99=percentile(data, 99.0),
+        max=max(data),
+    )

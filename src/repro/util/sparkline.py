@@ -1,0 +1,50 @@
+"""Unicode sparklines for timeline rendering.
+
+The QoS figures (13/14) are line charts in the paper; the benchmark
+harness renders their series as one-line sparklines so the convergence
+behaviour is visible in plain terminal output.
+
+>>> sparkline([0.0, 0.5, 1.0])
+'▁▄█'
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_GAP = "·"
+
+
+def sparkline(
+    values: Sequence[Optional[float]],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a series as block characters; ``None`` values render as dots.
+
+    ``lo``/``hi`` pin the scale (e.g. 0..1 for fractions); by default the
+    observed range is used.  A flat series renders at the mid level.
+    """
+    present = [value for value in values if value is not None]
+    if not present:
+        return _GAP * len(values)
+    low = min(present) if lo is None else lo
+    high = max(present) if hi is None else hi
+    if high < low:
+        raise ValueError(f"hi ({high}) must be >= lo ({low})")
+    span = high - low
+    cells = []
+    for value in values:
+        if value is None:
+            cells.append(_GAP)
+            continue
+        if span == 0.0:
+            cells.append(_BLOCKS[len(_BLOCKS) // 2])
+            continue
+        clamped = min(max(value, low), high)
+        index = int((clamped - low) / span * (len(_BLOCKS) - 1))
+        cells.append(_BLOCKS[index])
+    return "".join(cells)

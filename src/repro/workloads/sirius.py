@@ -1,0 +1,81 @@
+"""The Sirius intelligent-personal-assistant workload (Figures 1, 8).
+
+Sirius [Hauswald et al., ASPLOS'15] processes a voice-and-vision query
+through Automatic Speech Recognition (ASR), Image Matching (IMM) and
+Question-Answering (QA) stages (Figure 8; the evaluation's Table-2 stage
+setup is "1 ASR service, 1 IMM service and 1 QA service").
+
+Demand calibration (seconds of work at the 1.2 GHz ladder floor) follows
+the stage behaviour the paper reports: QA is the heaviest stage and the
+usual bottleneck, ASR is the second bottleneck under load (Figure 11),
+and IMM is light.  IMM's sub-linear frequency speedup (``beta < 1``)
+models its memory-bound feature matching, which is why boosting IMM is a
+poor use of power (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cluster.machine import Machine
+from repro.service.application import Application
+from repro.service.demand import LogNormalDemand
+from repro.service.profile import PowerLawSpeedup, ServiceProfile
+from repro.sim.engine import Simulator
+from repro.workloads.levels import LoadLevels, load_levels_for
+from repro.workloads.synthetic import build_application
+
+__all__ = [
+    "SIRIUS_STAGES",
+    "sirius_profiles",
+    "build_sirius",
+    "sirius_load_levels",
+]
+
+#: Pipeline order of the Sirius stages.
+SIRIUS_STAGES = ("ASR", "IMM", "QA")
+
+_LADDER_FLOOR_GHZ = 1.2
+
+
+def sirius_profiles() -> list[ServiceProfile]:
+    """Offline profiles of the three Sirius services."""
+    return [
+        ServiceProfile(
+            name="ASR",
+            demand=LogNormalDemand(mean_seconds=0.50, sigma=0.45),
+            speedup=PowerLawSpeedup(_LADDER_FLOOR_GHZ, beta=0.85),
+        ),
+        ServiceProfile(
+            name="IMM",
+            demand=LogNormalDemand(mean_seconds=0.20, sigma=0.50),
+            speedup=PowerLawSpeedup(_LADDER_FLOOR_GHZ, beta=0.55),
+        ),
+        ServiceProfile(
+            name="QA",
+            demand=LogNormalDemand(mean_seconds=1.00, sigma=0.60),
+            speedup=PowerLawSpeedup(_LADDER_FLOOR_GHZ, beta=1.00),
+        ),
+    ]
+
+
+def build_sirius(
+    sim: Simulator,
+    machine: Machine,
+    initial_level: int,
+    instances_per_stage: Mapping[str, int] | int = 1,
+) -> Application:
+    """Build the Sirius pipeline with its initial instance pools."""
+    return build_application(
+        name="sirius",
+        sim=sim,
+        machine=machine,
+        profiles=sirius_profiles(),
+        initial_level=initial_level,
+        instances_per_stage=instances_per_stage,
+    )
+
+
+def sirius_load_levels(baseline_freq_ghz: float = 1.8) -> LoadLevels:
+    """The low/medium/high arrival rates for the Table-2 deployment."""
+    return load_levels_for(sirius_profiles(), baseline_freq_ghz)

@@ -1,0 +1,42 @@
+"""Canned load traces for the runtime-behaviour experiments.
+
+Figure 11 runs Sirius for ~900 s under a fluctuating load with a distinct
+low-load valley "between 175s and 275s" where "the serving time of [the]
+QA service instance dominates the response latency" and its frequency is
+boosted to the maximum.  :func:`fig11_trace` reproduces that shape,
+parameterised by the application's high-load rate so it transfers across
+workloads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.loadgen import PiecewiseLoad
+
+__all__ = ["fig11_trace", "FIG11_DURATION_S"]
+
+#: Figure 11's x-axis spans roughly 900 seconds.
+FIG11_DURATION_S = 900.0
+
+
+def fig11_trace(high_qps: float) -> PiecewiseLoad:
+    """The Figure-11 load fluctuation, scaled to a given high-load rate.
+
+    Shape: a ramp into heavy load over the first two minutes, the paper's
+    low-load valley at 175-275 s, then alternating medium and heavy
+    phases for the rest of the run.
+    """
+    if high_qps <= 0.0:
+        raise ConfigurationError(f"high_qps must be > 0, got {high_qps}")
+    return PiecewiseLoad(
+        [
+            (0.0, 0.55 * high_qps),
+            (50.0, 0.90 * high_qps),
+            (125.0, 1.15 * high_qps),
+            (175.0, 0.30 * high_qps),
+            (275.0, 1.05 * high_qps),
+            (450.0, 0.75 * high_qps),
+            (625.0, 1.20 * high_qps),
+            (775.0, 0.90 * high_qps),
+        ]
+    )

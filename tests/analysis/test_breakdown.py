@@ -1,0 +1,111 @@
+"""Unit tests for the latency-breakdown analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.breakdown import analyze_queries
+from repro.errors import ExperimentError
+from repro.service.command_center import CommandCenter
+from repro.service.query import Query
+from repro.service.records import StageRecord
+
+from tests.conftest import submit_two_stage_query
+
+
+def synthetic_query(qid, a_queue, a_serve, b_queue, b_serve):
+    query = Query(qid=qid, demands={"A": a_serve, "B": b_serve})
+    query.arrival_time = 0.0
+    t = 0.0
+    for stage, queuing, serving in (("A", a_queue, a_serve), ("B", b_queue, b_serve)):
+        query.append_record(
+            StageRecord(
+                instance_id=0,
+                instance_name=f"{stage}_1",
+                stage_name=stage,
+                enqueue_time=t,
+                start_time=t + queuing,
+                finish_time=t + queuing + serving,
+            )
+        )
+        t += queuing + serving
+    query.completion_time = t
+    return query
+
+
+class TestAnalyzeSynthetic:
+    def make_breakdown(self):
+        queries = [synthetic_query(qid, 0.1, 0.2, 0.5, 1.0) for qid in range(99)]
+        # One tail query dominated by queueing at B.
+        queries.append(synthetic_query(99, 0.1, 0.2, 10.0, 1.0))
+        return analyze_queries(queries, ("A", "B"))
+
+    def test_stage_means(self):
+        breakdown = self.make_breakdown()
+        stage_a = breakdown.stage("A")
+        assert stage_a.mean_queuing_s == pytest.approx(0.1)
+        assert stage_a.mean_serving_s == pytest.approx(0.2)
+
+    def test_shares_sum_to_one(self):
+        breakdown = self.make_breakdown()
+        assert sum(stage.mean_share for stage in breakdown.stages) == pytest.approx(1.0)
+
+    def test_bottleneck_stage_is_b(self):
+        breakdown = self.make_breakdown()
+        assert breakdown.bottleneck_stage().stage_name == "B"
+
+    def test_queuing_dominance_flag(self):
+        breakdown = self.make_breakdown()
+        assert not breakdown.stage("A").queuing_dominated
+        # B: mean queuing 0.595 vs serving 1.0 -> serving dominated.
+        assert not breakdown.stage("B").queuing_dominated
+
+    def test_tail_profile_identifies_burst(self):
+        breakdown = self.make_breakdown()
+        assert breakdown.tail.dominant_stage == "B"
+        # The tail query spent 10s queuing out of ~11.3s total.
+        assert breakdown.tail.queuing_fraction > 0.8
+        assert breakdown.tail.tail_count >= 1
+
+    def test_p99_is_nearest_rank(self):
+        # With 100 samples the nearest-rank p99 is the 99th smallest —
+        # the last "normal" query, not the single outlier.
+        breakdown = self.make_breakdown()
+        assert breakdown.p99_latency_s == pytest.approx(1.8)
+
+    def test_tail_is_the_slowest_percent(self):
+        breakdown = self.make_breakdown()
+        assert breakdown.tail.tail_count == 1
+
+    def test_incomplete_queries_skipped(self):
+        queries = [synthetic_query(0, 0.1, 0.2, 0.5, 1.0)]
+        in_flight = Query(qid=1, demands={"A": 1.0, "B": 1.0})
+        in_flight.arrival_time = 0.0
+        breakdown = analyze_queries(queries + [in_flight], ("A", "B"))
+        assert breakdown.query_count == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ExperimentError):
+            analyze_queries([], ("A", "B"))
+
+    def test_unknown_stage_lookup_rejected(self):
+        breakdown = self.make_breakdown()
+        with pytest.raises(ExperimentError):
+            breakdown.stage("Z")
+
+
+class TestAnalyzeSimulated:
+    def test_breakdown_from_simulated_run(self, sim, two_stage_app):
+        command_center = CommandCenter(sim, two_stage_app, retain_queries=True)
+        for qid in range(50):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        breakdown = analyze_queries(
+            command_center.completed_queries, two_stage_app.stage_names()
+        )
+        assert breakdown.query_count == 50
+        # B (1.0s demand) dominates A (0.2s demand).
+        assert breakdown.bottleneck_stage().stage_name == "B"
+        # Stage sums reconstruct the mean end-to-end latency (no hops).
+        reconstructed = sum(stage.mean_total_s for stage in breakdown.stages)
+        assert reconstructed == pytest.approx(breakdown.mean_latency_s, rel=1e-6)

@@ -1,0 +1,114 @@
+"""Unit tests for the analytical queueing formulas, plus simulator
+validation: the substrate must agree with M/M/1 and M/G/1 theory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queueing import (
+    lognormal_cv2,
+    mg1_mean_wait,
+    mm1_mean_response,
+    mm1_mean_wait,
+    required_instances,
+    utilization,
+)
+from repro.errors import ConfigurationError
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.demand import ExponentialDemand, LogNormalDemand
+from repro.service.profile import PowerLawSpeedup, ServiceProfile
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.loadgen import ConstantLoad, PoissonLoadGenerator, QueryFactory
+
+
+class TestFormulas:
+    def test_utilization(self):
+        assert utilization(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_mm1_wait_half_load(self):
+        # rho=0.5, s=1: W = 0.5*1/0.5 = 1.
+        assert mm1_mean_wait(0.5, 1.0) == pytest.approx(1.0)
+
+    def test_mm1_response(self):
+        assert mm1_mean_response(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_mm1_wait_grows_without_bound_near_saturation(self):
+        assert mm1_mean_wait(0.99, 1.0) > mm1_mean_wait(0.9, 1.0) * 5
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mm1_mean_wait(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            mg1_mean_wait(2.0, 1.0, 1.0)
+
+    def test_mg1_reduces_to_mm1_at_cv2_one(self):
+        # Exponential service: cv^2 = 1 -> P-K equals M/M/1.
+        assert mg1_mean_wait(0.5, 1.0, 1.0) == pytest.approx(mm1_mean_wait(0.5, 1.0))
+
+    def test_mg1_deterministic_is_half_of_mm1(self):
+        assert mg1_mean_wait(0.5, 1.0, 0.0) == pytest.approx(
+            0.5 * mm1_mean_wait(0.5, 1.0)
+        )
+
+    def test_lognormal_cv2(self):
+        assert lognormal_cv2(0.0) == pytest.approx(0.0)
+        assert lognormal_cv2(1.0) == pytest.approx(1.718281828, rel=1e-6)
+
+    def test_required_instances(self):
+        # 4 qps of 0.5s work at 80% cap -> ceil(2/0.8) = 3 instances.
+        assert required_instances(4.0, 0.5) == 3
+        assert required_instances(0.0, 0.5) == 1
+
+    def test_required_instances_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_instances(1.0, 1.0, max_utilization=1.0)
+
+
+class TestSimulatorValidation:
+    """The substrate's queues must match closed-form theory."""
+
+    def run_single_queue(self, demand, rate, duration=40_000.0, seed=17):
+        sim = Simulator()
+        machine = Machine(sim, n_cores=2)
+        app = Application("mm1", sim, machine)
+        profile = ServiceProfile(
+            "S", demand, PowerLawSpeedup(HASWELL_LADDER.min_ghz, beta=1.0)
+        )
+        app.add_stage(profile).launch_instance(HASWELL_LADDER.min_level)
+        command_center = CommandCenter(
+            sim, app, window_s=duration, retain_queries=True
+        )
+        streams = RandomStreams(seed)
+        generator = PoissonLoadGenerator(
+            sim, app, QueryFactory([profile], streams), ConstantLoad(rate),
+            streams, duration,
+        )
+        generator.start()
+        sim.run()
+        waits = [
+            query.record_for("S").queuing_time
+            for query in command_center.completed_queries
+        ]
+        return sum(waits) / len(waits)
+
+    def test_mm1_waiting_time_matches_theory(self):
+        # Exponential(1.0s) service at the 1.2 GHz floor, lambda=0.5.
+        measured = self.run_single_queue(ExponentialDemand(1.0), rate=0.5)
+        assert measured == pytest.approx(mm1_mean_wait(0.5, 1.0), rel=0.08)
+
+    def test_mg1_lognormal_waiting_time_matches_pollaczek_khinchine(self):
+        sigma = 0.6
+        measured = self.run_single_queue(
+            LogNormalDemand(1.0, sigma=sigma), rate=0.5
+        )
+        expected = mg1_mean_wait(0.5, 1.0, lognormal_cv2(sigma))
+        assert measured == pytest.approx(expected, rel=0.10)
+
+    def test_higher_load_queues_longer(self):
+        light = self.run_single_queue(ExponentialDemand(1.0), rate=0.3, duration=20_000.0)
+        heavy = self.run_single_queue(ExponentialDemand(1.0), rate=0.7, duration=20_000.0)
+        assert heavy > 2.0 * light

@@ -1,0 +1,119 @@
+"""Unit tests for per-application power budgets (Section 8.5 collocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.core.controller import ControllerConfig, PowerChiefController
+from repro.errors import PowerBudgetExceeded
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.instance import Job
+from repro.service.query import Query
+
+from tests.conftest import make_profile
+
+
+LEVEL_1_8 = HASWELL_LADDER.level_of(1.8)
+
+
+def build_app(sim, machine, name):
+    app = Application(name, sim, machine)
+    for profile in (make_profile("A", mean=0.2), make_profile("B", mean=1.0)):
+        app.add_stage(profile).launch_instance(LEVEL_1_8)
+    return app
+
+
+class TestApplicationScopedBudget:
+    def test_scope_draw_counts_only_that_application(self, sim, machine):
+        app_one = build_app(sim, machine, "one")
+        app_two = build_app(sim, machine, "two")
+        budget_one = PowerBudget(machine, 13.56, scope=app_one)
+        # The machine carries both apps (4 cores), the scope only two.
+        assert machine.total_power() == pytest.approx(4 * 4.52)
+        assert budget_one.draw() == pytest.approx(2 * 4.52)
+        assert budget_one.available() == pytest.approx(13.56 - 2 * 4.52)
+
+    def test_machine_scope_is_the_default(self, sim, machine):
+        build_app(sim, machine, "one")
+        budget = PowerBudget(machine, 50.0)
+        assert budget.draw() == pytest.approx(machine.total_power())
+
+    def test_scoped_assert_ignores_the_neighbour(self, sim, machine):
+        app_one = build_app(sim, machine, "one")
+        build_app(sim, machine, "two")
+        budget_one = PowerBudget(machine, 9.5, scope=app_one)
+        budget_one.assert_within()  # 9.04 W < 9.5 W despite 18 W machine-wide
+
+    def test_scoped_overdraw_detected(self, sim, machine):
+        app_one = build_app(sim, machine, "one")
+        budget_one = PowerBudget(machine, 9.5, scope=app_one)
+        app_one.stage("B").launch_instance(LEVEL_1_8)
+        with pytest.raises(PowerBudgetExceeded):
+            budget_one.assert_within()
+
+
+class TestCollocatedControllers:
+    def test_two_powerchiefs_share_a_machine(self, sim, machine):
+        """Section 8.5: per-application budgets on one CMP server."""
+        apps = [build_app(sim, machine, name) for name in ("one", "two")]
+        controllers = []
+        budgets = []
+        for app in apps:
+            command_center = CommandCenter(sim, app, window_s=30.0)
+            budget = PowerBudget(machine, 13.56, scope=app)
+            # Threshold above the idle profile-prior spread so the
+            # unloaded neighbour's controller stays quiet.
+            controller = PowerChiefController(
+                sim,
+                app,
+                command_center,
+                budget,
+                DvfsActuator(sim),
+                ControllerConfig(adjust_interval_s=5.0, balance_threshold_s=1.0),
+            )
+            controller.start()
+            controllers.append(controller)
+            budgets.append(budget)
+        # Overload app one only, through the pipeline so its command
+        # center ingests the queueing statistics.
+        for qid in range(60):
+            apps[0].submit(Query(qid, {"A": 0.05, "B": 1.0}))
+        sim.run(until=40.0)
+        # App one's controller acted; app two's never overdrew nor acted on
+        # app one's instances.
+        assert any(
+            type(action).__name__ != "SkipAction"
+            for action in controllers[0].actions
+        )
+        for budget in budgets:
+            budget.assert_within()
+        one_names = {inst.name for inst in apps[0].all_instances()}
+        for action in controllers[1].actions:
+            instance_name = getattr(action, "instance_name", None)
+            assert instance_name is None or instance_name not in one_names
+
+    def test_per_app_budget_limits_boosting(self, sim, machine):
+        app = build_app(sim, machine, "one")
+        build_app(sim, machine, "two")  # neighbour occupying cores/power
+        command_center = CommandCenter(sim, app, window_s=30.0)
+        budget = PowerBudget(machine, 9.5, scope=app)  # tight per-app cap
+        controller = PowerChiefController(
+            sim,
+            app,
+            command_center,
+            budget,
+            DvfsActuator(sim),
+            ControllerConfig(adjust_interval_s=5.0, balance_threshold_s=0.25),
+        )
+        controller.start()
+        bottleneck = app.stage("B").instances[0]
+        for qid in range(60):
+            bottleneck.enqueue(
+                Job(Query(qid, {"B": 1.0}), work=1.0, on_done=lambda q: None)
+            )
+        sim.run(until=60.0)
+        assert app.total_power() <= 9.5 + 1e-9

@@ -1,0 +1,70 @@
+"""Unit tests for power-model calibration fitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.cluster.calibration import fit_cubic_model, reference_power_table
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.power import DEFAULT_POWER_MODEL, CubicPowerModel
+
+
+class TestFit:
+    def test_exact_recovery_from_model_generated_table(self):
+        table = reference_power_table()
+        result = fit_cubic_model(table)
+        assert result.static_watts == pytest.approx(
+            DEFAULT_POWER_MODEL.static_watts, abs=1e-6
+        )
+        assert result.dynamic_coeff == pytest.approx(
+            DEFAULT_POWER_MODEL.dynamic_coeff, rel=1e-9
+        )
+        assert result.max_residual_watts < 1e-9
+
+    def test_noisy_measurements_fit_within_noise(self):
+        base = CubicPowerModel(static_watts=1.0, dynamic_coeff=0.5)
+        noise = [0.05, -0.04, 0.03, -0.02, 0.05, -0.05, 0.01]
+        table = {
+            freq: base.power(freq) + noise[i % len(noise)]
+            for i, freq in enumerate(HASWELL_LADDER)
+        }
+        result = fit_cubic_model(table)
+        assert result.static_watts == pytest.approx(1.0, abs=0.15)
+        assert result.dynamic_coeff == pytest.approx(0.5, rel=0.05)
+        assert result.max_residual_watts < 0.15
+
+    def test_two_points_suffice(self):
+        base = CubicPowerModel(static_watts=0.5)
+        table = {1.2: base.power(1.2), 2.4: base.power(2.4)}
+        result = fit_cubic_model(table)
+        assert result.model.power(1.8) == pytest.approx(base.power(1.8), rel=1e-9)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ClusterError):
+            fit_cubic_model({1.8: 4.52})
+
+    def test_degenerate_frequencies_rejected(self):
+        with pytest.raises(ClusterError):
+            fit_cubic_model({1.8: 4.0, 1.8 + 1e-15: 5.0})
+
+    def test_unphysical_fit_rejected(self):
+        # Power *decreasing* with frequency cannot yield a physical model.
+        with pytest.raises(ClusterError):
+            fit_cubic_model({1.2: 10.0, 1.8: 5.0, 2.4: 1.0})
+
+
+class TestReferenceTable:
+    def test_covers_every_ladder_level(self):
+        table = reference_power_table()
+        assert len(table) == HASWELL_LADDER.n_levels
+
+    def test_matches_default_model(self):
+        table = reference_power_table()
+        assert table[1.8] == pytest.approx(4.52)
+
+    def test_roundtrips_through_tabular_model(self):
+        from repro.cluster.power import TabularPowerModel
+
+        model = TabularPowerModel(reference_power_table())
+        assert model.power(2.4) == pytest.approx(DEFAULT_POWER_MODEL.power(2.4))

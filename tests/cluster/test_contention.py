@@ -1,0 +1,138 @@
+"""Unit tests for the collocation-contention model (Section 8.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cluster.contention import LinearContention, NoContention
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.service.instance import Job, ServiceInstance
+from repro.service.query import Query
+
+from tests.conftest import make_profile
+
+
+LEVEL_FLOOR = HASWELL_LADDER.min_level
+
+
+class TestModels:
+    def test_no_contention_is_always_one(self):
+        model = NoContention()
+        assert model.slowdown(1, 16) == 1.0
+        assert model.slowdown(16, 16) == 1.0
+
+    def test_linear_contention_single_core_unimpeded(self):
+        model = LinearContention(intensity=0.3)
+        assert model.slowdown(1, 16) == pytest.approx(1.0)
+        assert model.slowdown(0, 16) == pytest.approx(1.0)
+
+    def test_linear_contention_full_machine_pays_full_intensity(self):
+        model = LinearContention(intensity=0.3)
+        assert model.slowdown(16, 16) == pytest.approx(1.3)
+
+    def test_linear_contention_scales_with_crowding(self):
+        model = LinearContention(intensity=0.4)
+        half = model.slowdown(9, 17)  # crowding (9-1)/16 = 0.5
+        assert half == pytest.approx(1.2)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearContention(intensity=-0.1)
+
+
+class TestMachineIntegration:
+    def test_default_machine_has_no_contention(self, sim):
+        machine = Machine(sim, n_cores=4)
+        machine.acquire_core(LEVEL_FLOOR)
+        machine.acquire_core(LEVEL_FLOOR)
+        assert machine.contention_slowdown() == 1.0
+
+    def test_slowdown_tracks_occupancy(self, sim):
+        machine = Machine(sim, n_cores=5, contention=LinearContention(0.4))
+        machine.acquire_core(LEVEL_FLOOR)
+        assert machine.contention_slowdown() == pytest.approx(1.0)
+        machine.acquire_core(LEVEL_FLOOR)
+        assert machine.contention_slowdown() == pytest.approx(1.1)
+
+    def test_occupancy_listeners_fire_on_acquire_and_release(self, sim):
+        machine = Machine(sim, n_cores=4)
+        seen = []
+        machine.add_occupancy_listener(seen.append)
+        core = machine.acquire_core(LEVEL_FLOOR)
+        machine.release_core(core)
+        assert seen == [1, 0]
+
+    def test_remove_unknown_listener_rejected(self, sim):
+        from repro.errors import ClusterError
+
+        machine = Machine(sim, n_cores=2)
+        with pytest.raises(ClusterError):
+            machine.remove_occupancy_listener(lambda n: None)
+
+
+class TestServingUnderContention:
+    def make_instance(self, sim, machine, iid=0):
+        core = machine.acquire_core(LEVEL_FLOOR)
+        return ServiceInstance(
+            iid=iid,
+            name=f"S_{iid}",
+            stage_name="S",
+            profile=make_profile("S", mean=1.0),
+            core=core,
+            sim=sim,
+            machine=machine,
+        )
+
+    def test_lone_instance_serves_at_full_speed(self, sim):
+        machine = Machine(sim, n_cores=4, contention=LinearContention(0.5))
+        instance = self.make_instance(sim, machine)
+        done = []
+        instance.enqueue(Job(Query(1, {"S": 2.0}), 2.0, done.append))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_neighbour_slows_serving(self, sim):
+        # 4 cores, intensity 0.6: two active cores -> 1 + 0.6*(1/3) = 1.2.
+        machine = Machine(sim, n_cores=4, contention=LinearContention(0.6))
+        instance = self.make_instance(sim, machine, iid=0)
+        machine.acquire_core(LEVEL_FLOOR)  # a neighbour, from t=0
+        done = []
+        instance.enqueue(Job(Query(1, {"S": 2.0}), 2.0, done.append))
+        sim.run()
+        assert sim.now == pytest.approx(2.0 * 1.2)
+
+    def test_neighbour_arriving_mid_service_rescales(self, sim):
+        machine = Machine(sim, n_cores=4, contention=LinearContention(0.6))
+        instance = self.make_instance(sim, machine, iid=0)
+        done = []
+        instance.enqueue(Job(Query(1, {"S": 2.0}), 2.0, done.append))
+        sim.run(until=1.0)  # half the work done, unimpeded
+        machine.acquire_core(LEVEL_FLOOR)  # neighbour shows up
+        sim.run()
+        # Remaining 1.0 work at slowdown 1.2 takes 1.2s more.
+        assert sim.now == pytest.approx(1.0 + 1.2)
+
+    def test_neighbour_leaving_mid_service_speeds_up(self, sim):
+        machine = Machine(sim, n_cores=4, contention=LinearContention(0.6))
+        instance = self.make_instance(sim, machine, iid=0)
+        neighbour = machine.acquire_core(LEVEL_FLOOR)
+        done = []
+        instance.enqueue(Job(Query(1, {"S": 2.4}), 2.4, done.append))
+        sim.run(until=1.2)  # 1.0 work done at slowdown 1.2
+        machine.release_core(neighbour)
+        sim.run()
+        # Remaining 1.4 work now unimpeded.
+        assert sim.now == pytest.approx(1.2 + 1.4)
+
+    def test_contention_composes_with_dvfs(self, sim):
+        machine = Machine(sim, n_cores=4, contention=LinearContention(0.6))
+        instance = self.make_instance(sim, machine, iid=0)
+        machine.acquire_core(LEVEL_FLOOR)
+        instance.core.set_level(HASWELL_LADDER.max_level)  # 2x speedup
+        done = []
+        instance.enqueue(Job(Query(1, {"S": 2.0}), 2.0, done.append))
+        sim.run()
+        # 2.0 work / (2x speedup) * 1.2 slowdown = 1.2s.
+        assert sim.now == pytest.approx(1.2)

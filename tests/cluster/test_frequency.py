@@ -1,0 +1,93 @@
+"""Unit tests for the DVFS frequency ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.cluster.frequency import HASWELL_LADDER, FrequencyLadder
+
+
+class TestHaswellLadder:
+    """The paper's platform: 1.2-2.4 GHz in 0.1 GHz steps (Section 8.1)."""
+
+    def test_thirteen_levels(self):
+        assert HASWELL_LADDER.n_levels == 13
+
+    def test_endpoints(self):
+        assert HASWELL_LADDER.frequency_of(0) == pytest.approx(1.2)
+        assert HASWELL_LADDER.frequency_of(12) == pytest.approx(2.4)
+
+    def test_mid_ladder_is_1_8(self):
+        assert HASWELL_LADDER.frequency_of(6) == pytest.approx(1.8)
+
+    def test_step_spacing(self):
+        levels = HASWELL_LADDER.levels
+        for low, high in zip(levels, levels[1:]):
+            assert high - low == pytest.approx(0.1)
+
+
+class TestLevelMath:
+    def test_level_of_roundtrip(self):
+        for level in range(HASWELL_LADDER.n_levels):
+            freq = HASWELL_LADDER.frequency_of(level)
+            assert HASWELL_LADDER.level_of(freq) == level
+
+    def test_level_of_off_ladder_frequency(self):
+        with pytest.raises(FrequencyError):
+            HASWELL_LADDER.level_of(1.25)
+
+    def test_frequency_of_out_of_range(self):
+        with pytest.raises(FrequencyError):
+            HASWELL_LADDER.frequency_of(13)
+        with pytest.raises(FrequencyError):
+            HASWELL_LADDER.frequency_of(-1)
+
+    def test_level_must_be_int(self):
+        with pytest.raises(FrequencyError):
+            HASWELL_LADDER.validate_level(1.0)  # type: ignore[arg-type]
+        with pytest.raises(FrequencyError):
+            HASWELL_LADDER.validate_level(True)  # type: ignore[arg-type]
+
+    def test_clamp_level(self):
+        assert HASWELL_LADDER.clamp_level(-5) == 0
+        assert HASWELL_LADDER.clamp_level(100) == 12
+        assert HASWELL_LADDER.clamp_level(6) == 6
+
+    def test_nearest_level(self):
+        assert HASWELL_LADDER.nearest_level(1.24) == 0
+        assert HASWELL_LADDER.nearest_level(1.26) == 1
+        assert HASWELL_LADDER.nearest_level(5.0) == 12
+        assert HASWELL_LADDER.nearest_level(0.1) == 0
+
+    def test_iteration_and_len(self):
+        assert len(HASWELL_LADDER) == 13
+        assert list(HASWELL_LADDER)[0] == pytest.approx(1.2)
+
+
+class TestConstruction:
+    def test_single_level_ladder(self):
+        ladder = FrequencyLadder(min_ghz=2.0, max_ghz=2.0, step_ghz=0.5)
+        assert ladder.n_levels == 1
+        assert ladder.min_level == ladder.max_level == 0
+
+    def test_non_integral_span_rejected(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder(min_ghz=1.0, max_ghz=1.25, step_ghz=0.1)
+
+    def test_negative_min_rejected(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder(min_ghz=-1.0, max_ghz=2.0)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder(min_ghz=1.0, max_ghz=2.0, step_ghz=0.0)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder(min_ghz=2.0, max_ghz=1.0)
+
+    def test_float_accumulation_does_not_drift(self):
+        ladder = FrequencyLadder(min_ghz=0.7, max_ghz=3.5, step_ghz=0.1)
+        assert ladder.n_levels == 29
+        assert ladder.frequency_of(ladder.max_level) == pytest.approx(3.5)

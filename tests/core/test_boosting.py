@@ -1,0 +1,267 @@
+"""Unit tests for the adaptive boosting decision engine (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.core.boosting import BoostingDecisionEngine, BoostKind
+from repro.core.recycling import PowerRecycler
+from repro.service.command_center import CommandCenter
+from repro.service.instance import Job
+from repro.service.query import Query
+from repro.service.records import StageRecord
+
+
+LEVEL_1_2 = HASWELL_LADDER.min_level
+LEVEL_1_8 = HASWELL_LADDER.level_of(1.8)
+LEVEL_2_4 = HASWELL_LADDER.max_level
+
+
+def feed_stats(command_center, instance, queuing, serving, count=10):
+    """Inject synthetic completed-query records for one instance."""
+    now = command_center.sim.now
+    for index in range(count):
+        query = Query(qid=10_000 + index, demands={instance.stage_name: serving})
+        query.arrival_time = now
+        query.completion_time = now + queuing + serving
+        query.append_record(
+            StageRecord(
+                instance_id=instance.iid,
+                instance_name=instance.name,
+                stage_name=instance.stage_name,
+                enqueue_time=now,
+                start_time=now + queuing,
+                finish_time=now + queuing + serving,
+            )
+        )
+        command_center.ingest(query)
+
+
+def pile_up(instance, count, work=1.0):
+    """Queue ``count`` jobs on an instance without running the simulator."""
+    for index in range(count):
+        query = Query(qid=20_000 + index, demands={instance.stage_name: work})
+        instance.enqueue(Job(query=query, work=work, on_done=lambda q: None))
+
+
+def make_engine(sim, app, machine, budget_watts, **kwargs):
+    command_center = CommandCenter(sim, app)
+    budget = PowerBudget(machine, budget_watts)
+    recycler = PowerRecycler(DEFAULT_POWER_MODEL, HASWELL_LADDER)
+    engine = BoostingDecisionEngine(
+        command_center, budget, machine, recycler, **kwargs
+    )
+    return engine, command_center, budget
+
+
+class TestAdaptiveSelection:
+    def test_deep_queue_selects_instance_boosting(self, sim, two_stage_app, machine):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 13.56)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        feed_stats(command_center, bottleneck, queuing=2.0, serving=1.0)
+        pile_up(bottleneck, 10)
+        victims = [two_stage_app.stage("A").instances[0]]
+        decision = engine.select(bottleneck, victims)
+        assert decision.kind is BoostKind.INSTANCE
+        assert decision.expected_delay_instance < decision.expected_delay_frequency
+
+    def test_short_queue_selects_frequency_boosting(self, sim, two_stage_app, machine):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 13.56)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        feed_stats(command_center, bottleneck, queuing=0.1, serving=1.0)
+        pile_up(bottleneck, 2)  # queue length 2 <= threshold
+        decision = engine.select(bottleneck, [two_stage_app.stage("A").instances[0]])
+        assert decision.kind is BoostKind.FREQUENCY
+        assert decision.target_level > bottleneck.level
+
+    def test_frequency_target_is_clone_power_equivalent(
+        self, sim, two_stage_app, machine
+    ):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 13.56)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        pile_up(bottleneck, 1)
+        decision = engine.select(bottleneck, [two_stage_app.stage("A").instances[0]])
+        # calNewFreq: the highest level with P(level) <= P(1.8) + P(1.8).
+        expected = DEFAULT_POWER_MODEL.max_level_within(
+            HASWELL_LADDER, 2 * DEFAULT_POWER_MODEL.power(1.8)
+        )
+        assert decision.kind is BoostKind.FREQUENCY
+        assert decision.target_level == expected
+
+    def test_comparison_uses_equations_2_and_3(self, sim, two_stage_app, machine):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 13.56)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        feed_stats(command_center, bottleneck, queuing=2.0, serving=1.0)
+        pile_up(bottleneck, 10)
+        decision = engine.select(bottleneck, [two_stage_app.stage("A").instances[0]])
+        queue_length = 10
+        # Equation 2: (L-1)(q+s)/2 + s.
+        assert decision.expected_delay_instance == pytest.approx(
+            (queue_length - 1) * 3.0 / 2.0 + 1.0
+        )
+        # Equation 3: alpha * ((L-1)(q+s) + s).
+        target_freq = HASWELL_LADDER.frequency_of(
+            DEFAULT_POWER_MODEL.max_level_within(
+                HASWELL_LADDER, 2 * DEFAULT_POWER_MODEL.power(1.8)
+            )
+        )
+        alpha = bottleneck.profile.speedup.alpha(1.8, target_freq)
+        assert decision.expected_delay_frequency == pytest.approx(
+            alpha * ((queue_length - 1) * 3.0 + 1.0)
+        )
+
+
+class TestPowerConstraints:
+    def test_tight_budget_without_deboost_falls_back_to_frequency(
+        self, sim, two_stage_app, machine
+    ):
+        # Budget exactly covers the two running instances: a clone needs
+        # recycled power.  With de-boost cloning disabled (the literal
+        # Algorithm 1), a single 1.8 GHz victim cannot fund a 4.52 W
+        # clone (max recycle 2.83 W), so the engine falls back to
+        # frequency boosting with the recovered power.
+        engine, command_center, _ = make_engine(
+            sim, two_stage_app, machine, 9.04, enable_deboost_clone=False
+        )
+        bottleneck = two_stage_app.stage("B").instances[0]
+        victim = two_stage_app.stage("A").instances[0]
+        feed_stats(command_center, bottleneck, queuing=2.0, serving=1.0)
+        pile_up(bottleneck, 10)
+        decision = engine.select(bottleneck, [victim])
+        assert decision.kind is BoostKind.FREQUENCY
+        assert decision.recycle_plan.recycled_watts > 0.0
+        assert victim.name in decision.recycle_plan.victim_names
+
+    def test_tight_budget_with_deep_queue_deboost_clones(
+        self, sim, two_stage_app, machine
+    ):
+        engine, command_center, budget = make_engine(
+            sim, two_stage_app, machine, 9.04
+        )
+        bottleneck = two_stage_app.stage("B").instances[0]
+        victim = two_stage_app.stage("A").instances[0]
+        feed_stats(command_center, bottleneck, queuing=2.0, serving=1.0)
+        pile_up(bottleneck, 10)
+        decision = engine.select(bottleneck, [victim])
+        # The pair configuration wins: clone at a level below the
+        # bottleneck's current one, affordable within the budget.
+        assert decision.kind is BoostKind.INSTANCE
+        assert decision.target_level is not None
+        assert decision.target_level < bottleneck.level
+        pair_power = 2 * DEFAULT_POWER_MODEL.power_of_level(
+            HASWELL_LADDER, decision.target_level
+        )
+        freed = DEFAULT_POWER_MODEL.power_of_level(
+            HASWELL_LADDER, bottleneck.level
+        ) + decision.recycle_plan.recycled_watts + budget.available()
+        assert pair_power <= freed + 1e-9
+
+    def test_bottleneck_never_recycles_itself(self, sim, two_stage_app, machine):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 9.04)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        pile_up(bottleneck, 5)
+        # Pass the bottleneck in the victim list by mistake: it is filtered.
+        decision = engine.select(
+            bottleneck,
+            [two_stage_app.stage("A").instances[0], bottleneck],
+        )
+        assert bottleneck.name not in decision.recycle_plan.victim_names
+
+    def test_none_when_nothing_affordable(self, sim, two_stage_app, machine):
+        # Budget pinned to the current draw, victim at the floor, short
+        # queue (so the de-boost pair is not considered): no boost exists.
+        bottleneck = two_stage_app.stage("B").instances[0]
+        victim = two_stage_app.stage("A").instances[0]
+        victim.core.set_level(LEVEL_1_2)
+        pile_up(bottleneck, 2)
+        engine, command_center, _ = make_engine(
+            sim, two_stage_app, machine, machine.total_power()
+        )
+        decision = engine.select(bottleneck, [victim])
+        assert decision.kind is BoostKind.NONE
+
+    def test_deep_queue_escapes_via_deboost_even_at_draw_ceiling(
+        self, sim, two_stage_app, machine
+    ):
+        # Same ceiling, but a deep queue: the engine may still trade the
+        # bottleneck's own watts for a slower pair.
+        bottleneck = two_stage_app.stage("B").instances[0]
+        victim = two_stage_app.stage("A").instances[0]
+        victim.core.set_level(LEVEL_1_2)
+        pile_up(bottleneck, 8)
+        engine, command_center, _ = make_engine(
+            sim, two_stage_app, machine, machine.total_power()
+        )
+        decision = engine.select(bottleneck, [victim])
+        assert decision.kind is BoostKind.INSTANCE
+        assert decision.target_level is not None
+        assert decision.target_level < bottleneck.level
+
+    def test_no_free_core_falls_back_to_frequency(self, sim, two_stage_app, machine):
+        # Exhaust the machine's remaining cores.
+        while machine.free_core_count() > 0:
+            machine.acquire_core(LEVEL_1_2)
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 1000.0)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        feed_stats(command_center, bottleneck, queuing=2.0, serving=1.0)
+        pile_up(bottleneck, 10)
+        decision = engine.select(bottleneck, [two_stage_app.stage("A").instances[0]])
+        assert decision.kind is BoostKind.FREQUENCY
+
+    def test_bottleneck_at_max_with_short_queue_gives_none(
+        self, sim, two_stage_app, machine
+    ):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 1000.0)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        bottleneck.core.set_level(LEVEL_2_4)
+        pile_up(bottleneck, 1)
+        decision = engine.select(bottleneck, [two_stage_app.stage("A").instances[0]])
+        assert decision.kind is BoostKind.NONE
+
+    def test_bottleneck_at_max_with_deep_queue_clones(
+        self, sim, two_stage_app, machine
+    ):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 1000.0)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        bottleneck.core.set_level(LEVEL_2_4)
+        feed_stats(command_center, bottleneck, queuing=2.0, serving=1.0)
+        pile_up(bottleneck, 10)
+        decision = engine.select(bottleneck, [two_stage_app.stage("A").instances[0]])
+        # alpha == 1 (no higher level), so instance boosting must win.
+        assert decision.kind is BoostKind.INSTANCE
+
+    def test_frequency_plan_is_trimmed_to_exact_need(
+        self, sim, two_stage_app, machine
+    ):
+        engine, command_center, _ = make_engine(sim, two_stage_app, machine, 9.04)
+        bottleneck = two_stage_app.stage("B").instances[0]
+        victim = two_stage_app.stage("A").instances[0]
+        pile_up(bottleneck, 1)  # short queue -> frequency path
+        decision = engine.select(bottleneck, [victim])
+        assert decision.kind is BoostKind.FREQUENCY
+        need = DEFAULT_POWER_MODEL.power_of_level(
+            HASWELL_LADDER, decision.target_level
+        ) - DEFAULT_POWER_MODEL.power_of_level(HASWELL_LADDER, bottleneck.level)
+        # The plan frees enough but not an entire extra level's worth.
+        assert decision.recycle_plan.recycled_watts + 1e-9 >= need
+        step_above = DEFAULT_POWER_MODEL.power_of_level(
+            HASWELL_LADDER, victim.level
+        ) - DEFAULT_POWER_MODEL.power_of_level(
+            HASWELL_LADDER,
+            decision.recycle_plan.drops[0].to_level + 1,
+        )
+        assert step_above < need
+
+
+class TestValidation:
+    def test_negative_min_queue_rejected(self, sim, two_stage_app, machine):
+        command_center = CommandCenter(sim, two_stage_app)
+        budget = PowerBudget(machine, 13.56)
+        recycler = PowerRecycler(DEFAULT_POWER_MODEL, HASWELL_LADDER)
+        with pytest.raises(ValueError):
+            BoostingDecisionEngine(
+                command_center, budget, machine, recycler, min_queue_for_instance=-1
+            )

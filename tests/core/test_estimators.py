@@ -1,0 +1,96 @@
+"""Unit tests for the Equation-2/3 expected-delay estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimators import (
+    frequency_boost_expected_delay,
+    instance_boost_expected_delay,
+    unboosted_expected_delay,
+)
+
+
+class TestUnboosted:
+    def test_formula(self):
+        # (L-1)(q+s) + s with L=4, q=2, s=1 -> 3*3 + 1 = 10.
+        assert unboosted_expected_delay(4, 2.0, 1.0) == pytest.approx(10.0)
+
+    def test_single_query_is_serving_only(self):
+        assert unboosted_expected_delay(1, 5.0, 1.5) == pytest.approx(1.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            unboosted_expected_delay(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            unboosted_expected_delay(1, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            unboosted_expected_delay(1, 1.0, -1.0)
+
+
+class TestInstanceBoost:
+    def test_equation2(self):
+        # (L-1)(q+s)/2 + s with L=5, q=2, s=1 -> 4*3/2 + 1 = 7.
+        assert instance_boost_expected_delay(5, 2.0, 1.0) == pytest.approx(7.0)
+
+    def test_halves_only_the_queuing_term(self):
+        baseline = unboosted_expected_delay(5, 2.0, 1.0)
+        boosted = instance_boost_expected_delay(5, 2.0, 1.0)
+        # Queuing term was 12, serving 1: boost saves half the queuing.
+        assert baseline - boosted == pytest.approx(6.0)
+
+    def test_no_benefit_with_single_query(self):
+        assert instance_boost_expected_delay(1, 2.0, 1.0) == pytest.approx(
+            unboosted_expected_delay(1, 2.0, 1.0)
+        )
+
+
+class TestFrequencyBoost:
+    def test_equation3(self):
+        # alpha * ((L-1)(q+s) + s) with alpha=0.75, L=4, q=2, s=1 -> 7.5.
+        assert frequency_boost_expected_delay(0.75, 4, 2.0, 1.0) == pytest.approx(7.5)
+
+    def test_alpha_one_is_no_improvement(self):
+        assert frequency_boost_expected_delay(1.0, 4, 2.0, 1.0) == pytest.approx(
+            unboosted_expected_delay(4, 2.0, 1.0)
+        )
+
+    def test_scales_queuing_and_serving(self):
+        # Unlike instance boosting, both terms shrink.
+        boosted = frequency_boost_expected_delay(0.5, 1, 0.0, 2.0)
+        assert boosted == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            frequency_boost_expected_delay(0.0, 2, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            frequency_boost_expected_delay(1.5, 2, 1.0, 1.0)
+
+
+class TestCrossover:
+    """The regimes that drive adaptive boosting (Sections 2.3 and 5.3)."""
+
+    def test_long_queue_favours_instance_boosting(self):
+        # Deep queue, moderate speedup available.
+        queue_length, queuing, serving, alpha = 20, 1.0, 1.0, 0.75
+        t_inst = instance_boost_expected_delay(queue_length, queuing, serving)
+        t_freq = frequency_boost_expected_delay(alpha, queue_length, queuing, serving)
+        assert t_inst < t_freq
+
+    def test_short_queue_favours_frequency_boosting(self):
+        # A single in-service query: cloning cannot help (Equation 2 keeps
+        # the full serving time) while any real speedup shrinks it.
+        queue_length, queuing, serving, alpha = 1, 0.1, 2.0, 0.75
+        t_inst = instance_boost_expected_delay(queue_length, queuing, serving)
+        t_freq = frequency_boost_expected_delay(alpha, queue_length, queuing, serving)
+        assert t_freq < t_inst
+
+    def test_crossover_moves_with_alpha(self):
+        # A stronger frequency boost (smaller alpha) pushes the crossover
+        # toward deeper queues.
+        queue_length, queuing, serving = 6, 1.0, 1.0
+        weak = frequency_boost_expected_delay(0.9, queue_length, queuing, serving)
+        strong = frequency_boost_expected_delay(0.5, queue_length, queuing, serving)
+        t_inst = instance_boost_expected_delay(queue_length, queuing, serving)
+        assert weak > t_inst
+        assert strong < t_inst

@@ -1,0 +1,133 @@
+"""Unit tests for latency metrics (Table 1, Equation 1) and bottleneck id."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bottleneck import BottleneckIdentifier
+from repro.core.metrics import MetricKind, compute_metric, equation1_metric
+from repro.errors import ServiceError
+from repro.service.command_center import CommandCenter
+from repro.service.application import Application
+
+from tests.conftest import submit_two_stage_query
+
+
+class TestEquation1:
+    def test_formula(self):
+        # LatencyMetric = L * q + s
+        assert equation1_metric(3, 2.0, 1.0) == pytest.approx(7.0)
+
+    def test_empty_queue_reduces_to_serving(self):
+        assert equation1_metric(0, 5.0, 1.5) == pytest.approx(1.5)
+
+    def test_queue_length_amplifies_queuing_history(self):
+        busy = equation1_metric(10, 0.5, 1.0)
+        idle = equation1_metric(1, 0.5, 1.0)
+        assert busy > idle
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            equation1_metric(-1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            equation1_metric(1, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            equation1_metric(1, 1.0, -1.0)
+
+
+class TestComputeMetric:
+    @pytest.fixture
+    def loaded(self, sim, two_stage_app, command_center):
+        for qid in range(5):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        return two_stage_app, command_center
+
+    def test_powerchief_metric_uses_realtime_queue(self, loaded):
+        app, command_center = loaded
+        instance = app.stage("B").instances[0]
+        expected = equation1_metric(
+            instance.queue_length,
+            command_center.avg_queuing(instance),
+            command_center.avg_serving(instance),
+        )
+        assert compute_metric(command_center, instance) == pytest.approx(expected)
+
+    def test_avg_processing_is_sum_of_parts(self, loaded):
+        app, command_center = loaded
+        instance = app.stage("B").instances[0]
+        total = compute_metric(command_center, instance, MetricKind.AVG_PROCESSING)
+        queuing = compute_metric(command_center, instance, MetricKind.AVG_QUEUING)
+        serving = compute_metric(command_center, instance, MetricKind.AVG_SERVING)
+        assert total == pytest.approx(queuing + serving)
+
+    def test_p99_processing_is_sum_of_parts(self, loaded):
+        app, command_center = loaded
+        instance = app.stage("B").instances[0]
+        total = compute_metric(command_center, instance, MetricKind.P99_PROCESSING)
+        queuing = compute_metric(command_center, instance, MetricKind.P99_QUEUING)
+        serving = compute_metric(command_center, instance, MetricKind.P99_SERVING)
+        assert total == pytest.approx(queuing + serving)
+
+    def test_every_metric_kind_computes(self, loaded):
+        app, command_center = loaded
+        instance = app.stage("A").instances[0]
+        for kind in MetricKind:
+            value = compute_metric(command_center, instance, kind)
+            assert value >= 0.0
+
+
+class TestBottleneckIdentifier:
+    def test_slow_stage_is_bottleneck(self, sim, two_stage_app, command_center):
+        for qid in range(5):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        identifier = BottleneckIdentifier(command_center)
+        bottleneck = identifier.bottleneck(two_stage_app)
+        assert bottleneck.instance.stage_name == "B"
+
+    def test_ranked_is_sorted_fast_to_slow(self, sim, two_stage_app, command_center):
+        for qid in range(5):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        identifier = BottleneckIdentifier(command_center)
+        ranked = identifier.ranked(two_stage_app)
+        metrics = [entry.metric for entry in ranked]
+        assert metrics == sorted(metrics)
+
+    def test_queue_buildup_flips_bottleneck(self, sim, two_stage_app, command_center):
+        # Historical stats say B is slower, but a pile-up at A right now
+        # must make A the bottleneck (the whole point of Equation 1).
+        for qid in range(3):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        for qid in range(10, 40):
+            submit_two_stage_query(two_stage_app, qid, a=1.0, b=0.1)
+        identifier = BottleneckIdentifier(command_center)
+        sim.run(until=sim.now + 3.0)
+        bottleneck = identifier.bottleneck(two_stage_app)
+        assert bottleneck.instance.stage_name == "A"
+
+    def test_spread(self, sim, two_stage_app, command_center):
+        for qid in range(5):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        identifier = BottleneckIdentifier(command_center)
+        ranked = identifier.ranked(two_stage_app)
+        assert identifier.spread(two_stage_app) == pytest.approx(
+            ranked[-1].metric - ranked[0].metric
+        )
+
+    def test_empty_application_rejected(self, sim, machine, command_center):
+        empty = Application("empty", sim, machine)
+        identifier = BottleneckIdentifier(command_center)
+        with pytest.raises(ServiceError):
+            identifier.ranked(empty)
+
+    def test_alternative_metric_kind(self, sim, two_stage_app, command_center):
+        for qid in range(5):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        identifier = BottleneckIdentifier(command_center, MetricKind.AVG_SERVING)
+        bottleneck = identifier.bottleneck(two_stage_app)
+        assert bottleneck.instance.stage_name == "B"

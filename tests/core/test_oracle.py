@@ -1,0 +1,118 @@
+"""Unit tests for the exhaustive-search static allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.core.oracle import best_static_allocation, predict_mean_latency
+from repro.workloads.sirius import sirius_load_levels, sirius_profiles
+
+from tests.conftest import make_profile
+
+
+class TestPrediction:
+    def test_single_stage_matches_mg1(self):
+        from repro.analysis.queueing import mg1_mean_wait
+
+        profile = make_profile("S", mean=1.0)  # deterministic demand
+        allocation = {"S": (1, HASWELL_LADDER.min_level)}
+        predicted = predict_mean_latency([profile], allocation, rate_qps=0.5)
+        expected = mg1_mean_wait(0.5, 1.0, 0.0) + 1.0
+        assert predicted == pytest.approx(expected)
+
+    def test_stages_sum(self):
+        profiles = [make_profile("A", mean=0.5), make_profile("B", mean=0.5)]
+        allocation = {"A": (1, 0), "B": (1, 0)}
+        both = predict_mean_latency(profiles, allocation, 0.5)
+        single = predict_mean_latency([profiles[0]], {"A": (1, 0)}, 0.5)
+        assert both == pytest.approx(2 * single)
+
+    def test_more_instances_reduce_waiting(self):
+        profile = make_profile("S", mean=1.0, sigma=0.6)
+        one = predict_mean_latency([profile], {"S": (1, 0)}, 0.8)
+        two = predict_mean_latency([profile], {"S": (2, 0)}, 0.8)
+        assert two < one
+
+    def test_higher_frequency_reduces_latency(self):
+        profile = make_profile("S", mean=1.0)
+        slow = predict_mean_latency([profile], {"S": (1, 0)}, 0.5)
+        fast = predict_mean_latency([profile], {"S": (1, 12)}, 0.5)
+        assert fast < slow
+
+    def test_saturated_stage_is_infeasible(self):
+        profile = make_profile("S", mean=1.0)
+        assert predict_mean_latency([profile], {"S": (1, 0)}, 1.5) == float("inf")
+
+    def test_missing_stage_rejected(self):
+        profile = make_profile("S", mean=1.0)
+        with pytest.raises(ConfigurationError):
+            predict_mean_latency([profile], {}, 0.5)
+
+
+class TestSearch:
+    def test_plan_fits_budget(self):
+        plan = best_static_allocation(sirius_profiles(), 1.5, 13.56)
+        assert plan.power_watts <= 13.56 + 1e-9
+        measured = sum(
+            count * DEFAULT_POWER_MODEL.power_of_level(HASWELL_LADDER, level)
+            for count, level in plan.allocation.values()
+        )
+        assert measured == pytest.approx(plan.power_watts)
+
+    def test_plan_covers_every_stage(self):
+        plan = best_static_allocation(sirius_profiles(), 1.5, 13.56)
+        assert set(plan.allocation) == {"ASR", "IMM", "QA"}
+
+    def test_prediction_is_consistent(self):
+        profiles = sirius_profiles()
+        plan = best_static_allocation(profiles, 1.5, 13.56)
+        assert plan.predicted_latency_s == pytest.approx(
+            predict_mean_latency(profiles, plan.allocation, 1.5)
+        )
+
+    def test_heavier_stage_gets_more_capacity(self):
+        plan = best_static_allocation(
+            sirius_profiles(), sirius_load_levels().high_qps, 13.56
+        )
+        qa_count, qa_level = plan.allocation["QA"]
+        imm_count, imm_level = plan.allocation["IMM"]
+        qa_capacity = qa_count * (1.0 / 1.0) * (
+            HASWELL_LADDER.frequency_of(qa_level) / 1.2
+        )
+        imm_capacity = imm_count
+        assert qa_count >= imm_count
+
+    def test_high_load_prefers_more_instances_than_low_load(self):
+        profiles = sirius_profiles()
+        levels = sirius_load_levels()
+        low_plan = best_static_allocation(profiles, levels.low_qps, 13.56)
+        high_plan = best_static_allocation(profiles, levels.high_qps, 13.56)
+        assert high_plan.total_instances() > low_plan.total_instances()
+
+    def test_max_total_instances_respected(self):
+        plan = best_static_allocation(
+            sirius_profiles(), 1.5, 13.56, max_total_instances=4
+        )
+        assert plan.total_instances() <= 4
+
+    def test_infeasible_rate_rejected(self):
+        profiles = [make_profile("S", mean=100.0)]
+        with pytest.raises(ConfigurationError):
+            best_static_allocation(profiles, rate_qps=10.0, budget_watts=5.0)
+
+    def test_bigger_budget_never_predicts_worse(self):
+        profiles = sirius_profiles()
+        tight = best_static_allocation(profiles, 1.5, 13.56)
+        loose = best_static_allocation(profiles, 1.5, 27.0)
+        assert loose.predicted_latency_s <= tight.predicted_latency_s + 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_static_allocation(sirius_profiles(), 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            best_static_allocation(
+                sirius_profiles(), 1.0, 13.56, max_instances_per_stage=0
+            )

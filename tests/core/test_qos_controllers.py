@@ -1,0 +1,253 @@
+"""Unit tests for the QoS-mode controllers (Pegasus and PowerChief-conserve)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.core.actions import (
+    FrequencyChangeAction,
+    InstanceWithdrawAction,
+    SkipAction,
+)
+from repro.core.conserve import PowerChiefConserveController
+from repro.core.controller import ControllerConfig
+from repro.core.pegasus import PegasusController
+from repro.errors import ConfigurationError
+from repro.service.command_center import CommandCenter
+
+from tests.conftest import submit_two_stage_query
+
+
+LEVEL_MAX = HASWELL_LADDER.max_level
+LEVEL_MIN = HASWELL_LADDER.min_level
+
+QOS_CONFIG = ControllerConfig(adjust_interval_s=5.0)
+
+
+def make_qos_controller(cls, sim, app, machine, qos_target_s, **kwargs):
+    command_center = CommandCenter(sim, app, window_s=30.0, e2e_window_s=30.0)
+    budget = PowerBudget(machine, machine.peak_power())
+    controller = cls(
+        sim,
+        app,
+        command_center,
+        budget,
+        DvfsActuator(sim),
+        qos_target_s=qos_target_s,
+        config=QOS_CONFIG,
+        **kwargs,
+    )
+    return controller, command_center
+
+
+def set_all_levels(app, level):
+    for instance in app.running_instances():
+        instance.core.set_level(level)
+
+
+class TestPegasus:
+    def test_holds_without_recent_queries(self, sim, two_stage_app, machine):
+        controller, _ = make_qos_controller(
+            PegasusController, sim, two_stage_app, machine, qos_target_s=2.0
+        )
+        controller.start()
+        sim.run(until=6.0)
+        assert isinstance(controller.actions[-1], SkipAction)
+
+    def test_steps_everyone_down_with_slack(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MAX)
+        controller, _ = make_qos_controller(
+            PegasusController, sim, two_stage_app, machine, qos_target_s=100.0
+        )
+        controller.start()
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run(until=6.0)
+        # Huge slack: every instance stepped down exactly one level.
+        assert all(
+            instance.level == LEVEL_MAX - 1
+            for instance in two_stage_app.running_instances()
+        )
+
+    def test_bails_to_max_on_violation(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MIN)
+        controller, _ = make_qos_controller(
+            PegasusController, sim, two_stage_app, machine, qos_target_s=0.01
+        )
+        controller.start()
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run(until=6.0)
+        assert all(
+            instance.level == LEVEL_MAX
+            for instance in two_stage_app.running_instances()
+        )
+
+    def test_holds_inside_guard_band(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MAX)
+        controller, command_center = make_qos_controller(
+            PegasusController, sim, two_stage_app, machine, qos_target_s=2.0
+        )
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        worst = command_center.recent_latency_max()
+        # Retarget so the observed latency lands inside [0.85, 1.0]:
+        controller.qos_target_s = worst / 0.9
+        controller.adjust(sim.now)
+        assert isinstance(controller.actions[-1], SkipAction)
+
+    def test_uses_instantaneous_worst_latency(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MAX - 1)
+        controller, command_center = make_qos_controller(
+            PegasusController, sim, two_stage_app, machine, qos_target_s=2.0
+        )
+        submit_two_stage_query(two_stage_app, 1, b=1.0)
+        submit_two_stage_query(two_stage_app, 2, b=4.0)  # the tail query
+        sim.run()
+        # Average is comfortably below the target but the worst exceeds
+        # it: Pegasus must bail to max power.
+        assert command_center.recent_latency_avg() < 2.0
+        assert command_center.recent_latency_max() > 2.0
+        controller.adjust(sim.now)
+        assert any(
+            isinstance(action, FrequencyChangeAction) and action.reason == "qos-max"
+            for action in controller.actions
+        )
+
+    def test_invalid_parameters_rejected(self, sim, two_stage_app, machine):
+        with pytest.raises(ConfigurationError):
+            make_qos_controller(
+                PegasusController, sim, two_stage_app, machine, qos_target_s=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            make_qos_controller(
+                PegasusController,
+                sim,
+                two_stage_app,
+                machine,
+                qos_target_s=1.0,
+                hold_fraction=1.5,
+            )
+
+
+class TestPowerChiefConserve:
+    def test_conserves_fastest_instance_per_stage(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MAX)
+        controller, _ = make_qos_controller(
+            PowerChiefConserveController,
+            sim,
+            two_stage_app,
+            machine,
+            qos_target_s=100.0,
+        )
+        controller.start()
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run(until=6.0)
+        conserves = [
+            action
+            for action in controller.actions
+            if isinstance(action, FrequencyChangeAction)
+            and action.reason == "conserve"
+        ]
+        # One action per stage in the same interval (stage-aware slack).
+        assert {action.stage_name for action in conserves} == {"A", "B"}
+
+    def test_withdraws_idle_extra_instance(self, sim, two_stage_app, machine):
+        stage_b = two_stage_app.stage("B")
+        stage_b.launch_instance(LEVEL_MAX)
+        set_all_levels(two_stage_app, LEVEL_MAX)
+        controller, _ = make_qos_controller(
+            PowerChiefConserveController,
+            sim,
+            two_stage_app,
+            machine,
+            qos_target_s=100.0,
+        )
+        controller.start()
+        # A slow trickle of queries: one B instance suffices.
+        for qid in range(10):
+            sim.schedule(qid * 4.0, submit_two_stage_query, two_stage_app, qid)
+        sim.run(until=40.0)
+        withdrawals = [
+            action
+            for action in controller.actions
+            if isinstance(action, InstanceWithdrawAction)
+        ]
+        assert withdrawals
+        assert len(stage_b.running_instances()) == 1
+
+    def test_restores_bottleneck_on_violation(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MIN)
+        controller, _ = make_qos_controller(
+            PowerChiefConserveController,
+            sim,
+            two_stage_app,
+            machine,
+            qos_target_s=0.01,
+        )
+        controller.start()
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run(until=6.0)
+        boosts = [
+            action
+            for action in controller.actions
+            if isinstance(action, FrequencyChangeAction)
+            and action.reason == "qos-boost"
+        ]
+        assert boosts
+        assert boosts[0].to_level == LEVEL_MAX
+        # Only the bottleneck is restored; the other stage is untouched.
+        assert boosts[0].stage_name == "B"
+
+    def test_guard_band_soft_boost(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MIN)
+        controller, command_center = make_qos_controller(
+            PowerChiefConserveController,
+            sim,
+            two_stage_app,
+            machine,
+            qos_target_s=2.0,
+        )
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        observed = command_center.recent_latency_avg()
+        controller.qos_target_s = observed / 0.95  # inside (0.92, 1.0)
+        controller.adjust(sim.now)
+        guards = [
+            action
+            for action in controller.actions
+            if isinstance(action, FrequencyChangeAction)
+            and action.reason == "qos-guard"
+        ]
+        assert guards
+        assert guards[0].to_level == LEVEL_MIN + 2
+
+    def test_skips_at_ladder_floor(self, sim, two_stage_app, machine):
+        set_all_levels(two_stage_app, LEVEL_MIN)
+        controller, _ = make_qos_controller(
+            PowerChiefConserveController,
+            sim,
+            two_stage_app,
+            machine,
+            qos_target_s=1000.0,
+        )
+        controller.start()
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run(until=6.0)
+        assert any(
+            isinstance(action, SkipAction) and "ladder floor" in action.reason
+            for action in controller.actions
+        )
+
+    def test_invalid_fractions_rejected(self, sim, two_stage_app, machine):
+        with pytest.raises(ConfigurationError):
+            make_qos_controller(
+                PowerChiefConserveController,
+                sim,
+                two_stage_app,
+                machine,
+                qos_target_s=1.0,
+                conserve_fraction=0.95,
+                guard_fraction=0.9,
+            )

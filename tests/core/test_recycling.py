@@ -1,0 +1,143 @@
+"""Unit tests for power recycling (Algorithm 2)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.core.recycling import PowerRecycler
+from repro.service.stage import Stage
+
+from tests.conftest import make_profile
+
+
+LEVEL_1_2 = HASWELL_LADDER.min_level
+LEVEL_1_8 = HASWELL_LADDER.level_of(1.8)
+LEVEL_2_4 = HASWELL_LADDER.max_level
+
+
+@pytest.fixture
+def recycler() -> PowerRecycler:
+    return PowerRecycler(DEFAULT_POWER_MODEL, HASWELL_LADDER)
+
+
+@pytest.fixture
+def stage(sim, machine) -> Stage:
+    return Stage(
+        name="SVC",
+        profile=make_profile("SVC"),
+        machine=machine,
+        sim=sim,
+        iid_counter=itertools.count(0),
+    )
+
+
+def watts(level: int) -> float:
+    return DEFAULT_POWER_MODEL.power_of_level(HASWELL_LADDER, level)
+
+
+class TestPlanning:
+    def test_zero_need_produces_empty_plan(self, recycler, stage):
+        victim = stage.launch_instance(LEVEL_1_8)
+        plan = recycler.plan(0.0, [victim])
+        assert len(plan) == 0
+        assert plan.satisfied
+
+    def test_single_victim_minimal_drop(self, recycler, stage):
+        victim = stage.launch_instance(LEVEL_1_8)
+        need = watts(LEVEL_1_8) - watts(LEVEL_1_8 - 1)  # one step's worth
+        plan = recycler.plan(need, [victim])
+        assert plan.satisfied
+        assert len(plan) == 1
+        # RECYCLEFROMINST takes the *highest* level that frees enough.
+        assert plan.drops[0].to_level == LEVEL_1_8 - 1
+
+    def test_victim_goes_to_floor_when_needed(self, recycler, stage):
+        victim = stage.launch_instance(LEVEL_1_8)
+        plan = recycler.plan(100.0, [victim])
+        assert not plan.satisfied
+        assert plan.drops[0].to_level == LEVEL_1_2
+        assert plan.recycled_watts == pytest.approx(
+            watts(LEVEL_1_8) - watts(LEVEL_1_2)
+        )
+
+    def test_fastest_victim_donates_first(self, recycler, stage):
+        fast = stage.launch_instance(LEVEL_1_8)
+        slow = stage.launch_instance(LEVEL_1_8)
+        need = 0.5  # less than one instance's full recyclable power
+        plan = recycler.plan(need, [fast, slow])
+        assert plan.victim_names == [fast.name]
+
+    def test_spills_to_next_victim_when_first_exhausted(self, recycler, stage):
+        first = stage.launch_instance(LEVEL_1_8)
+        second = stage.launch_instance(LEVEL_1_8)
+        per_victim = watts(LEVEL_1_8) - watts(LEVEL_1_2)
+        plan = recycler.plan(per_victim + 0.5, [first, second])
+        assert plan.satisfied
+        assert plan.victim_names == [first.name, second.name]
+        assert plan.drops[0].to_level == LEVEL_1_2  # drained to the floor
+
+    def test_floor_victims_contribute_nothing(self, recycler, stage):
+        floored = stage.launch_instance(LEVEL_1_2)
+        donor = stage.launch_instance(LEVEL_1_8)
+        plan = recycler.plan(0.5, [floored, donor])
+        assert plan.victim_names == [donor.name]
+
+    def test_unsatisfiable_plan_reports_partial(self, recycler, stage):
+        victim = stage.launch_instance(LEVEL_1_8)
+        plan = recycler.plan(1000.0, [victim])
+        assert not plan.satisfied
+        assert plan.recycled_watts > 0.0
+
+    def test_no_victims_gives_empty_unsatisfied_plan(self, recycler):
+        plan = recycler.plan(1.0, [])
+        assert not plan.satisfied
+        assert len(plan) == 0
+
+    def test_negative_need_rejected(self, recycler):
+        with pytest.raises(ValueError):
+            recycler.plan(-1.0, [])
+
+
+class TestPlanProperties:
+    def test_recycled_watts_sums_drops(self, recycler, stage):
+        victims = [stage.launch_instance(LEVEL_2_4) for _ in range(3)]
+        plan = recycler.plan(15.0, victims)
+        assert plan.recycled_watts == pytest.approx(
+            sum(drop.watts_freed for drop in plan.drops)
+        )
+
+    def test_drops_never_raise_levels(self, recycler, stage):
+        victims = [stage.launch_instance(LEVEL_1_8) for _ in range(4)]
+        plan = recycler.plan(8.0, victims)
+        for drop in plan.drops:
+            assert drop.to_level < drop.from_level
+
+    def test_watts_freed_matches_power_model(self, recycler, stage):
+        victim = stage.launch_instance(LEVEL_2_4)
+        plan = recycler.plan(3.0, [victim])
+        drop = plan.drops[0]
+        assert drop.watts_freed == pytest.approx(
+            watts(drop.from_level) - watts(drop.to_level)
+        )
+
+    def test_planning_does_not_mutate_instances(self, recycler, stage):
+        victim = stage.launch_instance(LEVEL_1_8)
+        recycler.plan(2.0, [victim])
+        assert victim.level == LEVEL_1_8
+
+
+class TestCustomPolicyHook:
+    def test_victim_order_override(self, stage):
+        class SlowestFirst(PowerRecycler):
+            def victim_order(self, victims):
+                return list(reversed(victims))
+
+        fast = stage.launch_instance(LEVEL_1_8)
+        slow = stage.launch_instance(LEVEL_1_8)
+        recycler = SlowestFirst(DEFAULT_POWER_MODEL, HASWELL_LADDER)
+        plan = recycler.plan(0.5, [fast, slow])
+        assert plan.victim_names == [slow.name]

@@ -1,0 +1,136 @@
+"""Unit tests for instance withdraw (Section 6.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.core.bottleneck import BottleneckIdentifier
+from repro.core.withdraw import InstanceWithdrawer
+from repro.service.command_center import CommandCenter
+from repro.service.instance import Job
+from repro.service.query import Query
+
+from tests.conftest import submit_two_stage_query
+
+
+LEVEL_1_8 = HASWELL_LADDER.level_of(1.8)
+
+
+@pytest.fixture
+def withdrawer(command_center) -> InstanceWithdrawer:
+    return InstanceWithdrawer(BottleneckIdentifier(command_center))
+
+
+class TestUtilizationMeasurement:
+    def test_unknown_instance_reports_full_utilization(
+        self, two_stage_app, withdrawer
+    ):
+        instance = two_stage_app.stage("B").instances[0]
+        assert withdrawer.utilization_of(instance, 100.0) == 1.0
+
+    def test_idle_instance_measures_zero(self, sim, two_stage_app, withdrawer):
+        withdrawer.observe(two_stage_app, 0.0)
+        sim.run(until=100.0)
+        instance = two_stage_app.stage("B").instances[0]
+        assert withdrawer.utilization_of(instance, 100.0) == pytest.approx(0.0)
+
+    def test_busy_fraction_measured_since_checkpoint(
+        self, sim, two_stage_app, withdrawer
+    ):
+        withdrawer.observe(two_stage_app, 0.0)
+        submit_two_stage_query(two_stage_app, 1, b=3.0)  # B busy 2.0s
+        sim.run(until=10.0)
+        instance = two_stage_app.stage("B").instances[0]
+        assert withdrawer.utilization_of(instance, 10.0) == pytest.approx(0.2)
+
+    def test_checkpoint_all_resets_interval(self, sim, two_stage_app, withdrawer):
+        withdrawer.observe(two_stage_app, 0.0)
+        submit_two_stage_query(two_stage_app, 1, b=3.0)
+        sim.run(until=10.0)
+        withdrawer.checkpoint_all(two_stage_app, 10.0)
+        sim.run(until=20.0)
+        instance = two_stage_app.stage("B").instances[0]
+        assert withdrawer.utilization_of(instance, 20.0) == pytest.approx(0.0)
+
+
+class TestWithdrawPass:
+    def test_withdraws_most_idle_instance(self, sim, two_stage_app, withdrawer):
+        stage_b = two_stage_app.stage("B")
+        idle = stage_b.launch_instance(LEVEL_1_8)
+        withdrawer.observe(two_stage_app, 0.0)
+        # Busy up the original instance directly; the clone stays idle.
+        original = stage_b.instances[0]
+        for qid in range(30):
+            original.enqueue(
+                Job(Query(qid, {"B": 1.0}), work=1.0, on_done=lambda q: None)
+            )
+        sim.run(until=150.0)
+        withdrawn = withdrawer.run(two_stage_app, 150.0)
+        assert [candidate.instance for candidate in withdrawn] == [idle]
+        assert idle not in stage_b.instances
+
+    def test_busy_instances_are_kept(self, sim, two_stage_app, withdrawer):
+        withdrawer.observe(two_stage_app, 0.0)
+        for qid in range(200):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run(until=150.0)
+        withdrawn = withdrawer.run(two_stage_app, 150.0)
+        assert withdrawn == []
+
+    def test_single_instance_stage_never_withdrawn(
+        self, sim, two_stage_app, withdrawer
+    ):
+        withdrawer.observe(two_stage_app, 0.0)
+        sim.run(until=150.0)  # both stages fully idle, one instance each
+        assert withdrawer.run(two_stage_app, 150.0) == []
+
+    def test_at_most_one_withdraw_per_stage_per_pass(
+        self, sim, two_stage_app, withdrawer
+    ):
+        stage_b = two_stage_app.stage("B")
+        stage_b.launch_instance(LEVEL_1_8)
+        stage_b.launch_instance(LEVEL_1_8)
+        withdrawer.observe(two_stage_app, 0.0)
+        sim.run(until=150.0)  # everything idle
+        withdrawn = withdrawer.run(two_stage_app, 150.0)
+        assert len(withdrawn) == 1
+        assert len(stage_b.instances) == 2
+
+    def test_waiting_load_redirected_to_fastest(self, sim, two_stage_app, withdrawer):
+        stage_b = two_stage_app.stage("B")
+        survivor = stage_b.launch_instance(LEVEL_1_8)
+        withdrawer.observe(two_stage_app, 0.0)
+        sim.run(until=150.0)
+        # Both B instances are idle; ties break toward the lower iid, so
+        # the original instance is the victim.  Queue jobs on it right
+        # before the pass; the waiting one must move to the survivor.
+        victim = stage_b.instances[0]
+        for qid in range(3):
+            victim.enqueue(
+                Job(Query(qid, {"B": 0.5}), work=0.5, on_done=lambda q: None)
+            )
+        withdrawn = withdrawer.run(two_stage_app, 150.0)
+        assert [candidate.instance for candidate in withdrawn] == [victim]
+        assert withdrawn[0].redirected_jobs == 2  # in-service job drains
+        assert survivor.queue_length == 2
+
+    def test_fresh_instance_not_judged_before_full_interval(
+        self, sim, two_stage_app, withdrawer
+    ):
+        withdrawer.observe(two_stage_app, 0.0)
+        sim.run(until=150.0)
+        # Launched at the instant of the pass: unseen, so protected.
+        fresh = two_stage_app.stage("B").launch_instance(LEVEL_1_8)
+        withdrawn = withdrawer.run(two_stage_app, 150.0)
+        assert fresh not in [candidate.instance for candidate in withdrawn]
+
+    def test_invalid_threshold_rejected(self, command_center):
+        with pytest.raises(ValueError):
+            InstanceWithdrawer(
+                BottleneckIdentifier(command_center), utilization_threshold=0.0
+            )
+        with pytest.raises(ValueError):
+            InstanceWithdrawer(
+                BottleneckIdentifier(command_center), utilization_threshold=1.0
+            )

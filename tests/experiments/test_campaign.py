@@ -1,0 +1,79 @@
+"""Unit tests for the evaluation campaign driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.campaign import (
+    CampaignResult,
+    default_registry,
+    run_campaign,
+)
+
+
+def tiny_registry():
+    """A fast stand-in registry so tests don't run the full evaluation."""
+    return {
+        "figA": lambda: "RENDER A",
+        "figB": lambda: "RENDER B",
+    }
+
+
+class TestCampaign:
+    def test_runs_every_artefact(self):
+        result = run_campaign(registry=tiny_registry())
+        assert result.artefacts == ["figA", "figB"]
+        assert result.render("figA") == "RENDER A"
+
+    def test_unknown_artefact_rejected(self):
+        result = run_campaign(registry=tiny_registry())
+        with pytest.raises(ExperimentError):
+            result.render("nope")
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_campaign(registry={})
+
+    def test_archives_to_directory(self, tmp_path):
+        result = run_campaign(output_dir=tmp_path / "out", registry=tiny_registry())
+        assert result.output_dir is not None
+        assert (result.output_dir / "figA.txt").read_text() == "RENDER A\n"
+        report = (result.output_dir / "report.md").read_text()
+        assert "## figA" in report and "RENDER B" in report
+
+    def test_combined_report_contains_everything(self):
+        result = run_campaign(registry=tiny_registry())
+        report = result.combined_report()
+        assert report.startswith("# PowerChief reproduction")
+        assert "RENDER A" in report and "RENDER B" in report
+
+    def test_default_registry_covers_the_evaluation(self):
+        registry = default_registry()
+        assert set(registry) == {
+            "fig02",
+            "fig04",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "table1",
+            "table4",
+        }
+
+    def test_default_static_tables_render_without_simulation(self):
+        registry = default_registry()
+        assert "Table 1" in registry["table1"]()
+        assert "Table 4" in registry["table4"]()
+
+    def test_cli_campaign_command(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.campaign as campaign_module
+        from repro.cli import main
+
+        monkeypatch.setattr(campaign_module, "default_registry", tiny_registry)
+        code = main(["campaign", "--output", str(tmp_path / "archive")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RENDER A" in out
+        assert "campaign archived" in out

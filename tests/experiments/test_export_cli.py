@@ -1,0 +1,149 @@
+"""Unit tests for result export and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.config import TABLE3_WEBSEARCH
+from repro.experiments.export import (
+    qos_result_to_dict,
+    run_result_to_dict,
+    write_json,
+)
+from repro.experiments.runner import run_latency_experiment, run_qos_experiment
+from repro.workloads.loadgen import ConstantLoad
+
+
+@pytest.fixture(scope="module")
+def latency_result():
+    return run_latency_experiment(
+        "sirius", "powerchief", ConstantLoad(1.5), 200.0, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def qos_result():
+    return run_qos_experiment(
+        TABLE3_WEBSEARCH, "powerchief", rate_qps=6.0, duration_s=60.0, seed=3
+    )
+
+
+class TestExport:
+    def test_run_result_roundtrips_through_json(self, latency_result):
+        payload = run_result_to_dict(latency_result)
+        text = json.dumps(payload)
+        restored = json.loads(text)
+        assert restored["app"] == "sirius"
+        assert restored["policy"] == "powerchief"
+        assert restored["queries_completed"] == latency_result.queries_completed
+        assert restored["latency"]["mean"] == pytest.approx(
+            latency_result.latency.mean
+        )
+
+    def test_actions_are_typed(self, latency_result):
+        payload = run_result_to_dict(latency_result)
+        assert payload["actions"]
+        assert all("type" in action for action in payload["actions"])
+        types = {action["type"] for action in payload["actions"]}
+        assert types <= {
+            "FrequencyChangeAction",
+            "InstanceLaunchAction",
+            "InstanceWithdrawAction",
+            "SkipAction",
+        }
+
+    def test_state_samples_serialised(self, latency_result):
+        payload = run_result_to_dict(latency_result)
+        assert payload["state_samples"]
+        sample = payload["state_samples"][0]
+        assert {"time", "stages", "total_power_watts"} <= set(sample)
+
+    def test_qos_result_roundtrips(self, qos_result):
+        payload = qos_result_to_dict(qos_result)
+        restored = json.loads(json.dumps(payload))
+        assert restored["qos_target_s"] == pytest.approx(0.25)
+        assert 0.0 <= restored["average_power_fraction"] <= 1.0
+        assert restored["qos_samples"]
+
+    def test_write_json_creates_parents(self, tmp_path, latency_result):
+        target = tmp_path / "nested" / "result.json"
+        written = write_json(target, run_result_to_dict(latency_result))
+        assert written.exists()
+        assert json.loads(written.read_text())["app"] == "sirius"
+
+
+class TestCli:
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_figures_table(self, capsys):
+        assert main(["figures", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "PowerChief versus existing work" in out
+
+    def test_latency_command(self, capsys):
+        code = main(
+            ["latency", "sirius", "static", "--load", "low", "--duration", "120", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sirius/static" in out
+        assert "mean" in out
+
+    def test_latency_command_with_explicit_rate_and_json(self, tmp_path, capsys):
+        target = tmp_path / "run.json"
+        code = main(
+            [
+                "latency",
+                "nlp",
+                "powerchief",
+                "--rate",
+                "1.0",
+                "--duration",
+                "120",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert json.loads(target.read_text())["app"] == "nlp"
+
+    def test_qos_command(self, capsys):
+        code = main(
+            ["qos", "websearch", "pegasus", "--duration", "60", "--rate", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "websearch/pegasus" in out
+        assert "saving" in out
+
+    def test_qos_command_json(self, tmp_path):
+        target = tmp_path / "qos.json"
+        code = main(
+            [
+                "qos",
+                "sirius",
+                "baseline",
+                "--duration",
+                "60",
+                "--rate",
+                "4",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["policy"] == "baseline"
+
+    def test_error_paths_return_nonzero(self, capsys):
+        # Arrival rate of ~0 completes no queries -> ExperimentError -> rc 1.
+        code = main(
+            ["latency", "sirius", "static", "--rate", "0.0001", "--duration", "10"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,139 @@
+"""Unit tests for sharded deployments (Section 7.2)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cluster.budget import PowerBudget
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.core.controller import ControllerConfig, PowerChiefController
+from repro.scale.sharding import (
+    LeastInFlightSplitter,
+    RoundRobinSplitter,
+    Shard,
+    ShardedDeployment,
+)
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.instance import Job
+from repro.service.query import Query
+from repro.sim.engine import Simulator
+
+from tests.conftest import make_profile
+
+
+LEVEL_1_8 = HASWELL_LADDER.level_of(1.8)
+
+
+def shard_factory(with_controller: bool = False):
+    """A factory building one two-stage shard on its own machine."""
+
+    def build(sim: Simulator, index: int) -> Shard:
+        machine = Machine(sim, n_cores=8)
+        app = Application(f"shard-{index}", sim, machine)
+        for profile in (make_profile("A", mean=0.2), make_profile("B", mean=1.0)):
+            app.add_stage(profile).launch_instance(LEVEL_1_8)
+        command_center = CommandCenter(sim, app)
+        budget = PowerBudget(machine, 13.56)
+        controller = None
+        if with_controller:
+            # A threshold above the idle profile-prior spread (~0.53s), so
+            # an unloaded shard's controller stays quiet.
+            controller = PowerChiefController(
+                sim,
+                app,
+                command_center,
+                budget,
+                DvfsActuator(sim),
+                ControllerConfig(adjust_interval_s=10.0, balance_threshold_s=1.0),
+            )
+        return Shard(
+            index=index,
+            application=app,
+            command_center=command_center,
+            budget=budget,
+            controller=controller,
+        )
+
+    return build
+
+
+def make_query(qid: int) -> Query:
+    return Query(qid=qid, demands={"A": 0.2, "B": 1.0})
+
+
+class TestSplitters:
+    def test_round_robin_cycles_shards(self, sim):
+        deployment = ShardedDeployment(
+            sim, 3, shard_factory(), splitter=RoundRobinSplitter()
+        )
+        picks = [deployment.submit(make_query(qid)).index for qid in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_in_flight_balances(self, sim):
+        deployment = ShardedDeployment(
+            sim, 2, shard_factory(), splitter=LeastInFlightSplitter()
+        )
+        picks = [deployment.submit(make_query(qid)).index for qid in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_least_in_flight_avoids_busy_shard(self, sim):
+        deployment = ShardedDeployment(sim, 2, shard_factory())
+        # Pile three queries on shard 0 directly.
+        for qid in range(3):
+            deployment.shards[0].application.submit(make_query(100 + qid))
+        assert deployment.submit(make_query(0)).index == 1
+
+
+class TestDeployment:
+    def test_queries_complete_across_shards(self, sim):
+        deployment = ShardedDeployment(sim, 2, shard_factory())
+        for qid in range(10):
+            deployment.submit(make_query(qid))
+        sim.run()
+        assert deployment.completed == 10
+        assert deployment.in_flight == 0
+        assert deployment.summary().count == 10
+
+    def test_each_shard_has_its_own_machine(self, sim):
+        deployment = ShardedDeployment(sim, 3, shard_factory())
+        machines = {shard.application.machine for shard in deployment.shards}
+        assert len(machines) == 3
+
+    def test_total_power_sums_shards(self, sim):
+        deployment = ShardedDeployment(sim, 2, shard_factory())
+        assert deployment.total_power() == pytest.approx(2 * 2 * 4.52)
+
+    def test_controllers_run_independently(self, sim):
+        deployment = ShardedDeployment(sim, 2, shard_factory(with_controller=True))
+        deployment.start()
+        # Overload shard 0 only (through the pipeline, so its command
+        # center sees the queueing): only its controller should boost.
+        for qid in range(60):
+            deployment.shards[0].application.submit(make_query(1000 + qid))
+        sim.run(until=40.0)
+        deployment.stop()
+        deployment.assert_budgets()
+        actions_0 = deployment.shards[0].controller.actions
+        actions_1 = deployment.shards[1].controller.actions
+        assert any(type(a).__name__ != "SkipAction" for a in actions_0)
+        assert all(type(a).__name__ == "SkipAction" for a in actions_1)
+
+    def test_budget_isolation_between_shards(self, sim):
+        deployment = ShardedDeployment(sim, 2, shard_factory(with_controller=True))
+        deployment.start()
+        for qid in range(200):
+            deployment.submit(make_query(qid))
+        sim.run(until=100.0)
+        deployment.stop()
+        for shard in deployment.shards:
+            assert shard.budget.draw() <= 13.56 + 1e-9
+
+    def test_zero_shards_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            ShardedDeployment(sim, 0, shard_factory())

@@ -1,0 +1,119 @@
+"""Unit tests for the multi-stage application pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, StageError
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.service.application import Application
+from repro.service.stage import StageKind
+
+from tests.conftest import make_profile, make_query, submit_two_stage_query
+
+
+LEVEL_1_8 = HASWELL_LADDER.level_of(1.8)
+
+
+class TestTopology:
+    def test_stage_order_preserved(self, two_stage_app):
+        assert two_stage_app.stage_names() == ["A", "B"]
+
+    def test_stage_lookup(self, two_stage_app):
+        assert two_stage_app.stage("A").name == "A"
+        with pytest.raises(StageError):
+            two_stage_app.stage("Z")
+
+    def test_duplicate_stage_rejected(self, sim, machine):
+        app = Application("dup", sim, machine)
+        app.add_stage(make_profile("A"))
+        with pytest.raises(ConfigurationError):
+            app.add_stage(make_profile("A"))
+
+    def test_empty_name_rejected(self, sim, machine):
+        with pytest.raises(ConfigurationError):
+            Application("", sim, machine)
+
+    def test_instance_ids_unique_across_stages(self, two_stage_app):
+        iids = [inst.iid for inst in two_stage_app.all_instances()]
+        assert len(iids) == len(set(iids))
+
+
+class TestQueryFlow:
+    def test_query_flows_through_both_stages(self, sim, two_stage_app):
+        query = submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        assert query.completed
+        # 0.2s at stage A + 1.0s at stage B, both at 1.8 GHz (beta=1:
+        # normalized time 2/3).
+        assert query.end_to_end_latency == pytest.approx(1.2 * (1.2 / 1.8))
+
+    def test_records_cover_every_stage(self, sim, two_stage_app):
+        query = submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        assert [record.stage_name for record in query.records] == ["A", "B"]
+
+    def test_arrival_time_stamped_on_submit(self, sim, two_stage_app):
+        sim.schedule(5.0, lambda: submit_two_stage_query(two_stage_app, 1))
+        sim.run()
+        latencies = [q for q in [None]]  # noqa: F841 - placeholder
+        assert two_stage_app.completed == 1
+
+    def test_completion_listeners_fire_in_order(self, sim, two_stage_app):
+        seen = []
+        two_stage_app.add_completion_listener(lambda q: seen.append(("first", q.qid)))
+        two_stage_app.add_completion_listener(lambda q: seen.append(("second", q.qid)))
+        submit_two_stage_query(two_stage_app, 7)
+        sim.run()
+        assert seen == [("first", 7), ("second", 7)]
+
+    def test_submitted_completed_in_flight(self, sim, two_stage_app):
+        submit_two_stage_query(two_stage_app, 1)
+        submit_two_stage_query(two_stage_app, 2)
+        assert two_stage_app.submitted == 2
+        assert two_stage_app.in_flight == 2
+        sim.run()
+        assert two_stage_app.completed == 2
+        assert two_stage_app.in_flight == 0
+
+    def test_missing_demand_rejected(self, two_stage_app):
+        with pytest.raises(StageError):
+            two_stage_app.submit(make_query(1, A=0.5))  # no demand for B
+
+    def test_submit_to_empty_application_rejected(self, sim, machine):
+        app = Application("empty", sim, machine)
+        with pytest.raises(StageError):
+            app.submit(make_query(1))
+
+    def test_pipeline_overlap(self, sim, two_stage_app):
+        # Two queries: the second starts at stage A while the first is at B.
+        submit_two_stage_query(two_stage_app, 1)
+        submit_two_stage_query(two_stage_app, 2)
+        sim.run()
+        # Stage A serves 0.1333s per query, stage B 0.6667s.  The second
+        # query overlaps: it reaches B at 0.2667 while B is busy until
+        # 0.8, so it completes at 0.8 + 0.6667 = 1.4667 — earlier than the
+        # non-overlapped 1.6s.
+        assert sim.now == pytest.approx(0.2 * (2 / 3) + 2 * 1.0 * (2 / 3))
+
+
+class TestMixedTopology:
+    def test_scatter_gather_stage_inside_pipeline(self, sim, machine):
+        app = Application("ws", sim, machine)
+        leaf = app.add_stage(make_profile("LEAF", mean=1.0), kind=StageKind.SCATTER_GATHER)
+        agg = app.add_stage(make_profile("AGG", mean=0.1))
+        for _ in range(2):
+            leaf.launch_instance(HASWELL_LADDER.min_level)
+        agg.launch_instance(HASWELL_LADDER.min_level)
+        query = make_query(1, LEAF=1.0, AGG=0.1)
+        app.submit(query)
+        sim.run()
+        assert query.completed
+        # Leaf shards: 0.5s each in parallel; then aggregation 0.1s.
+        assert query.end_to_end_latency == pytest.approx(0.6)
+        assert len(query.records) == 3
+
+    def test_power_and_queue_views(self, two_stage_app):
+        assert two_stage_app.total_power() == pytest.approx(2 * 4.52)
+        submit_two_stage_query(two_stage_app, 1)
+        assert two_stage_app.total_queue_length() == 1

@@ -1,0 +1,139 @@
+"""Unit tests for moving-window stats and the command center."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.command_center import CommandCenter
+from repro.service.window import LatencyWindow
+
+from tests.conftest import submit_two_stage_query
+
+
+class TestLatencyWindow:
+    def test_averages(self):
+        window = LatencyWindow(10.0)
+        window.add(1.0, queuing=2.0, serving=4.0)
+        window.add(2.0, queuing=4.0, serving=6.0)
+        assert window.avg_queuing(2.0) == pytest.approx(3.0)
+        assert window.avg_serving(2.0) == pytest.approx(5.0)
+        assert window.avg_processing(2.0) == pytest.approx(8.0)
+
+    def test_eviction_by_age(self):
+        window = LatencyWindow(10.0)
+        window.add(0.0, 1.0, 1.0)
+        window.add(5.0, 3.0, 3.0)
+        assert window.avg_queuing(11.0) == pytest.approx(3.0)  # first evicted
+        assert window.count(16.0) == 0
+
+    def test_empty_window_returns_none(self):
+        window = LatencyWindow(10.0)
+        assert window.avg_queuing(0.0) is None
+        assert window.avg_serving(0.0) is None
+        assert window.p99_processing(0.0) is None
+
+    def test_p99_on_small_samples_is_max(self):
+        window = LatencyWindow(100.0)
+        for time, value in enumerate([1.0, 5.0, 3.0]):
+            window.add(float(time), value, 0.0)
+        assert window.p99_queuing(3.0) == pytest.approx(5.0)
+
+    def test_out_of_order_samples_are_inserted_sorted(self):
+        window = LatencyWindow(10.0)
+        window.add(5.0, 1.0, 1.0)
+        window.add(2.0, 9.0, 9.0)  # late-arriving early sample
+        # Evicting at t=13 must drop the t=2 sample, not the t=5 one.
+        assert window.count(13.0) == 1
+        assert window.avg_queuing(13.0) == pytest.approx(1.0)
+
+    def test_total_ingested_counts_evicted(self):
+        window = LatencyWindow(1.0)
+        window.add(0.0, 1.0, 1.0)
+        window.add(10.0, 1.0, 1.0)
+        assert window.count(10.0) == 1
+        assert window.total_ingested == 2
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyWindow(0.0)
+
+
+class TestCommandCenterIngestion:
+    def test_ingests_records_on_completion(self, sim, two_stage_app, command_center):
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        instance_a = two_stage_app.stage("A").instances[0]
+        instance_b = two_stage_app.stage("B").instances[0]
+        assert command_center.sample_count(instance_a) == 1
+        assert command_center.sample_count(instance_b) == 1
+
+    def test_avg_serving_matches_observed(self, sim, two_stage_app, command_center):
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        instance_b = two_stage_app.stage("B").instances[0]
+        assert command_center.avg_serving(instance_b) == pytest.approx(1.0 * 2 / 3)
+
+    def test_avg_queuing_zero_when_unqueued(self, sim, two_stage_app, command_center):
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        instance_b = two_stage_app.stage("B").instances[0]
+        assert command_center.avg_queuing(instance_b) == pytest.approx(0.0)
+
+    def test_all_latencies_collected(self, sim, two_stage_app, command_center):
+        for qid in range(3):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        assert len(command_center.all_latencies) == 3
+        summary = command_center.summary()
+        assert summary.count == 3
+
+    def test_recent_latency_window(self, sim, two_stage_app, command_center):
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        assert command_center.recent_latency_avg() is not None
+        assert command_center.recent_count() == 1
+        sim.run(until=sim.now + 100.0)
+        assert command_center.recent_latency_avg() is None  # aged out
+        assert command_center.recent_latency_max() is None
+
+    def test_recent_latency_max_tracks_worst(self, sim, two_stage_app, command_center):
+        submit_two_stage_query(two_stage_app, 1, b=1.0)
+        submit_two_stage_query(two_stage_app, 2, b=3.0)
+        sim.run()
+        assert command_center.recent_latency_max() > command_center.recent_latency_avg()
+
+
+class TestFreshInstanceFallbacks:
+    """A new instance must not report a zero metric (DESIGN.md rationale)."""
+
+    def test_serving_falls_back_to_stage_pool(self, sim, two_stage_app, command_center):
+        submit_two_stage_query(two_stage_app, 1)
+        sim.run()
+        fresh = two_stage_app.stage("B").launch_instance(0)
+        # No samples of its own: falls back to stage B's pooled average.
+        assert command_center.avg_serving(fresh) == pytest.approx(1.0 * 2 / 3)
+
+    def test_serving_falls_back_to_profile_without_any_data(
+        self, sim, two_stage_app, command_center
+    ):
+        instance_b = two_stage_app.stage("B").instances[0]
+        # No queries at all: profile expectation at the current frequency.
+        expected = instance_b.profile.mean_serving_time(instance_b.frequency_ghz)
+        assert command_center.avg_serving(instance_b) == pytest.approx(expected)
+
+    def test_queuing_falls_back_to_zero(self, sim, two_stage_app, command_center):
+        instance_b = two_stage_app.stage("B").instances[0]
+        assert command_center.avg_queuing(instance_b) == 0.0
+
+    def test_p99_falls_back_to_avg(self, sim, two_stage_app, command_center):
+        instance_b = two_stage_app.stage("B").instances[0]
+        assert command_center.p99_serving(instance_b) == command_center.avg_serving(
+            instance_b
+        )
+
+    def test_invalid_windows_rejected(self, sim, two_stage_app):
+        with pytest.raises(ConfigurationError):
+            CommandCenter(sim, two_stage_app, window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CommandCenter(sim, two_stage_app, e2e_window_s=-1.0)

@@ -1,0 +1,69 @@
+"""Direct unit tests for Event objects and their ordering contract."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, EventPriority
+
+
+def make_event(time=1.0, priority=EventPriority.NORMAL, seq=0):
+    return Event(time, int(priority), seq, lambda: None)
+
+
+class TestEventState:
+    def test_fresh_event_is_pending(self):
+        event = make_event()
+        assert event.pending
+        assert not event.fired
+        assert not event.cancelled
+
+    def test_cancel_clears_pending(self):
+        event = make_event()
+        event.cancel()
+        assert event.cancelled
+        assert not event.pending
+
+    def test_fired_clears_pending(self):
+        event = make_event()
+        event._mark_fired()
+        assert event.fired
+        assert not event.pending
+
+
+class TestOrderingContract:
+    def test_time_dominates(self):
+        early = make_event(time=1.0, priority=EventPriority.CONTROL, seq=9)
+        late = make_event(time=2.0, priority=EventPriority.COMPLETION, seq=0)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        completion = make_event(priority=EventPriority.COMPLETION, seq=9)
+        control = make_event(priority=EventPriority.CONTROL, seq=0)
+        assert completion < control
+
+    def test_seq_breaks_full_ties(self):
+        first = make_event(seq=0)
+        second = make_event(seq=1)
+        assert first < second
+
+    def test_priority_enum_ordering(self):
+        assert (
+            EventPriority.COMPLETION
+            < EventPriority.ARRIVAL
+            < EventPriority.NORMAL
+            < EventPriority.CONTROL
+        )
+
+    def test_sorting_a_mixed_batch(self):
+        events = [
+            make_event(time=2.0, priority=EventPriority.COMPLETION, seq=0),
+            make_event(time=1.0, priority=EventPriority.CONTROL, seq=1),
+            make_event(time=1.0, priority=EventPriority.COMPLETION, seq=2),
+            make_event(time=1.0, priority=EventPriority.COMPLETION, seq=0),
+        ]
+        ordered = sorted(events)
+        assert [(e.time, e.priority, e.seq) for e in ordered] == [
+            (1.0, int(EventPriority.COMPLETION), 0),
+            (1.0, int(EventPriority.COMPLETION), 2),
+            (1.0, int(EventPriority.CONTROL), 1),
+            (2.0, int(EventPriority.COMPLETION), 0),
+        ]

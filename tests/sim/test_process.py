@@ -1,0 +1,83 @@
+"""Unit tests for periodic processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_fixed_interval(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10.0, times.append)
+        process.start()
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_delay_overrides_first_tick(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 10.0, times.append, start_delay=0.0)
+        process.start()
+        sim.run(until=25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_stop_cancels_future_ticks(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 5.0, times.append)
+        process.start()
+        sim.run(until=12.0)
+        process.stop()
+        sim.run(until=50.0)
+        assert times == [5.0, 10.0]
+        assert not process.running
+
+    def test_stop_twice_is_noop(self, sim):
+        process = PeriodicProcess(sim, 5.0, lambda now: None)
+        process.start()
+        process.stop()
+        process.stop()
+
+    def test_callback_can_stop_its_own_process(self, sim):
+        times = []
+
+        def callback(now: float) -> None:
+            times.append(now)
+            if len(times) == 2:
+                process.stop()
+
+        process = PeriodicProcess(sim, 5.0, callback)
+        process.start()
+        sim.run(until=100.0)
+        assert times == [5.0, 10.0]
+
+    def test_tick_counter(self, sim):
+        process = PeriodicProcess(sim, 1.0, lambda now: None)
+        process.start()
+        sim.run(until=4.5)
+        assert process.ticks == 4
+
+    def test_double_start_rejected(self, sim):
+        process = PeriodicProcess(sim, 1.0, lambda now: None)
+        process.start()
+        with pytest.raises(SimulationError):
+            process.start()
+
+    def test_restart_after_stop(self, sim):
+        times = []
+        process = PeriodicProcess(sim, 5.0, times.append)
+        process.start()
+        sim.run(until=6.0)
+        process.stop()
+        process.start()
+        sim.run(until=12.0)
+        assert times == [5.0, 11.0]
+
+    def test_nonpositive_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(sim, 0.0, lambda now: None)
+
+    def test_negative_start_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(sim, 1.0, lambda now: None, start_delay=-1.0)

@@ -1,0 +1,89 @@
+"""Unit tests for deterministic random streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+class TestStreamDerivation:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_give_independent_sequences(self):
+        streams = RandomStreams(1)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_same_seed_reproduces_sequences(self):
+        first = [RandomStreams(7).stream("x").random() for _ in range(10)]
+        second = [RandomStreams(7).stream("x").random() for _ in range(10)]
+        assert first == second
+
+    def test_different_master_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_draws_on_one_stream_do_not_affect_another(self):
+        plain = RandomStreams(5)
+        expected = [plain.stream("b").random() for _ in range(5)]
+
+        perturbed = RandomStreams(5)
+        for _ in range(100):
+            perturbed.stream("a").random()
+        observed = [perturbed.stream("b").random() for _ in range(5)]
+        assert observed == expected
+
+    def test_fork_creates_independent_family(self):
+        parent = RandomStreams(3)
+        child = parent.fork("child")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(3).fork("child").stream("x").random()
+        b = RandomStreams(3).fork("child").stream("x").random()
+        assert a == b
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(1)
+        streams.stream("beta")
+        streams.stream("alpha")
+        assert list(streams.names()) == ["alpha", "beta"]
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        stream = RandomStreams(11).stream("exp")
+        n = 20000
+        mean = sum(stream.exponential(2.0) for _ in range(n)) / n
+        assert mean == pytest.approx(2.0, rel=0.05)
+
+    def test_exponential_requires_positive_mean(self):
+        stream = RandomStreams(1).stream("exp")
+        with pytest.raises(ValueError):
+            stream.exponential(0.0)
+
+    def test_lognormal_mean_parameterisation(self):
+        stream = RandomStreams(13).stream("ln")
+        n = 40000
+        mean = sum(stream.lognormal_mean(3.0, 0.6) for _ in range(n)) / n
+        assert mean == pytest.approx(3.0, rel=0.05)
+
+    def test_lognormal_zero_sigma_is_deterministic(self):
+        stream = RandomStreams(1).stream("ln")
+        assert stream.lognormal_mean(4.2, 0.0) == 4.2
+
+    def test_lognormal_rejects_bad_parameters(self):
+        stream = RandomStreams(1).stream("ln")
+        with pytest.raises(ValueError):
+            stream.lognormal_mean(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            stream.lognormal_mean(1.0, -0.5)
+
+    def test_lognormal_is_positive(self):
+        stream = RandomStreams(17).stream("ln")
+        assert all(stream.lognormal_mean(0.5, 1.0) > 0.0 for _ in range(1000))

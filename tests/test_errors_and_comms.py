@@ -1,0 +1,98 @@
+"""Tests for the error hierarchy and communication-cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ClusterError,
+    ConfigurationError,
+    ExperimentError,
+    FrequencyError,
+    InstanceStateError,
+    NoCoreAvailable,
+    PowerBudgetExceeded,
+    ReproError,
+    SchedulingError,
+    ServiceError,
+    SimulationError,
+    StageError,
+)
+from repro.service.command_center import CommandCenter
+
+from tests.conftest import submit_two_stage_query
+
+
+class TestErrorHierarchy:
+    def test_every_declared_error_is_a_repro_error(self):
+        for name in errors_module.__all__:
+            error_type = getattr(errors_module, name)
+            assert issubclass(error_type, ReproError)
+
+    def test_layer_hierarchies(self):
+        assert issubclass(SchedulingError, SimulationError)
+        assert issubclass(FrequencyError, ClusterError)
+        assert issubclass(PowerBudgetExceeded, ClusterError)
+        assert issubclass(NoCoreAvailable, ClusterError)
+        assert issubclass(StageError, ServiceError)
+        assert issubclass(InstanceStateError, ServiceError)
+
+    def test_one_except_clause_catches_everything(self):
+        for error_type in (
+            SchedulingError,
+            FrequencyError,
+            StageError,
+            ConfigurationError,
+            ExperimentError,
+        ):
+            with pytest.raises(ReproError):
+                raise error_type("boom")
+
+    def test_power_budget_exceeded_carries_context(self):
+        error = PowerBudgetExceeded(5.0, 2.0)
+        assert error.requested == 5.0
+        assert error.available == 2.0
+        assert "5.000" in str(error)
+
+
+class TestCommunicationAccounting:
+    """Section 4.1: the joint design sends one message per query."""
+
+    def test_one_message_per_query(self, sim, two_stage_app, command_center):
+        for qid in range(10):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        assert command_center.stats_messages == 10
+
+    def test_naive_design_would_send_one_per_stage_visit(
+        self, sim, two_stage_app, command_center
+    ):
+        for qid in range(10):
+            submit_two_stage_query(two_stage_app, qid)
+        sim.run()
+        # Two stages -> a per-instance reporting scheme doubles traffic.
+        assert command_center.naive_stats_messages == 20
+        assert (
+            command_center.naive_stats_messages
+            == command_center.stats_messages * len(two_stage_app.stages)
+        )
+
+    def test_scatter_gather_amplifies_the_saving(self, sim, machine):
+        from repro.cluster.frequency import HASWELL_LADDER
+        from repro.service.application import Application
+        from repro.service.stage import StageKind
+        from tests.conftest import make_profile, make_query
+
+        app = Application("ws", sim, machine)
+        leaf = app.add_stage(
+            make_profile("LEAF", mean=0.5), kind=StageKind.SCATTER_GATHER
+        )
+        for _ in range(4):
+            leaf.launch_instance(HASWELL_LADDER.min_level)
+        command_center = CommandCenter(sim, app)
+        app.submit(make_query(1, LEAF=1.0))
+        sim.run()
+        # One message carried four leaf records.
+        assert command_center.stats_messages == 1
+        assert command_center.naive_stats_messages == 4

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.frequency import HASWELL_LADDER, FrequencyLadder
+from repro.cluster.power import CubicPowerModel, DEFAULT_POWER_MODEL
+from repro.core.estimators import (
+    frequency_boost_expected_delay,
+    instance_boost_expected_delay,
+    unboosted_expected_delay,
+)
+from repro.core.metrics import equation1_metric
+from repro.service.profile import PowerLawSpeedup
+from repro.service.window import LatencyWindow
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.util.percentile import percentile
+
+
+levels = st.integers(min_value=0, max_value=HASWELL_LADDER.max_level)
+queue_lengths = st.integers(min_value=1, max_value=10_000)
+delays = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+alphas = st.floats(min_value=1e-3, max_value=1.0)
+
+
+class TestEstimatorProperties:
+    @given(queue_lengths, delays, delays)
+    def test_instance_boost_never_worse_than_unboosted(self, length, queuing, serving):
+        assert instance_boost_expected_delay(
+            length, queuing, serving
+        ) <= unboosted_expected_delay(length, queuing, serving) + 1e-9
+
+    @given(alphas, queue_lengths, delays, delays)
+    def test_frequency_boost_never_worse_than_unboosted(
+        self, alpha, length, queuing, serving
+    ):
+        assert frequency_boost_expected_delay(
+            alpha, length, queuing, serving
+        ) <= unboosted_expected_delay(length, queuing, serving) + 1e-9
+
+    @given(queue_lengths, delays, delays)
+    def test_expected_delays_nonnegative(self, length, queuing, serving):
+        assert instance_boost_expected_delay(length, queuing, serving) >= 0.0
+        assert unboosted_expected_delay(length, queuing, serving) >= 0.0
+
+    @given(st.integers(min_value=0, max_value=10_000), delays, delays)
+    def test_equation1_monotone_in_queue_length(self, length, queuing, serving):
+        shorter = equation1_metric(length, queuing, serving)
+        longer = equation1_metric(length + 1, queuing, serving)
+        assert longer >= shorter
+
+
+class TestPowerModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.01, max_value=5.0),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_cubic_model_monotone(self, static, coeff, freq):
+        model = CubicPowerModel(static_watts=static, dynamic_coeff=coeff)
+        assert model.power(freq + 0.1) > model.power(freq)
+
+    @given(levels, st.floats(min_value=0.0, max_value=200.0))
+    def test_max_level_within_is_affordable_and_maximal(self, level, watts):
+        found = DEFAULT_POWER_MODEL.max_level_within(HASWELL_LADDER, watts)
+        if found is None:
+            assert DEFAULT_POWER_MODEL.power_of_level(HASWELL_LADDER, 0) > watts
+        else:
+            assert (
+                DEFAULT_POWER_MODEL.power_of_level(HASWELL_LADDER, found)
+                <= watts + 1e-9
+            )
+            if found < HASWELL_LADDER.max_level:
+                assert (
+                    DEFAULT_POWER_MODEL.power_of_level(HASWELL_LADDER, found + 1)
+                    > watts
+                )
+
+    @given(levels)
+    def test_recyclable_matches_drop_to_floor(self, level):
+        freed = DEFAULT_POWER_MODEL.recyclable(HASWELL_LADDER, level)
+        direct = DEFAULT_POWER_MODEL.power_of_level(
+            HASWELL_LADDER, level
+        ) - DEFAULT_POWER_MODEL.power_of_level(HASWELL_LADDER, 0)
+        assert freed == direct
+
+
+class TestSpeedupProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.5),
+        st.floats(min_value=1.2, max_value=2.4),
+        st.floats(min_value=1.2, max_value=2.4),
+    )
+    def test_alpha_composition(self, beta, mid, high):
+        curve = PowerLawSpeedup(1.2, beta=beta)
+        combined = curve.alpha(1.2, mid) * curve.alpha(mid, high)
+        direct = curve.alpha(1.2, high)
+        assert math.isclose(combined, direct, rel_tol=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1.5), st.floats(min_value=1.2, max_value=2.4))
+    def test_normalized_time_bounded(self, beta, freq):
+        curve = PowerLawSpeedup(1.2, beta=beta)
+        value = curve.normalized_time(freq)
+        assert 0.0 < value <= 1.0 + 1e-12
+
+
+class TestLadderProperties:
+    @given(st.floats(min_value=-5.0, max_value=10.0))
+    def test_nearest_level_is_valid(self, freq):
+        level = HASWELL_LADDER.nearest_level(freq)
+        HASWELL_LADDER.validate_level(level)
+
+    @given(
+        st.floats(min_value=0.5, max_value=2.0),
+        st.integers(min_value=1, max_value=30),
+        st.floats(min_value=0.05, max_value=0.5),
+    )
+    def test_constructed_ladder_roundtrips(self, min_ghz, steps, step_ghz):
+        min_ghz = round(min_ghz, 3)
+        step_ghz = round(step_ghz, 3)
+        max_ghz = round(min_ghz + (steps - 1) * step_ghz, 9)
+        ladder = FrequencyLadder(min_ghz=min_ghz, max_ghz=max_ghz, step_ghz=step_ghz)
+        assert ladder.n_levels == steps
+        for level in range(ladder.n_levels):
+            assert ladder.level_of(ladder.frequency_of(level)) == level
+
+
+class TestPercentileProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_percentile_is_an_observed_value(self, values):
+        assert percentile(values, 99.0) in values
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_monotone_in_p(self, values, p_low, p_high):
+        if p_low > p_high:
+            p_low, p_high = p_high, p_low
+        assert percentile(values, p_low) <= percentile(values, p_high)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_percentile_bounded_by_extremes(self, values):
+        for p in (1.0, 50.0, 99.0):
+            assert min(values) <= percentile(values, p) <= max(values)
+
+
+class TestWindowProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.floats(min_value=0.0, max_value=10.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_window_count_never_exceeds_ingested(self, samples):
+        window = LatencyWindow(10.0)
+        last_time = 0.0
+        for time, queuing, serving in samples:
+            window.add(time, queuing, serving)
+            last_time = max(last_time, time)
+        assert window.count(last_time) <= window.total_ingested
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=9.0),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_all_samples_within_window_are_kept(self, times):
+        window = LatencyWindow(100.0)
+        for time in sorted(times):
+            window.add(time, 1.0, 1.0)
+        assert window.count(max(times)) == len(times)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    def test_stream_derivation_is_stable(self, seed, name):
+        a = RandomStreams(seed).stream(name).random()
+        b = RandomStreams(seed).stream(name).random()
+        assert a == b

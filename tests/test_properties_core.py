@@ -1,0 +1,183 @@
+"""Property-based tests on the PowerChief core (recycling & boosting).
+
+These generate random fleet states — instance counts, ladder levels,
+queue depths, budgets — and assert the engine's safety properties: plans
+are physical, decisions are affordable, and applying a decision never
+violates the power budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.cluster.power import DEFAULT_POWER_MODEL
+from repro.core.boosting import BoostingDecisionEngine, BoostKind
+from repro.core.controller import BaseController, ControllerConfig
+from repro.core.recycling import PowerRecycler
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.instance import Job
+from repro.service.query import Query
+from repro.sim.engine import Simulator
+
+from tests.conftest import make_profile
+
+
+levels = st.integers(min_value=0, max_value=HASWELL_LADDER.max_level)
+
+
+class _ApplyController(BaseController):
+    """Minimal controller used to apply engine decisions in tests."""
+
+    name = "property-test"
+
+    def adjust(self, now: float) -> None:  # pragma: no cover - unused
+        pass
+
+
+def build_fleet(victim_levels, bottleneck_level, queue_depth, budget_headroom):
+    """One bottleneck instance plus victims at the given levels."""
+    sim = Simulator()
+    machine = Machine(sim, n_cores=len(victim_levels) + 4)
+    app = Application("prop", sim, machine)
+    stage_fast = app.add_stage(make_profile("FAST", mean=0.2))
+    stage_slow = app.add_stage(make_profile("SLOW", mean=1.0))
+    victims = [stage_fast.launch_instance(level) for level in victim_levels]
+    bottleneck = stage_slow.launch_instance(bottleneck_level)
+    for qid in range(queue_depth):
+        bottleneck.enqueue(
+            Job(Query(qid, {"SLOW": 1.0}), work=1.0, on_done=lambda q: None)
+        )
+    budget = PowerBudget(machine, machine.total_power() + budget_headroom)
+    command_center = CommandCenter(sim, app)
+    recycler = PowerRecycler(DEFAULT_POWER_MODEL, HASWELL_LADDER)
+    engine = BoostingDecisionEngine(command_center, budget, machine, recycler)
+    controller = _ApplyController(
+        sim, app, command_center, budget, DvfsActuator(sim),
+        ControllerConfig(adjust_interval_s=1.0),
+    )
+    return engine, controller, budget, bottleneck, victims
+
+
+class TestRecyclePlanProperties:
+    @given(
+        st.lists(levels, min_size=1, max_size=8),
+        st.floats(min_value=0.0, max_value=60.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plans_are_physical(self, victim_levels, needed):
+        engine, controller, budget, bottleneck, victims = build_fleet(
+            victim_levels, 6, 0, 0.0
+        )
+        plan = engine.recycler.plan(needed, victims)
+        for drop in plan.drops:
+            assert 0 <= drop.to_level < drop.from_level
+            assert drop.watts_freed > 0.0
+        # A plan is satisfied exactly when the victims could donate enough.
+        max_recyclable = sum(
+            DEFAULT_POWER_MODEL.recyclable(HASWELL_LADDER, level)
+            for level in victim_levels
+        )
+        assert plan.satisfied == (max_recyclable + 1e-9 >= needed)
+        # Victims appear at most once each.
+        names = plan.victim_names
+        assert len(names) == len(set(names))
+
+    @given(st.lists(levels, min_size=1, max_size=8), st.floats(min_value=0.01, max_value=60.0))
+    @settings(max_examples=60, deadline=None)
+    def test_no_overshoot_beyond_one_victim(self, victim_levels, needed):
+        # Greedy recycling may overshoot, but only by the granularity of
+        # the last victim's drop — never by a whole extra victim.
+        engine, controller, budget, bottleneck, victims = build_fleet(
+            victim_levels, 6, 0, 0.0
+        )
+        plan = engine.recycler.plan(needed, victims)
+        if len(plan.drops) >= 2:
+            without_last = plan.recycled_watts - plan.drops[-1].watts_freed
+            assert without_last < needed
+
+
+class TestDecisionProperties:
+    @given(
+        st.lists(levels, min_size=1, max_size=6),
+        levels,
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=0.0, max_value=12.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_applying_any_decision_respects_the_budget(
+        self, victim_levels, bottleneck_level, queue_depth, headroom
+    ):
+        engine, controller, budget, bottleneck, victims = build_fleet(
+            victim_levels, bottleneck_level, queue_depth, headroom
+        )
+        decision = engine.select(bottleneck, victims)
+        controller.apply_boosting_decision(decision)
+        budget.assert_within()
+
+    @given(
+        st.lists(levels, min_size=1, max_size=6),
+        levels,
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=0.0, max_value=12.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decisions_never_slow_the_bottleneck_without_cloning(
+        self, victim_levels, bottleneck_level, queue_depth, headroom
+    ):
+        engine, controller, budget, bottleneck, victims = build_fleet(
+            victim_levels, bottleneck_level, queue_depth, headroom
+        )
+        before = bottleneck.level
+        decision = engine.select(bottleneck, victims)
+        controller.apply_boosting_decision(decision)
+        if decision.kind is BoostKind.FREQUENCY:
+            assert bottleneck.level > before
+        elif decision.kind is BoostKind.NONE:
+            assert bottleneck.level == before
+        else:
+            # Instance boosting: the stage gained a clone; the bottleneck
+            # may only have been lowered as part of a de-boost pair, in
+            # which case the clone runs at the same level.
+            stage = controller.application.stage(bottleneck.stage_name)
+            assert len(stage.instances) == 2
+            if bottleneck.level < before:
+                clone = next(
+                    inst for inst in stage.instances if inst is not bottleneck
+                )
+                assert clone.level == bottleneck.level
+
+    @given(
+        st.lists(levels, min_size=1, max_size=6),
+        levels,
+        st.integers(min_value=3, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decision_estimates_are_consistent(
+        self, victim_levels, bottleneck_level, queue_depth
+    ):
+        engine, controller, budget, bottleneck, victims = build_fleet(
+            victim_levels, bottleneck_level, queue_depth, 6.0
+        )
+        decision = engine.select(bottleneck, victims)
+        if (
+            decision.expected_delay_instance is not None
+            and decision.expected_delay_frequency is not None
+        ):
+            if decision.kind is BoostKind.INSTANCE:
+                assert (
+                    decision.expected_delay_instance
+                    < decision.expected_delay_frequency
+                )
+            elif decision.kind is BoostKind.FREQUENCY:
+                assert (
+                    decision.expected_delay_frequency
+                    <= decision.expected_delay_instance
+                )

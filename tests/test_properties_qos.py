@@ -1,0 +1,92 @@
+"""Property-based tests on the QoS-mode controllers.
+
+Random deployments, targets and tick sequences must never crash the
+conserving controllers, never drop a stage to zero instances, and never
+leave a core off the ladder.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.core.conserve import PowerChiefConserveController
+from repro.core.controller import ControllerConfig
+from repro.core.pegasus import PegasusController
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.query import Query
+from repro.sim.engine import Simulator
+
+from tests.conftest import make_profile
+
+
+def build_qos_stack(controller_cls, counts, levels_choice, target):
+    sim = Simulator()
+    machine = Machine(sim, n_cores=sum(counts) + 2)
+    app = Application("qos-prop", sim, machine)
+    profiles = [
+        make_profile("A", mean=0.2, sigma=0.4),
+        make_profile("B", mean=0.8, sigma=0.4),
+    ]
+    for profile, count, level in zip(profiles, counts, levels_choice):
+        stage = app.add_stage(profile)
+        for _ in range(count):
+            stage.launch_instance(level)
+    command_center = CommandCenter(sim, app, e2e_window_s=30.0)
+    budget = PowerBudget(machine, machine.peak_power())
+    controller = controller_cls(
+        sim,
+        app,
+        command_center,
+        budget,
+        DvfsActuator(sim),
+        qos_target_s=target,
+        config=ControllerConfig(adjust_interval_s=3.0),
+    )
+    return sim, app, controller
+
+
+levels = st.integers(min_value=0, max_value=HASWELL_LADDER.max_level)
+counts = st.integers(min_value=1, max_value=3)
+targets = st.floats(min_value=0.05, max_value=50.0)
+
+
+class TestQosControllerProperties:
+    @given(
+        st.sampled_from([PegasusController, PowerChiefConserveController]),
+        st.tuples(counts, counts),
+        st.tuples(levels, levels),
+        targets,
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_runs_preserve_structural_invariants(
+        self, controller_cls, stage_counts, stage_levels, target, n_queries
+    ):
+        sim, app, controller = build_qos_stack(
+            controller_cls, stage_counts, stage_levels, target
+        )
+        controller.start()
+        for qid in range(n_queries):
+            sim.schedule(
+                qid * 1.5,
+                lambda q=qid: app.submit(
+                    Query(q, {"A": 0.2, "B": 0.8})
+                ),
+            )
+        sim.run(until=60.0)
+        # Structural invariants:
+        for stage in app.stages:
+            assert len(stage.running_instances()) >= 1
+        for instance in app.running_instances():
+            HASWELL_LADDER.validate_level(instance.level)
+        # Nothing lost (every arrival lands before t=30 < 60).
+        assert app.completed + app.in_flight == n_queries
+        controller.stop()
+        sim.run()
+        assert app.in_flight == 0

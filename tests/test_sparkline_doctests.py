@@ -1,0 +1,61 @@
+"""Tests for the sparkline renderer, plus doctest execution for the
+modules that embed runnable examples in their docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+from repro.util.sparkline import sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        assert sparkline([0.0, 0.5, 1.0]) == "▁▄█"
+
+    def test_none_renders_as_gap(self):
+        assert sparkline([None, 0.0, 1.0]) == "·▁█"
+
+    def test_all_none(self):
+        assert sparkline([None, None]) == "··"
+
+    def test_flat_series_renders_mid(self):
+        text = sparkline([2.0, 2.0, 2.0])
+        assert len(set(text)) == 1
+        assert text[0] in "▄▅"
+
+    def test_fixed_scale_clamps(self):
+        # A value above hi clamps to the top block.
+        assert sparkline([0.0, 5.0], lo=0.0, hi=1.0) == "▁█"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=0.0)
+
+    def test_length_preserved(self):
+        values = [0.1 * i for i in range(37)]
+        assert len(sparkline(values)) == 37
+
+
+class TestDoctests:
+    """Docstring examples must actually run."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.sim.engine",
+            "repro.sim.rng",
+            "repro.util.sparkline",
+        ],
+    )
+    def test_module_doctests_pass(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0  # the examples exist and ran

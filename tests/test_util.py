@@ -1,0 +1,73 @@
+"""Unit tests for percentile and summary helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.percentile import LatencySummary, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_p0_is_min_and_p100_is_max(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 9.0
+
+    def test_nearest_rank_small_sample(self):
+        # With 3 samples, p99 rank = ceil(0.99*3) = 3 -> the max.
+        assert percentile([1.0, 2.0, 3.0], 99.0) == 3.0
+
+    def test_nearest_rank_large_sample(self):
+        data = list(range(1, 101))  # 1..100
+        assert percentile(data, 99.0) == 99
+        assert percentile(data, 95.0) == 95
+
+    def test_does_not_interpolate(self):
+        # The result is always an observed value.
+        data = [1.0, 10.0]
+        assert percentile(data, 50.0) in data
+        assert percentile(data, 75.0) in data
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_p_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_input_not_mutated(self):
+        data = [3.0, 1.0, 2.0]
+        percentile(data, 50.0)
+        assert data == [3.0, 1.0, 2.0]
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.max == 4.0
+        assert summary.p50 == 2.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary == LatencySummary(1, 7.0, 7.0, 7.0, 7.0, 7.0)
+
+    def test_accepts_generators(self):
+        summary = summarize(float(x) for x in range(10))
+        assert summary.count == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_rendering(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text
+        assert "mean=1.5" in text

@@ -1,0 +1,63 @@
+"""Unit tests for the diurnal load trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.loadgen import DiurnalLoad
+
+
+class TestDiurnalLoad:
+    def test_base_rate_at_phase_zero_crossings(self):
+        trace = DiurnalLoad(base_qps=10.0, amplitude=0.5, period_s=100.0)
+        assert trace.rate_at(0.0) == pytest.approx(10.0)
+        assert trace.rate_at(50.0) == pytest.approx(10.0)
+        assert trace.rate_at(100.0) == pytest.approx(10.0)
+
+    def test_peak_and_trough(self):
+        trace = DiurnalLoad(base_qps=10.0, amplitude=0.5, period_s=100.0)
+        assert trace.rate_at(25.0) == pytest.approx(15.0)
+        assert trace.rate_at(75.0) == pytest.approx(5.0)
+
+    def test_rate_always_positive(self):
+        trace = DiurnalLoad(base_qps=2.0, amplitude=0.99, period_s=60.0)
+        assert all(trace.rate_at(t * 0.5) > 0.0 for t in range(240))
+
+    def test_phase_shifts_the_peak(self):
+        import math
+
+        shifted = DiurnalLoad(
+            base_qps=10.0, amplitude=0.5, period_s=100.0, phase_rad=math.pi / 2
+        )
+        assert shifted.rate_at(0.0) == pytest.approx(15.0)
+
+    def test_zero_amplitude_is_constant(self):
+        trace = DiurnalLoad(base_qps=3.0, amplitude=0.0, period_s=10.0)
+        assert trace.rate_at(2.5) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalLoad(base_qps=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalLoad(base_qps=1.0, amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalLoad(base_qps=1.0, period_s=0.0)
+
+    def test_drives_the_load_generator(self, sim, two_stage_app):
+        from repro.sim.rng import RandomStreams
+        from repro.workloads.loadgen import PoissonLoadGenerator, QueryFactory
+        from tests.conftest import make_profile
+
+        streams = RandomStreams(1)
+        factory = QueryFactory(
+            [make_profile("A", mean=0.2), make_profile("B", mean=1.0)], streams
+        )
+        trace = DiurnalLoad(base_qps=2.0, amplitude=0.8, period_s=200.0)
+        generator = PoissonLoadGenerator(
+            sim, two_stage_app, factory, trace, streams, 400.0
+        )
+        generator.start()
+        sim.run(until=400.0)
+        # Two full periods at base 2 qps -> ~800 arrivals.
+        assert generator.queries_submitted == pytest.approx(800, rel=0.2)

@@ -1,0 +1,148 @@
+"""Unit tests for load traces, the query factory and the Poisson generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.workloads.loadgen import (
+    ConstantLoad,
+    PiecewiseLoad,
+    PoissonLoadGenerator,
+    QueryFactory,
+)
+from repro.workloads.traces import FIG11_DURATION_S, fig11_trace
+
+from tests.conftest import make_profile
+
+
+class TestConstantLoad:
+    def test_rate_is_constant(self):
+        trace = ConstantLoad(2.5)
+        assert trace.rate_at(0.0) == 2.5
+        assert trace.rate_at(1e6) == 2.5
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLoad(0.0)
+
+
+class TestPiecewiseLoad:
+    def test_rates_switch_at_segment_starts(self):
+        trace = PiecewiseLoad([(0.0, 1.0), (10.0, 3.0), (20.0, 0.5)])
+        assert trace.rate_at(0.0) == 1.0
+        assert trace.rate_at(9.99) == 1.0
+        assert trace.rate_at(10.0) == 3.0
+        assert trace.rate_at(25.0) == 0.5
+
+    def test_last_segment_holds_forever(self):
+        trace = PiecewiseLoad([(0.0, 1.0), (10.0, 2.0)])
+        assert trace.rate_at(1e9) == 2.0
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLoad([(5.0, 1.0)])
+
+    def test_segments_must_be_increasing(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLoad([(0.0, 1.0), (10.0, 2.0), (10.0, 3.0)])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLoad([(0.0, 0.0)])
+
+    def test_negative_time_rejected(self):
+        trace = PiecewiseLoad([(0.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            trace.rate_at(-1.0)
+
+    def test_fig11_trace_has_low_load_valley(self):
+        trace = fig11_trace(high_qps=10.0)
+        # The paper's low-load window between 175s and 275s.
+        assert trace.rate_at(200.0) == pytest.approx(3.0)
+        assert trace.rate_at(150.0) > trace.rate_at(200.0)
+        assert trace.rate_at(300.0) > trace.rate_at(200.0)
+        assert FIG11_DURATION_S == 900.0
+
+
+class TestQueryFactory:
+    def test_demands_cover_every_stage(self):
+        profiles = [make_profile("A", mean=0.5), make_profile("B", mean=1.0)]
+        factory = QueryFactory(profiles, RandomStreams(1))
+        query = factory.create()
+        assert set(query.demands) == {"A", "B"}
+
+    def test_qids_are_sequential(self):
+        factory = QueryFactory([make_profile("A")], RandomStreams(1))
+        assert [factory.create().qid for _ in range(3)] == [0, 1, 2]
+
+    def test_same_seed_same_demands(self):
+        profiles = [make_profile("A", mean=0.5, sigma=0.6)]
+        one = QueryFactory(profiles, RandomStreams(5)).create()
+        two = QueryFactory(
+            [make_profile("A", mean=0.5, sigma=0.6)], RandomStreams(5)
+        ).create()
+        assert one.demands == two.demands
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryFactory([], RandomStreams(1))
+
+
+class TestPoissonLoadGenerator:
+    def make_generator(self, sim, app, rate, duration, seed=1):
+        streams = RandomStreams(seed)
+        factory = QueryFactory(
+            [make_profile("A", mean=0.2), make_profile("B", mean=1.0)], streams
+        )
+        return PoissonLoadGenerator(
+            sim, app, factory, ConstantLoad(rate), streams, duration
+        )
+
+    def test_submits_roughly_rate_times_duration(self, sim, two_stage_app):
+        generator = self.make_generator(sim, two_stage_app, rate=5.0, duration=200.0)
+        generator.start()
+        sim.run(until=200.0)
+        expected = 5.0 * 200.0
+        assert generator.queries_submitted == pytest.approx(expected, rel=0.15)
+
+    def test_no_arrivals_after_duration(self, sim, two_stage_app):
+        generator = self.make_generator(sim, two_stage_app, rate=5.0, duration=50.0)
+        generator.start()
+        sim.run(until=50.0)
+        submitted = generator.queries_submitted
+        sim.run(until=500.0)
+        assert generator.queries_submitted == submitted
+
+    def test_same_seed_identical_arrivals(self, sim, machine, two_stage_app):
+        generator = self.make_generator(sim, two_stage_app, rate=2.0, duration=100.0)
+        generator.start()
+        sim.run(until=100.0)
+        first = generator.queries_submitted
+
+        from repro.sim.engine import Simulator
+        from repro.cluster.machine import Machine
+        from repro.service.application import Application
+
+        sim2 = Simulator()
+        machine2 = Machine(sim2, n_cores=8)
+        app2 = Application("copy", sim2, machine2)
+        stage_a = app2.add_stage(make_profile("A", mean=0.2))
+        stage_b = app2.add_stage(make_profile("B", mean=1.0))
+        stage_a.launch_instance(6)
+        stage_b.launch_instance(6)
+        generator2 = self.make_generator(sim2, app2, rate=2.0, duration=100.0)
+        generator2.start()
+        sim2.run(until=100.0)
+        assert generator2.queries_submitted == first
+
+    def test_double_start_rejected(self, sim, two_stage_app):
+        generator = self.make_generator(sim, two_stage_app, rate=1.0, duration=10.0)
+        generator.start()
+        with pytest.raises(ConfigurationError):
+            generator.start()
+
+    def test_nonpositive_duration_rejected(self, sim, two_stage_app):
+        with pytest.raises(ConfigurationError):
+            self.make_generator(sim, two_stage_app, rate=1.0, duration=0.0)
