@@ -20,12 +20,12 @@ knowledge, and the stale oracle collapses by an order of magnitude.
 from __future__ import annotations
 
 from repro.core.oracle import best_static_allocation
+from repro.experiments.parallel import CellSpec, run_cells
 from repro.experiments.report import format_heading, format_table
-from repro.experiments.runner import StageAllocation, run_latency_experiment
-from repro.workloads.loadgen import ConstantLoad
+from repro.experiments.runner import StageAllocation
 from repro.workloads.sirius import sirius_load_levels, sirius_profiles
 
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import engine_workers, run_once, show
 
 
 def to_runner_allocation(plan):
@@ -39,7 +39,7 @@ def run_comparison(duration_s: float = 600.0, seed: int = 3):
     profiles = sirius_profiles()
     levels = sirius_load_levels()
     rate = levels.high_qps
-    trace = ConstantLoad(rate)
+    trace = ("constant", rate)
 
     clairvoyant = best_static_allocation(
         profiles, rate, 13.56, max_total_instances=16
@@ -47,18 +47,33 @@ def run_comparison(duration_s: float = 600.0, seed: int = 3):
     stale = best_static_allocation(
         profiles, levels.low_qps, 13.56, max_total_instances=16
     )
+    contenders = [
+        (
+            "oracle (knows the load)",
+            CellSpec.latency(
+                "sirius", "static", trace, duration_s, seed=seed,
+                allocation=to_runner_allocation(clairvoyant),
+            ),
+        ),
+        (
+            "oracle (stale low-load forecast)",
+            CellSpec.latency(
+                "sirius", "static", trace, duration_s, seed=seed,
+                allocation=to_runner_allocation(stale),
+            ),
+        ),
+        (
+            "powerchief (no forecast)",
+            CellSpec.latency("sirius", "powerchief", trace, duration_s, seed=seed),
+        ),
+    ]
+    report = run_cells(
+        [spec for _, spec in contenders],
+        max_workers=engine_workers(len(contenders)),
+    )
     runs = {
-        "oracle (knows the load)": run_latency_experiment(
-            "sirius", "static", trace, duration_s, seed=seed,
-            allocation=to_runner_allocation(clairvoyant),
-        ),
-        "oracle (stale low-load forecast)": run_latency_experiment(
-            "sirius", "static", trace, duration_s, seed=seed,
-            allocation=to_runner_allocation(stale),
-        ),
-        "powerchief (no forecast)": run_latency_experiment(
-            "sirius", "powerchief", trace, duration_s, seed=seed
-        ),
+        name: result
+        for (name, _), result in zip(contenders, report.results())
     }
     return clairvoyant, stale, runs
 

@@ -11,26 +11,29 @@ from __future__ import annotations
 
 import statistics
 
+from repro.experiments.parallel import CellSpec, run_cells
 from repro.experiments.report import format_heading, format_table
-from repro.experiments.runner import run_latency_experiment
-from repro.workloads.loadgen import ConstantLoad
 from repro.workloads.sirius import sirius_load_levels
 
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import engine_workers, run_once, show
 
 SEEDS = (3, 5, 11, 23, 42)
 
 
 def run_all(duration_s: float = 600.0):
     rate = sirius_load_levels().high_qps
+    specs = [
+        CellSpec.latency(
+            "sirius", policy, ("constant", rate), duration_s, seed=seed
+        )
+        for seed in SEEDS
+        for policy in ("static", "powerchief")
+    ]
+    report = run_cells(specs, max_workers=engine_workers(len(specs)))
+    results = report.results()
     improvements = {}
-    for seed in SEEDS:
-        baseline = run_latency_experiment(
-            "sirius", "static", ConstantLoad(rate), duration_s, seed=seed
-        )
-        chief = run_latency_experiment(
-            "sirius", "powerchief", ConstantLoad(rate), duration_s, seed=seed
-        )
+    for index, seed in enumerate(SEEDS):
+        baseline, chief = results[2 * index], results[2 * index + 1]
         improvements[seed] = (
             baseline.latency.mean / chief.latency.mean,
             baseline.latency.p99 / chief.latency.p99,

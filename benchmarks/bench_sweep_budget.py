@@ -13,12 +13,11 @@ comfortable frequency.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import CellSpec, run_cells
 from repro.experiments.report import format_heading, format_table
-from repro.experiments.runner import run_latency_experiment
-from repro.workloads.loadgen import ConstantLoad
 from repro.workloads.sirius import sirius_load_levels
 
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import engine_workers, run_once, show
 
 #: Table-2 budget and progressively relaxed caps. 13.56 W = 3x 1.8 GHz;
 #: 30.1 W = 3x 2.4 GHz + headroom for two floor clones.
@@ -43,27 +42,24 @@ def equal_split_allocation(budget_watts: float):
 
 def run_sweep(duration_s: float = 600.0, seed: int = 3):
     rate = sirius_load_levels().high_qps
+    specs = [
+        CellSpec.latency(
+            "sirius",
+            policy,
+            ("constant", rate),
+            duration_s,
+            seed=seed,
+            budget_watts=budget,
+            allocation=equal_split_allocation(budget),
+        )
+        for budget in BUDGETS
+        for policy in ("static", "powerchief")
+    ]
+    report = run_cells(specs, max_workers=engine_workers(len(specs)))
+    results = report.results()
     curve = {}
-    for budget in BUDGETS:
-        allocation = equal_split_allocation(budget)
-        baseline = run_latency_experiment(
-            "sirius",
-            "static",
-            ConstantLoad(rate),
-            duration_s,
-            seed=seed,
-            budget_watts=budget,
-            allocation=allocation,
-        )
-        chief = run_latency_experiment(
-            "sirius",
-            "powerchief",
-            ConstantLoad(rate),
-            duration_s,
-            seed=seed,
-            budget_watts=budget,
-            allocation=allocation,
-        )
+    for index, budget in enumerate(BUDGETS):
+        baseline, chief = results[2 * index], results[2 * index + 1]
         curve[budget] = (
             baseline.latency.mean,
             chief.latency.mean,

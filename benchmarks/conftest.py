@@ -14,6 +14,21 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
+
+def engine_workers(n_cells: int) -> int:
+    """Worker count for the cell-engine fan-outs in these benchmarks.
+
+    ``REPRO_BENCH_WORKERS`` overrides; otherwise one worker per cell up
+    to the machine's core count.  Results are seed-deterministic either
+    way — the worker count only moves wall clock.
+    """
+    override = os.environ.get("REPRO_BENCH_WORKERS")
+    if override:
+        return max(1, int(override))
+    return max(1, min(n_cells, os.cpu_count() or 1))
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Benchmark ``func`` with a single round/iteration and return its result."""

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three commands:
+Commands:
 
 * ``figures`` — regenerate a paper figure/table (or ``all``) and print
   its ASCII rendering.
@@ -8,8 +8,13 @@ Three commands:
   chosen application, policy and load level.
 * ``qos`` — one power-conservation run (Table-3 scenario) with a chosen
   deployment and policy.
+* ``campaign`` — the whole evaluation; ``--workers N`` fans the
+  artefacts across processes and ``--cache-dir`` memoizes finished cells
+  so re-runs only recompute what changed.
+* ``headline`` — the abstract's four claims, measured through the
+  parallel cell engine (same ``--workers`` / ``--cache-dir`` knobs).
 
-Both run commands can archive their full result with ``--json``.
+Both single-run commands can archive their full result with ``--json``.
 """
 
 from __future__ import annotations
@@ -93,6 +98,35 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--output", help="directory for per-figure .txt files and report.md"
     )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the artefact fan-out (default: 1, serial)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        help="content-addressed result cache; re-runs only recompute "
+        "changed artefacts",
+    )
+
+    headline = commands.add_parser(
+        "headline",
+        help="measure the paper's abstract numbers via the parallel cell engine",
+    )
+    headline.add_argument("--duration", type=float, default=600.0)
+    headline.add_argument("--qos-duration", type=float, default=800.0)
+    headline.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the cell fan-out (default: 1, serial)",
+    )
+    headline.add_argument(
+        "--cache-dir",
+        help="content-addressed result cache; re-runs only recompute "
+        "changed cells",
+    )
 
     qos = commands.add_parser("qos", help="one Table-3 QoS-mode run")
     qos.add_argument("app", choices=("sirius", "websearch"))
@@ -141,12 +175,30 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import run_campaign
 
-    result = run_campaign(output_dir=args.output)
+    result = run_campaign(
+        output_dir=args.output,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     for name in result.artefacts:
         print(result.render(name))
         print()
+    print(result.timing_report())
     if result.output_dir is not None:
         print(f"campaign archived to {result.output_dir}")
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    from repro.experiments.headline import format_headline, run_headline
+
+    headline = run_headline(
+        duration_s=args.duration,
+        qos_duration_s=args.qos_duration,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    print(format_headline(headline))
     return 0
 
 
@@ -178,6 +230,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "latency": _cmd_latency,
         "qos": _cmd_qos,
         "campaign": _cmd_campaign,
+        "headline": _cmd_headline,
     }
     try:
         return handlers[args.command](args)

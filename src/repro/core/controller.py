@@ -251,6 +251,7 @@ class PowerChiefController(BaseController):
             utilization_threshold=self.config.withdraw_utilization,
         )
         self._last_withdraw_check = 0.0
+        self.withdraw_passes = 0
         self.decisions: list[BoostingDecision] = []
 
     def adjust(self, now: float) -> None:
@@ -259,7 +260,18 @@ class PowerChiefController(BaseController):
             self.config.enable_withdraw
             and now - self._last_withdraw_check >= self.config.withdraw_interval_s
         ):
-            self._last_withdraw_check = now
+            # Advance the checkpoint by whole withdraw intervals instead of
+            # snapping it to the tick time: when the adjust interval does
+            # not divide the withdraw interval, snapping pushes every later
+            # check out by the remainder and the cadence drifts without
+            # bound.  Anchoring to t=0 keeps the long-run average cadence
+            # at exactly ``withdraw_interval_s`` (individual passes still
+            # land on adjust ticks, so they jitter within one interval).
+            elapsed = now - self._last_withdraw_check
+            self._last_withdraw_check += (
+                elapsed // self.config.withdraw_interval_s
+            ) * self.config.withdraw_interval_s
+            self.withdraw_passes += 1
             for candidate in self.withdrawer.run(self.application, now):
                 self._log(
                     InstanceWithdrawAction(
@@ -272,14 +284,23 @@ class PowerChiefController(BaseController):
                 )
 
         ranked = self.identifier.ranked(self.application)
+        if not ranked:
+            self._skip("no running instances")
+            return
         if len(ranked) >= 2:
             spread = ranked[-1].metric - ranked[0].metric
-            if spread < self.config.balance_threshold_s:
-                self._skip(
-                    f"metric spread {spread:.4f}s below balance threshold "
-                    f"{self.config.balance_threshold_s}s"
-                )
-                return
+        else:
+            # A lone instance has no peer to spread against: gate on its
+            # own metric, so an idle single-instance application skips the
+            # interval like any balanced system instead of firing a boost
+            # attempt every tick.
+            spread = ranked[-1].metric
+        if spread < self.config.balance_threshold_s:
+            self._skip(
+                f"metric spread {spread:.4f}s below balance threshold "
+                f"{self.config.balance_threshold_s}s"
+            )
+            return
         bottleneck = ranked[-1].instance
         victims = [entry.instance for entry in ranked[:-1]]
         decision = self.engine.select(bottleneck, victims)

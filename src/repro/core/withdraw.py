@@ -89,8 +89,10 @@ class InstanceWithdrawer:
         it re-checkpoints after each decision instead of only after a
         withdraw pass.
         """
-        for instance in application.running_instances():
-            self._checkpoints[instance.name] = (now, instance.busy_seconds())
+        self._checkpoints = {
+            instance.name: (now, instance.busy_seconds())
+            for instance in application.running_instances()
+        }
 
     # ------------------------------------------------------------------
     def run(self, application: Application, now: float) -> list[WithdrawCandidate]:
@@ -100,6 +102,18 @@ class InstanceWithdrawer:
         instances are re-checkpointed so the next pass measures a fresh
         interval.
         """
+        # Instances can leave the pool outside this loop (QoS-mode
+        # conservation, external scripting), and only victims withdrawn
+        # here used to pop their entries.  Prune to the running set first:
+        # a leaked entry lives forever, and a relaunched instance that
+        # reuses a name would inherit a stale (time, busy) pair and be
+        # judged on an interval it never existed in.
+        running_names = {
+            instance.name for instance in application.running_instances()
+        }
+        for name in list(self._checkpoints):
+            if name not in running_names:
+                del self._checkpoints[name]
         self.observe(application, now)
         withdrawn: list[WithdrawCandidate] = []
         for stage in application.stages:

@@ -8,6 +8,15 @@ from repro.experiments.config import (
     TABLE3_WEBSEARCH,
     Table3Setup,
 )
+from repro.experiments.parallel import (
+    CellOutcome,
+    CellSpec,
+    EngineReport,
+    ResultCache,
+    fan_out,
+    run_cells,
+    spec_digest,
+)
 from repro.experiments.report import format_heading, format_table
 from repro.experiments.runner import (
     LATENCY_POLICIES,
@@ -33,6 +42,13 @@ __all__ = [
     "TABLE3_SIRIUS",
     "TABLE3_WEBSEARCH",
     "Table3Setup",
+    "CellOutcome",
+    "CellSpec",
+    "EngineReport",
+    "ResultCache",
+    "fan_out",
+    "run_cells",
+    "spec_digest",
     "format_heading",
     "format_table",
     "LATENCY_POLICIES",

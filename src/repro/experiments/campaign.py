@@ -5,25 +5,45 @@
 renders plus a combined Markdown report to a directory.  This is what
 ``python -m repro campaign`` drives; the per-figure shape assertions live
 in the benchmark suite, not here.
+
+With the default registry the campaign executes through the parallel
+cell engine (:mod:`repro.experiments.parallel`): each artefact becomes a
+cell, ``max_workers`` fans them out across processes, and ``cache_dir``
+memoizes finished artefacts so a re-run only recomputes what changed.  A
+custom registry (arbitrary callables, not necessarily picklable) always
+runs serially in-process.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Mapping, Optional
+from typing import Callable, Mapping, Optional, Union
 
 from repro.errors import ExperimentError
+from repro.experiments.parallel import (
+    CellOutcome,
+    CellSpec,
+    ResultCache,
+    run_cells,
+)
+from repro.experiments.report import format_heading, format_table
 
 __all__ = ["CampaignResult", "default_registry", "run_campaign"]
 
 
 @dataclass
 class CampaignResult:
-    """Rendered artefacts of one campaign run."""
+    """Rendered artefacts of one campaign run, plus where the time went."""
 
     renders: dict[str, str] = field(default_factory=dict)
     output_dir: Optional[Path] = None
+    #: (artefact, elapsed seconds, source) per artefact, in artefact order.
+    timings: list[tuple[str, float, str]] = field(default_factory=list)
+    cache_hits: int = 0
+    computed: int = 0
+    wall_clock_s: float = 0.0
 
     @property
     def artefacts(self) -> list[str]:
@@ -40,7 +60,29 @@ class CampaignResult:
         sections = ["# PowerChief reproduction — evaluation campaign\n"]
         for name in self.artefacts:
             sections.append(f"## {name}\n\n```\n{self.renders[name]}\n```\n")
+        if self.timings:
+            sections.append(f"## timing\n\n```\n{self.timing_report()}\n```\n")
         return "\n".join(sections)
+
+    def timing_report(self) -> str:
+        """Per-artefact wall-clock breakdown, slowest first."""
+        rows = [
+            (name, f"{elapsed:.2f}s", source)
+            for name, elapsed, source in sorted(
+                self.timings, key=lambda item: item[1], reverse=True
+            )
+        ]
+        summary = (
+            f"{len(self.timings)} artefacts: {self.cache_hits} cached, "
+            f"{self.computed} computed, {self.wall_clock_s:.2f}s wall clock"
+        )
+        return (
+            format_heading("Campaign timing")
+            + "\n"
+            + format_table(["artefact", "elapsed", "source"], rows)
+            + "\n"
+            + summary
+        )
 
 
 def default_registry() -> dict[str, Callable[[], str]]:
@@ -63,18 +105,44 @@ def default_registry() -> dict[str, Callable[[], str]]:
 def run_campaign(
     output_dir: Optional[str | Path] = None,
     registry: Optional[Mapping[str, Callable[[], str]]] = None,
+    max_workers: int = 1,
+    cache_dir: Union[ResultCache, str, Path, None] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
 ) -> CampaignResult:
     """Run every registered artefact; optionally archive the renders.
 
     When ``output_dir`` is given, each artefact is written as
-    ``<name>.txt`` alongside a combined ``report.md``.
+    ``<name>.txt`` alongside a combined ``report.md``.  ``max_workers``
+    and ``cache_dir`` only apply to the default registry (artefact cells
+    run through the parallel engine); a custom registry runs serially.
     """
-    chosen = dict(registry) if registry is not None else default_registry()
-    if not chosen:
-        raise ExperimentError("campaign registry is empty")
+    started = time.perf_counter()
     result = CampaignResult()
-    for name in sorted(chosen):
-        result.renders[name] = chosen[name]()
+    if registry is None:
+        names = sorted(default_registry())
+        report = run_cells(
+            [CellSpec.artefact(name) for name in names],
+            max_workers=max_workers,
+            cache=cache_dir,
+            progress=progress,
+        )
+        for name, outcome in zip(names, report.outcomes):
+            result.renders[name] = outcome.payload["render"]
+            result.timings.append((name, outcome.elapsed_s, outcome.source))
+        result.cache_hits = report.cache_hits
+        result.computed = report.computed
+    else:
+        chosen = dict(registry)
+        if not chosen:
+            raise ExperimentError("campaign registry is empty")
+        for name in sorted(chosen):
+            cell_started = time.perf_counter()
+            result.renders[name] = chosen[name]()
+            result.timings.append(
+                (name, time.perf_counter() - cell_started, "serial")
+            )
+        result.computed = len(chosen)
+    result.wall_clock_s = time.perf_counter() - started
     if output_dir is not None:
         target = Path(output_dir)
         target.mkdir(parents=True, exist_ok=True)

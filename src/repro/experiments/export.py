@@ -13,15 +13,70 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.core.actions import (
+    ActionRecord,
+    FrequencyChangeAction,
+    InstanceLaunchAction,
+    InstanceWithdrawAction,
+    SkipAction,
+)
+from repro.errors import ExperimentError
 from repro.experiments.runner import QosRunResult, RunResult
+from repro.experiments.sampling import QosSample, StageSnapshot, StateSample
+from repro.util.percentile import LatencySummary
 
-__all__ = ["run_result_to_dict", "qos_result_to_dict", "write_json"]
+__all__ = [
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "qos_result_to_dict",
+    "qos_result_from_dict",
+    "write_json",
+]
+
+_ACTION_TYPES: dict[str, type[ActionRecord]] = {
+    cls.__name__: cls
+    for cls in (
+        FrequencyChangeAction,
+        InstanceLaunchAction,
+        InstanceWithdrawAction,
+        SkipAction,
+    )
+}
 
 
 def _action_to_dict(action: Any) -> dict[str, Any]:
     payload = dataclasses.asdict(action)
     payload["type"] = type(action).__name__
     return payload
+
+
+def _action_from_dict(payload: dict[str, Any]) -> ActionRecord:
+    fields = dict(payload)
+    type_name = fields.pop("type", None)
+    try:
+        action_type = _ACTION_TYPES[type_name]
+    except KeyError:
+        raise ExperimentError(f"unknown action type {type_name!r}") from None
+    return action_type(**fields)
+
+
+def _state_sample_from_dict(payload: dict[str, Any]) -> StateSample:
+    stages = tuple(
+        StageSnapshot(
+            stage_name=stage["stage_name"],
+            instance_count=stage["instance_count"],
+            frequencies=tuple(
+                (name, freq) for name, freq in stage["frequencies"]
+            ),
+            queue_length=stage["queue_length"],
+        )
+        for stage in payload["stages"]
+    )
+    return StateSample(
+        time=payload["time"],
+        stages=stages,
+        total_power_watts=payload["total_power_watts"],
+    )
 
 
 def run_result_to_dict(result: RunResult) -> dict[str, Any]:
@@ -41,6 +96,32 @@ def run_result_to_dict(result: RunResult) -> dict[str, Any]:
     }
 
 
+def run_result_from_dict(payload: dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`run_result_to_dict` output.
+
+    The JSON round trip is lossless: ``run_result_from_dict(json.loads(
+    json.dumps(run_result_to_dict(result)))) == result``, which is what
+    lets the experiment cache hand back cached cells as first-class
+    results.
+    """
+    return RunResult(
+        app=payload["app"],
+        policy=payload["policy"],
+        duration_s=payload["duration_s"],
+        queries_submitted=payload["queries_submitted"],
+        queries_completed=payload["queries_completed"],
+        latency=LatencySummary(**payload["latency"]),
+        average_power_watts=payload["average_power_watts"],
+        actions=tuple(
+            _action_from_dict(action) for action in payload["actions"]
+        ),
+        state_samples=tuple(
+            _state_sample_from_dict(sample)
+            for sample in payload["state_samples"]
+        ),
+    )
+
+
 def qos_result_to_dict(result: QosRunResult) -> dict[str, Any]:
     """A QoS-mode run as a JSON-serialisable dict."""
     return {
@@ -58,6 +139,33 @@ def qos_result_to_dict(result: QosRunResult) -> dict[str, Any]:
         "actions": [_action_to_dict(action) for action in result.actions],
         "qos_samples": [dataclasses.asdict(sample) for sample in result.qos_samples],
     }
+
+
+def qos_result_from_dict(payload: dict[str, Any]) -> QosRunResult:
+    """Rebuild a :class:`QosRunResult` from :func:`qos_result_to_dict` output."""
+    return QosRunResult(
+        app=payload["app"],
+        policy=payload["policy"],
+        duration_s=payload["duration_s"],
+        qos_target_s=payload["qos_target_s"],
+        reference_power_watts=payload["reference_power_watts"],
+        queries_submitted=payload["queries_submitted"],
+        queries_completed=payload["queries_completed"],
+        latency=LatencySummary(**payload["latency"]),
+        average_power_fraction=payload["average_power_fraction"],
+        violation_fraction=payload["violation_fraction"],
+        actions=tuple(
+            _action_from_dict(action) for action in payload["actions"]
+        ),
+        qos_samples=tuple(
+            QosSample(
+                time=sample["time"],
+                latency_fraction=sample["latency_fraction"],
+                power_fraction=sample["power_fraction"],
+            )
+            for sample in payload["qos_samples"]
+        ),
+    )
 
 
 def write_json(path: str | Path, payload: Any) -> Path:

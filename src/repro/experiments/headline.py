@@ -16,12 +16,14 @@ measured values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from repro.experiments.figures.fig10 import ImprovementFigureResult
 from repro.experiments.figures.fig13 import QosFigureResult
+from repro.experiments.parallel import CellSpec, ResultCache, run_cells
 
-__all__ = ["Headline", "compute_headline", "format_headline"]
+__all__ = ["Headline", "compute_headline", "run_headline", "format_headline"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,111 @@ def compute_headline(
             "pegasus"
         )
     return Headline(**headline)
+
+
+def run_headline(
+    duration_s: float = 600.0,
+    qos_duration_s: float = 800.0,
+    seeds: Optional[Sequence[int]] = None,
+    qos_seed: int = 3,
+    max_workers: int = 1,
+    cache_dir: Union[ResultCache, str, Path, None] = None,
+) -> Headline:
+    """Measure the headline numbers through the parallel cell engine.
+
+    Fans the underlying experiment cells — (app, policy, load, seed) for
+    the Figure-10/12 improvement grids plus the Figure-13/14 QoS
+    timelines — across ``max_workers`` processes, memoizing each cell in
+    ``cache_dir``.  The aggregation mirrors the figure modules exactly:
+    latencies are averaged across seeds before ratios are taken, and
+    per-policy improvements are averaged across load levels.
+    """
+    from repro.experiments.figures.common import DEFAULT_SEEDS
+    from repro.experiments.figures.fig13 import SIRIUS_QOS_RATE_QPS
+    from repro.experiments.figures.fig14 import WEBSEARCH_QOS_RATE_QPS
+    from repro.workloads.nlp import nlp_load_levels
+    from repro.workloads.sirius import sirius_load_levels
+
+    seeds = tuple(seeds) if seeds is not None else DEFAULT_SEEDS
+    apps = {"sirius": sirius_load_levels(), "nlp": nlp_load_levels()}
+    load_names = ("low", "medium", "high")
+    qos_setups = (
+        ("sirius", SIRIUS_QOS_RATE_QPS),
+        ("websearch", WEBSEARCH_QOS_RATE_QPS),
+    )
+    qos_policies = ("baseline", "pegasus", "powerchief")
+
+    specs: list[CellSpec] = []
+    for app, levels in apps.items():
+        for load in load_names:
+            rate = getattr(levels, f"{load}_qps")
+            for policy in ("static", "powerchief"):
+                for seed in seeds:
+                    specs.append(
+                        CellSpec.latency(
+                            app, policy, ("constant", rate), duration_s, seed
+                        )
+                    )
+    for app, rate in qos_setups:
+        for policy in qos_policies:
+            specs.append(
+                CellSpec.qos(app, policy, rate, qos_duration_s, qos_seed)
+            )
+
+    report = run_cells(specs, max_workers=max_workers, cache=cache_dir)
+    results = dict(zip(specs, report.outcomes))
+
+    def mean_latencies(app: str, policy: str, rate: float) -> tuple[float, float]:
+        runs = [
+            results[
+                CellSpec.latency(
+                    app, policy, ("constant", rate), duration_s, seed
+                )
+            ].result()
+            for seed in seeds
+        ]
+        mean = sum(run.latency.mean for run in runs) / len(runs)
+        p99 = sum(run.latency.p99 for run in runs) / len(runs)
+        return mean, p99
+
+    improvements: dict[str, tuple[float, float]] = {}
+    for app, levels in apps.items():
+        avg_ratios, p99_ratios = [], []
+        for load in load_names:
+            rate = getattr(levels, f"{load}_qps")
+            base_mean, base_p99 = mean_latencies(app, "static", rate)
+            chief_mean, chief_p99 = mean_latencies(app, "powerchief", rate)
+            avg_ratios.append(base_mean / chief_mean)
+            p99_ratios.append(base_p99 / chief_p99)
+        improvements[app] = (
+            sum(avg_ratios) / len(avg_ratios),
+            sum(p99_ratios) / len(p99_ratios),
+        )
+
+    savings: dict[tuple[str, str], float] = {}
+    for app, rate in qos_setups:
+        fractions = {
+            policy: results[
+                CellSpec.qos(app, policy, rate, qos_duration_s, qos_seed)
+            ]
+            .result()
+            .average_power_fraction
+            for policy in qos_policies
+        }
+        baseline = fractions["baseline"]
+        for policy in ("powerchief", "pegasus"):
+            savings[(app, policy)] = (baseline - fractions[policy]) / baseline
+
+    return Headline(
+        sirius_avg_improvement=improvements["sirius"][0],
+        sirius_p99_improvement=improvements["sirius"][1],
+        nlp_avg_improvement=improvements["nlp"][0],
+        nlp_p99_improvement=improvements["nlp"][1],
+        sirius_power_saving=savings[("sirius", "powerchief")],
+        websearch_power_saving=savings[("websearch", "powerchief")],
+        sirius_pegasus_saving=savings[("sirius", "pegasus")],
+        websearch_pegasus_saving=savings[("websearch", "pegasus")],
+    )
 
 
 def format_headline(headline: Headline) -> str:

@@ -1,0 +1,657 @@
+"""Parallel experiment execution with content-addressed result caching.
+
+Every cell of the evaluation — one ``(app, policy, trace, seed, budget,
+config)`` simulation — is an independent, deterministically seeded run, so
+a campaign is an embarrassingly parallel fan-out.  This module is the
+substrate the campaign driver, the headline aggregator and the sweep
+benchmarks execute on:
+
+* :class:`CellSpec` describes one cell as a picklable, hashable value
+  built from primitives only, so it can cross a process boundary and be
+  content-addressed.
+* :func:`spec_digest` derives a stable SHA-256 digest from a spec's
+  canonical JSON form; :class:`ResultCache` memoizes completed cells on
+  disk under that digest, so re-running a campaign only recomputes
+  changed cells.
+* :func:`run_cells` fans cells out across worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor` with a per-cell
+  timeout, one in-process retry for cells whose worker crashed or timed
+  out, and graceful degradation to serial execution when ``max_workers``
+  is 1, the pool cannot be created, or the pool dies mid-campaign.
+
+Results flow through the JSON exporters in both the serial and parallel
+paths, so a cell's payload is byte-identical however it was executed —
+``--workers 4`` and ``--workers 1`` produce the same campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.config import TABLE3_SIRIUS, TABLE3_WEBSEARCH
+from repro.experiments.export import (
+    qos_result_from_dict,
+    qos_result_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.experiments.report import format_heading, format_table
+from repro.experiments.runner import (
+    QosRunResult,
+    RunResult,
+    StageAllocation,
+    run_latency_experiment,
+    run_qos_experiment,
+)
+from repro.workloads.loadgen import (
+    ConstantLoad,
+    DiurnalLoad,
+    LoadTrace,
+    PiecewiseLoad,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellSpec",
+    "CellOutcome",
+    "EngineReport",
+    "ResultCache",
+    "trace_to_spec",
+    "build_trace",
+    "spec_digest",
+    "execute_cell",
+    "run_cells",
+    "fan_out",
+]
+
+#: Bumped whenever the payload layout or cell semantics change; part of
+#: every digest, so stale cache entries can never be mistaken for fresh.
+CACHE_VERSION = 1
+
+#: Table-3 deployments resolvable by app name inside a worker process
+#: (the setup objects themselves hold a mappingproxy and cannot cross a
+#: pickle boundary).
+_TABLE3_SETUPS = {"sirius": TABLE3_SIRIUS, "websearch": TABLE3_WEBSEARCH}
+
+_CELL_KINDS = ("latency", "qos", "artefact")
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+# ----------------------------------------------------------------------
+# Trace specs: load traces as primitive tuples
+# ----------------------------------------------------------------------
+def trace_to_spec(trace: LoadTrace) -> tuple:
+    """A load trace as a hashable tuple of primitives.
+
+    Only the built-in trace families are supported; a custom trace class
+    has no stable content address and must run through the serial
+    :mod:`repro.experiments.runner` API directly.
+    """
+    if isinstance(trace, ConstantLoad):
+        return ("constant", trace.rate_qps)
+    if isinstance(trace, PiecewiseLoad):
+        return ("piecewise", trace.segments)
+    if isinstance(trace, DiurnalLoad):
+        return (
+            "diurnal",
+            trace.base_qps,
+            trace.amplitude,
+            trace.period_s,
+            trace.phase_rad,
+        )
+    raise ConfigurationError(
+        f"cannot describe trace {trace!r} as a cell spec; use a constant, "
+        f"piecewise or diurnal trace"
+    )
+
+
+def build_trace(spec: Sequence) -> LoadTrace:
+    """Rebuild the load trace a :func:`trace_to_spec` tuple describes."""
+    if not spec:
+        raise ConfigurationError("empty trace spec")
+    kind = spec[0]
+    if kind == "constant":
+        return ConstantLoad(spec[1])
+    if kind == "piecewise":
+        return PiecewiseLoad(tuple((start, rate) for start, rate in spec[1]))
+    if kind == "diurnal":
+        return DiurnalLoad(*spec[1:])
+    raise ConfigurationError(f"unknown trace spec kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Cell specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell, described entirely by primitives.
+
+    A spec is hashable (usable as a dict key), picklable (crosses the
+    worker-process boundary) and canonically serialisable (its digest is
+    the cache key).  Use the :meth:`latency`, :meth:`qos` and
+    :meth:`artefact` constructors rather than the raw fields.
+    """
+
+    kind: str
+    app: str
+    policy: str = ""
+    duration_s: float = 0.0
+    seed: int = 0
+    #: Trace spec tuple (latency cells only).
+    trace: tuple = ()
+    #: Arrival rate (QoS cells only).
+    rate_qps: float = 0.0
+    #: Power budget override; ``None`` keeps the runner's Table-2 default.
+    budget_watts: Optional[float] = None
+    #: ``((stage, count, level), ...)`` or ``None`` for the default.
+    allocation: Optional[tuple[tuple[str, int, int], ...]] = None
+    #: Extra scalar keyword arguments forwarded to the runner.
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CELL_KINDS:
+            raise ConfigurationError(
+                f"unknown cell kind {self.kind!r} "
+                f"(known: {', '.join(_CELL_KINDS)})"
+            )
+        for key, value in self.options:
+            if not isinstance(value, _SCALAR_TYPES):
+                raise ConfigurationError(
+                    f"cell option {key!r} must be a scalar, got "
+                    f"{type(value).__name__}"
+                )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress/timing records."""
+        if self.kind == "artefact":
+            return f"artefact:{self.app}"
+        return f"{self.kind}:{self.app}/{self.policy} seed={self.seed}"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def latency(
+        cls,
+        app: str,
+        policy: str,
+        trace: Union[LoadTrace, tuple],
+        duration_s: float,
+        seed: int = 1,
+        budget_watts: Optional[float] = None,
+        allocation: Optional[dict[str, StageAllocation]] = None,
+        **options: Any,
+    ) -> "CellSpec":
+        """A Table-2 latency-mitigation cell (one ``run_latency_experiment``)."""
+        trace_spec = trace if isinstance(trace, tuple) else trace_to_spec(trace)
+        allocation_spec = None
+        if allocation is not None:
+            allocation_spec = tuple(
+                (name, alloc.count, alloc.level)
+                for name, alloc in sorted(allocation.items())
+            )
+        return cls(
+            kind="latency",
+            app=app,
+            policy=policy,
+            duration_s=float(duration_s),
+            seed=int(seed),
+            trace=trace_spec,
+            budget_watts=None if budget_watts is None else float(budget_watts),
+            allocation=allocation_spec,
+            options=tuple(sorted(options.items())),
+        )
+
+    @classmethod
+    def qos(
+        cls,
+        app: str,
+        policy: str,
+        rate_qps: float,
+        duration_s: float,
+        seed: int = 1,
+        **options: Any,
+    ) -> "CellSpec":
+        """A Table-3 QoS-mode cell; ``app`` names the Table-3 deployment."""
+        if app not in _TABLE3_SETUPS:
+            known = ", ".join(sorted(_TABLE3_SETUPS))
+            raise ConfigurationError(
+                f"unknown QoS deployment {app!r} (known: {known})"
+            )
+        return cls(
+            kind="qos",
+            app=app,
+            policy=policy,
+            duration_s=float(duration_s),
+            seed=int(seed),
+            rate_qps=float(rate_qps),
+            options=tuple(sorted(options.items())),
+        )
+
+    @classmethod
+    def artefact(cls, name: str) -> "CellSpec":
+        """A campaign artefact cell: render one default-registry figure."""
+        return cls(kind="artefact", app=name)
+
+
+def spec_digest(spec: CellSpec) -> str:
+    """Stable SHA-256 content address of a cell spec.
+
+    Two specs share a digest exactly when they describe the same cell
+    under the same :data:`CACHE_VERSION`; the digest is the cache key and
+    the cache file name.
+    """
+    canonical = json.dumps(
+        {"version": CACHE_VERSION, "spec": dataclasses.asdict(spec)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Cell execution (runs inside worker processes — module level, picklable)
+# ----------------------------------------------------------------------
+def execute_cell(spec: CellSpec) -> dict[str, Any]:
+    """Run one cell and return its JSON-serialisable payload."""
+    if spec.kind == "latency":
+        kwargs: dict[str, Any] = dict(spec.options)
+        if spec.budget_watts is not None:
+            kwargs["budget_watts"] = spec.budget_watts
+        if spec.allocation is not None:
+            kwargs["allocation"] = {
+                name: StageAllocation(count=count, level=level)
+                for name, count, level in spec.allocation
+            }
+        result = run_latency_experiment(
+            spec.app,
+            spec.policy,
+            build_trace(spec.trace),
+            spec.duration_s,
+            seed=spec.seed,
+            **kwargs,
+        )
+        return {"kind": "latency", "result": run_result_to_dict(result)}
+    if spec.kind == "qos":
+        result = run_qos_experiment(
+            _TABLE3_SETUPS[spec.app],
+            spec.policy,
+            rate_qps=spec.rate_qps,
+            duration_s=spec.duration_s,
+            seed=spec.seed,
+            **dict(spec.options),
+        )
+        return {"kind": "qos", "result": qos_result_to_dict(result)}
+    # Artefact cells resolve the campaign registry lazily so the campaign
+    # module can itself be built on this engine without an import cycle.
+    from repro.experiments.campaign import default_registry
+
+    registry = default_registry()
+    if spec.app not in registry:
+        raise ExperimentError(f"campaign has no artefact {spec.app!r}")
+    return {"kind": "artefact", "render": registry[spec.app]()}
+
+
+def payload_to_result(
+    payload: dict[str, Any],
+) -> Union[RunResult, QosRunResult, str]:
+    """Rebuild the first-class result object a cell payload encodes."""
+    kind = payload.get("kind")
+    if kind == "latency":
+        return run_result_from_dict(payload["result"])
+    if kind == "qos":
+        return qos_result_from_dict(payload["result"])
+    if kind == "artefact":
+        return payload["render"]
+    raise ExperimentError(f"unknown cell payload kind {kind!r}")
+
+
+def _timed_execute(spec: CellSpec) -> dict[str, Any]:
+    """Worker entry point: execute one cell, recording wall clock and pid.
+
+    The payload is normalised through a JSON round trip here, at the
+    single choke point every execution path shares, so a cell's payload
+    compares equal whether it was just computed, shipped back from a
+    worker, or read from the on-disk cache.
+    """
+    start = time.perf_counter()
+    payload = json.loads(json.dumps(execute_cell(spec)))
+    return {
+        "payload": payload,
+        "elapsed_s": time.perf_counter() - start,
+        "worker": os.getpid(),
+    }
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed store of completed cells: one JSON file per digest.
+
+    A cache entry records the spec it was computed from, its payload and
+    the compute time, versioned by :data:`CACHE_VERSION`.  Corrupt,
+    mismatched or stale-version entries read as misses and are
+    overwritten on the next store, so a cache directory can never poison
+    a campaign.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cache directory {self.directory} is not usable: {error}"
+            ) from error
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[dict[str, Any]]:
+        """The stored record for a digest, or ``None`` (counted as a miss)."""
+        path = self.path_for(digest)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            record.get("version") != CACHE_VERSION
+            or record.get("digest") != digest
+            or "payload" not in record
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(
+        self, spec: CellSpec, digest: str, record: dict[str, Any]
+    ) -> None:
+        """Store a computed cell; written atomically via a temp file."""
+        entry = {
+            "version": CACHE_VERSION,
+            "digest": digest,
+            "spec": dataclasses.asdict(spec),
+            "elapsed_s": record.get("elapsed_s", 0.0),
+            "payload": record["payload"],
+        }
+        path = self.path_for(digest)
+        scratch = path.with_suffix(".tmp")
+        scratch.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        scratch.replace(path)
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def _resolve_cache(
+    cache: Union[ResultCache, str, Path, None],
+) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellOutcome:
+    """Progress/timing record for one completed cell.
+
+    ``source`` says where the result came from: ``cache`` (warm hit),
+    ``pool`` (worker process), ``serial`` (in-process, either
+    ``max_workers=1`` or degradation after the pool died) or ``retry``
+    (recomputed in-process after a worker crash or timeout).
+    """
+
+    spec: CellSpec
+    digest: str
+    payload: dict[str, Any]
+    elapsed_s: float
+    source: str
+    attempts: int
+    worker: Optional[int] = None
+
+    def result(self) -> Union[RunResult, QosRunResult, str]:
+        return payload_to_result(self.payload)
+
+
+@dataclass
+class EngineReport:
+    """Everything one :func:`run_cells` fan-out produced, in spec order."""
+
+    outcomes: list[CellOutcome] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.source == "cache")
+
+    @property
+    def computed(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    @property
+    def compute_seconds(self) -> float:
+        """Total per-cell compute time (> wall clock when workers overlap)."""
+        return sum(
+            outcome.elapsed_s
+            for outcome in self.outcomes
+            if outcome.source != "cache"
+        )
+
+    def results(self) -> list[Union[RunResult, QosRunResult, str]]:
+        return [outcome.result() for outcome in self.outcomes]
+
+    def format_timing(self) -> str:
+        """A where-did-the-wall-clock-go table, slowest cells first."""
+        rows = [
+            (
+                outcome.spec.label,
+                f"{outcome.elapsed_s:.2f}s",
+                outcome.source,
+                "-" if outcome.worker is None else str(outcome.worker),
+            )
+            for outcome in sorted(
+                self.outcomes, key=lambda o: o.elapsed_s, reverse=True
+            )
+        ]
+        summary = (
+            f"{len(self.outcomes)} cells: {self.cache_hits} cached, "
+            f"{self.computed} computed in {self.compute_seconds:.2f}s "
+            f"compute / {self.wall_clock_s:.2f}s wall clock"
+        )
+        return (
+            format_heading("Campaign execution timing")
+            + "\n"
+            + format_table(["cell", "elapsed", "source", "worker"], rows)
+            + "\n"
+            + summary
+        )
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    max_workers: int = 1,
+    cache: Union[ResultCache, str, Path, None] = None,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
+) -> EngineReport:
+    """Execute every cell, fanning out across processes when asked to.
+
+    Results come back in spec order regardless of completion order, and
+    each payload is identical whether computed serially, in a worker, or
+    served from the cache.  Failure handling:
+
+    * a worker crash (:class:`BrokenProcessPool`) or per-cell timeout
+      triggers exactly one in-process retry of that cell;
+    * a dead pool degrades the rest of the campaign to serial execution
+      rather than failing it;
+    * in serial mode exceptions propagate immediately — the simulations
+      are deterministic, so a serial failure would only repeat.
+
+    ``progress`` is invoked once per completed cell with its
+    :class:`CellOutcome` (cache hits first, then computed cells).
+    """
+    if max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    store = _resolve_cache(cache)
+    started = time.perf_counter()
+    report = EngineReport()
+    outcomes: dict[int, CellOutcome] = {}
+
+    def finish(index: int, outcome: CellOutcome) -> None:
+        outcomes[index] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    pending: list[tuple[int, CellSpec, str]] = []
+    for index, spec in enumerate(specs):
+        digest = spec_digest(spec)
+        record = store.get(digest) if store is not None else None
+        if record is not None:
+            finish(
+                index,
+                CellOutcome(
+                    spec=spec,
+                    digest=digest,
+                    payload=record["payload"],
+                    elapsed_s=0.0,
+                    source="cache",
+                    attempts=0,
+                ),
+            )
+        else:
+            pending.append((index, spec, digest))
+
+    def compute_serial(
+        index: int, spec: CellSpec, digest: str, source: str, attempts: int
+    ) -> None:
+        record = _timed_execute(spec)
+        if store is not None:
+            store.put(spec, digest, record)
+        finish(
+            index,
+            CellOutcome(
+                spec=spec,
+                digest=digest,
+                payload=record["payload"],
+                elapsed_s=record["elapsed_s"],
+                source=source,
+                attempts=attempts,
+                worker=record["worker"],
+            ),
+        )
+
+    executor: Optional[ProcessPoolExecutor] = None
+    if pending and max_workers > 1:
+        try:
+            executor = ProcessPoolExecutor(max_workers=max_workers)
+        except (OSError, ValueError):
+            executor = None  # no pool available: degrade to serial
+
+    if executor is None:
+        for index, spec, digest in pending:
+            compute_serial(index, spec, digest, "serial", 1)
+    else:
+        try:
+            futures = [
+                (index, spec, digest, executor.submit(_timed_execute, spec))
+                for index, spec, digest in pending
+            ]
+            pool_broken = False
+            for index, spec, digest, future in futures:
+                record: Optional[dict[str, Any]] = None
+                if not pool_broken:
+                    try:
+                        record = future.result(timeout=timeout_s)
+                    except BrokenProcessPool:
+                        pool_broken = True
+                    except FutureTimeoutError:
+                        future.cancel()
+                    except Exception:
+                        # Worker died mid-cell (or the cell itself raised
+                        # inside the pool): fall through to the retry.
+                        pass
+                else:
+                    future.cancel()
+                if record is not None:
+                    if store is not None:
+                        store.put(spec, digest, record)
+                    finish(
+                        index,
+                        CellOutcome(
+                            spec=spec,
+                            digest=digest,
+                            payload=record["payload"],
+                            elapsed_s=record["elapsed_s"],
+                            source="pool",
+                            attempts=1,
+                            worker=record["worker"],
+                        ),
+                    )
+                elif pool_broken:
+                    compute_serial(index, spec, digest, "serial", 1)
+                else:
+                    compute_serial(index, spec, digest, "retry", 2)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    report.outcomes = [outcomes[index] for index in range(len(specs))]
+    report.wall_clock_s = time.perf_counter() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# Generic fan-out (for work that is not cell-shaped)
+# ----------------------------------------------------------------------
+def fan_out(
+    func: Callable[..., Any],
+    argument_tuples: Sequence[tuple],
+    max_workers: int = 1,
+) -> list[Any]:
+    """Run ``func(*args)`` for each tuple, in a pool when asked.
+
+    For independent jobs that are not :class:`CellSpec`-shaped (the
+    sharding benchmark's per-deployment simulations, for instance).
+    ``func`` must be a module-level callable and both arguments and
+    return values must pickle.  Results come back in argument order; the
+    serial path and any pool failure fall back to direct calls.
+    """
+    if max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if max_workers == 1 or len(argument_tuples) <= 1:
+        return [func(*args) for args in argument_tuples]
+    try:
+        executor = ProcessPoolExecutor(max_workers=max_workers)
+    except (OSError, ValueError):
+        return [func(*args) for args in argument_tuples]
+    results: list[Any] = []
+    try:
+        futures = [executor.submit(func, *args) for args in argument_tuples]
+        for future, args in zip(futures, argument_tuples):
+            try:
+                results.append(future.result())
+            except Exception:
+                results.append(func(*args))
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results

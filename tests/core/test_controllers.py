@@ -83,6 +83,18 @@ class TestStaticController:
         assert all(isinstance(action, SkipAction) for action in controller.actions)
 
 
+def make_single_instance_app(sim, machine):
+    """A one-stage, one-instance application (no peer to spread against)."""
+    from repro.service.application import Application
+
+    from tests.conftest import make_profile
+
+    app = Application("solo-app", sim, machine)
+    stage = app.add_stage(make_profile("S", mean=0.2))
+    stage.launch_instance(HASWELL_LADDER.level_of(1.8))
+    return app
+
+
 class TestPowerChiefController:
     def test_skips_when_balanced(self, sim, two_stage_app, machine):
         # With no load, the profile-prior metrics of A (0.13s) and B
@@ -100,6 +112,61 @@ class TestPowerChiefController:
         sim.run(until=6.0)
         assert controller.ticks == 1
         assert isinstance(controller.actions[-1], SkipAction)
+
+    def test_single_instance_below_threshold_skips(self, sim, machine):
+        # The balance gate must also cover a lone instance: with no load
+        # its profile-prior metric (~0.13s) is below the threshold, so
+        # every interval is skipped instead of firing a boost attempt.
+        app = make_single_instance_app(sim, machine)
+        config = ControllerConfig(
+            adjust_interval_s=5.0,
+            balance_threshold_s=1.0,
+            withdraw_interval_s=1000.0,
+        )
+        controller, _, _ = make_controller(
+            PowerChiefController, sim, app, machine, config=config
+        )
+        controller.start()
+        sim.run(until=26.0)
+        assert controller.ticks == 5
+        assert controller.actions
+        assert all(isinstance(action, SkipAction) for action in controller.actions)
+        assert all(
+            "balance threshold" in action.reason for action in controller.actions
+        )
+        assert not controller.decisions
+
+    def test_single_instance_above_threshold_still_boosts(self, sim, machine):
+        # The gate must not castrate a genuinely overloaded lone instance.
+        # Queries go through the application so completions feed the
+        # command center and the Equation-1 metric reflects the backlog.
+        app = make_single_instance_app(sim, machine)
+        controller, _, _ = make_controller(
+            PowerChiefController, sim, app, machine
+        )
+        controller.start()
+        for qid in range(80):
+            app.submit(Query(40_000 + qid, {"S": 1.0}))
+        sim.run(until=30.0)
+        assert controller.decisions
+
+    def test_withdraw_cadence_does_not_drift(self, sim, two_stage_app, machine):
+        # Adjust every 4s, withdraw every 10s: ticks land at 4, 8, 12, ...
+        # so no tick coincides with a withdraw multiple.  Snapping the
+        # checkpoint to the tick time used to stretch the cadence to 12s
+        # (10 passes in 120s); anchored bookkeeping keeps the long-run
+        # average at exactly the configured interval.
+        config = ControllerConfig(
+            adjust_interval_s=4.0,
+            balance_threshold_s=0.25,
+            withdraw_interval_s=10.0,
+        )
+        controller, _, _ = make_controller(
+            PowerChiefController, sim, two_stage_app, machine, config=config
+        )
+        controller.start()
+        sim.run(until=121.0)
+        assert controller.withdraw_passes == int(120.0 / 10.0)
 
     def test_boosts_bottleneck_under_load(self, sim, two_stage_app, machine):
         controller, _, budget = make_controller(

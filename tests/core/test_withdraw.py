@@ -125,6 +125,37 @@ class TestWithdrawPass:
         withdrawn = withdrawer.run(two_stage_app, 150.0)
         assert fresh not in [candidate.instance for candidate in withdrawn]
 
+    def test_externally_withdrawn_instance_is_pruned(
+        self, sim, two_stage_app, withdrawer
+    ):
+        # An instance that leaves the pool outside the withdrawer (QoS-mode
+        # conservation, external scripting) must not leak a checkpoint: a
+        # relaunch reusing the name would be judged on a stale interval.
+        stage_b = two_stage_app.stage("B")
+        survivor = stage_b.launch_instance(LEVEL_1_8)
+        withdrawer.observe(two_stage_app, 0.0)
+        victim = stage_b.instances[0]
+        assert victim.name in withdrawer._checkpoints
+        stage_b.withdraw_instance(victim, redirect_to=survivor)
+        sim.run(until=150.0)
+        withdrawer.run(two_stage_app, 150.0)
+        assert victim.name not in withdrawer._checkpoints
+        running = {inst.name for inst in two_stage_app.running_instances()}
+        assert set(withdrawer._checkpoints) == running
+
+    def test_checkpoint_all_drops_stale_entries(
+        self, sim, two_stage_app, withdrawer
+    ):
+        stage_b = two_stage_app.stage("B")
+        survivor = stage_b.launch_instance(LEVEL_1_8)
+        withdrawer.observe(two_stage_app, 0.0)
+        victim = stage_b.instances[0]
+        stage_b.withdraw_instance(victim, redirect_to=survivor)
+        withdrawer.checkpoint_all(two_stage_app, 10.0)
+        assert victim.name not in withdrawer._checkpoints
+        running = {inst.name for inst in two_stage_app.running_instances()}
+        assert set(withdrawer._checkpoints) == running
+
     def test_invalid_threshold_rejected(self, command_center):
         with pytest.raises(ValueError):
             InstanceWithdrawer(

@@ -67,6 +67,38 @@ class TestCampaign:
         assert "Table 1" in registry["table1"]()
         assert "Table 4" in registry["table4"]()
 
+    def test_default_registry_runs_through_the_engine(self, monkeypatch):
+        import repro.experiments.campaign as campaign_module
+
+        monkeypatch.setattr(campaign_module, "default_registry", tiny_registry)
+        result = run_campaign()
+        assert result.artefacts == ["figA", "figB"]
+        assert result.computed == 2
+        assert result.cache_hits == 0
+        assert [source for _, _, source in result.timings] == ["serial"] * 2
+        assert "Campaign timing" in result.timing_report()
+        assert "2 artefacts: 0 cached, 2 computed" in result.timing_report()
+
+    def test_warm_cache_recomputes_nothing(self, tmp_path, monkeypatch):
+        import repro.experiments.campaign as campaign_module
+
+        monkeypatch.setattr(campaign_module, "default_registry", tiny_registry)
+        cold = run_campaign(cache_dir=tmp_path / "cache")
+        assert cold.computed == 2 and cold.cache_hits == 0
+        warm = run_campaign(cache_dir=tmp_path / "cache")
+        assert warm.computed == 0
+        assert warm.cache_hits == 2
+        assert warm.renders == cold.renders
+        assert [source for _, _, source in warm.timings] == ["cache"] * 2
+
+    def test_parallel_campaign_matches_serial(self, monkeypatch):
+        import repro.experiments.campaign as campaign_module
+
+        monkeypatch.setattr(campaign_module, "default_registry", tiny_registry)
+        serial = run_campaign(max_workers=1)
+        pooled = run_campaign(max_workers=2)
+        assert pooled.renders == serial.renders
+
     def test_cli_campaign_command(self, tmp_path, capsys, monkeypatch):
         import repro.experiments.campaign as campaign_module
         from repro.cli import main
@@ -77,3 +109,18 @@ class TestCampaign:
         out = capsys.readouterr().out
         assert "RENDER A" in out
         assert "campaign archived" in out
+
+    def test_cli_campaign_workers_and_cache(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.campaign as campaign_module
+        from repro.cli import main
+
+        monkeypatch.setattr(campaign_module, "default_registry", tiny_registry)
+        cache = tmp_path / "cache"
+        for expected_hits in (0, 2):
+            code = main(
+                ["campaign", "--workers", "2", "--cache-dir", str(cache)]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "RENDER A" in out
+            assert f"{expected_hits} cached" in out

@@ -1,0 +1,300 @@
+"""Unit tests for the parallel experiment engine and its result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    CACHE_VERSION,
+    CellSpec,
+    ResultCache,
+    build_trace,
+    execute_cell,
+    fan_out,
+    run_cells,
+    spec_digest,
+    trace_to_spec,
+)
+from repro.experiments.runner import StageAllocation, run_latency_experiment
+from repro.experiments.export import run_result_to_dict
+from repro.workloads.loadgen import (
+    ConstantLoad,
+    DiurnalLoad,
+    LoadTrace,
+    PiecewiseLoad,
+)
+
+
+DURATION = 60.0
+RATE = 1.0
+
+#: The parent process; helpers below use it to misbehave only in workers.
+MAIN_PID = os.getpid()
+
+_REAL_EXECUTE = parallel.execute_cell
+
+
+def _fail_in_worker(spec):
+    """Crash when run inside a pool worker, succeed on the in-process retry."""
+    if os.getpid() != MAIN_PID:
+        raise RuntimeError("simulated worker crash")
+    return _REAL_EXECUTE(spec)
+
+
+def _sleep_in_worker(spec):
+    """Stall inside a pool worker so the per-cell timeout fires."""
+    if os.getpid() != MAIN_PID:
+        time.sleep(5.0)
+    return _REAL_EXECUTE(spec)
+
+
+def _double(value):
+    return 2 * value
+
+
+def latency_specs(count: int = 2) -> list[CellSpec]:
+    return [
+        CellSpec.latency("sirius", "static", ("constant", RATE), DURATION, seed=seed)
+        for seed in range(1, count + 1)
+    ]
+
+
+class TestCellSpec:
+    def test_hashable_and_picklable(self):
+        spec = CellSpec.latency(
+            "sirius",
+            "powerchief",
+            ConstantLoad(2.0),
+            300.0,
+            seed=7,
+            budget_watts=18.0,
+            allocation={"ASR": StageAllocation(2, 3)},
+            n_cores=32,
+        )
+        assert spec == pickle.loads(pickle.dumps(spec))
+        assert len({spec, spec}) == 1
+
+    def test_digest_is_stable_and_content_sensitive(self):
+        first = CellSpec.latency("sirius", "static", ("constant", 1.0), 60.0, seed=1)
+        same = CellSpec.latency("sirius", "static", ConstantLoad(1.0), 60.0, seed=1)
+        other = CellSpec.latency("sirius", "static", ("constant", 1.0), 60.0, seed=2)
+        assert spec_digest(first) == spec_digest(same)
+        assert spec_digest(first) != spec_digest(other)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellSpec(kind="nosuch", app="sirius")
+
+    def test_non_scalar_option_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellSpec.latency(
+                "sirius", "static", ("constant", 1.0), 60.0, contention=object()
+            )
+
+    def test_unknown_qos_deployment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellSpec.qos("nlp", "baseline", 4.0, 60.0)
+
+    def test_trace_specs_round_trip(self):
+        for trace in (
+            ConstantLoad(3.5),
+            PiecewiseLoad([(0.0, 1.0), (10.0, 2.0)]),
+            DiurnalLoad(2.0, amplitude=0.25, period_s=600.0),
+        ):
+            rebuilt = build_trace(trace_to_spec(trace))
+            assert type(rebuilt) is type(trace)
+            for t in (0.0, 5.0, 50.0):
+                assert rebuilt.rate_at(t) == trace.rate_at(t)
+
+    def test_custom_trace_rejected(self):
+        class Custom(LoadTrace):
+            def rate_at(self, time: float) -> float:
+                return 1.0
+
+        with pytest.raises(ConfigurationError):
+            trace_to_spec(Custom())
+
+
+class TestResultCache:
+    def test_round_trip_hit_and_miss_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = latency_specs()
+        cold = run_cells(specs, max_workers=1, cache=cache)
+        assert cold.computed == len(specs)
+        assert cold.cache_hits == 0
+        assert cache.stores == len(specs)
+        assert len(cache) == len(specs)
+
+        warm = run_cells(specs, max_workers=1, cache=cache)
+        assert warm.computed == 0
+        assert warm.cache_hits == len(specs)
+        assert [o.source for o in warm.outcomes] == ["cache"] * len(specs)
+        for before, after in zip(cold.outcomes, warm.outcomes):
+            assert before.payload == after.payload
+            assert before.result() == after.result()
+
+    def test_changed_cell_recomputes_only_itself(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = latency_specs()
+        run_cells(specs, max_workers=1, cache=cache)
+        changed = specs[:1] + [
+            CellSpec.latency("sirius", "static", ("constant", RATE), DURATION, seed=99)
+        ]
+        report = run_cells(changed, max_workers=1, cache=cache)
+        assert [o.source for o in report.outcomes] == ["cache", "serial"]
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = latency_specs(1)[0]
+        digest = spec_digest(spec)
+        cache.path_for(digest).write_text("{not json")
+        assert cache.get(digest) is None
+        assert cache.misses == 1
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = latency_specs(1)[0]
+        run_cells([spec], max_workers=1, cache=cache)
+        digest = spec_digest(spec)
+        entry = json.loads(cache.path_for(digest).read_text())
+        entry["version"] = CACHE_VERSION + 1
+        cache.path_for(digest).write_text(json.dumps(entry))
+        assert cache.get(digest) is None
+
+
+class TestEngine:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            run_cells(latency_specs(1), max_workers=0)
+
+    def test_serial_and_parallel_results_are_byte_identical(self):
+        specs = latency_specs()
+        serial = run_cells(specs, max_workers=1)
+        pooled = run_cells(specs, max_workers=2)
+        assert [o.source for o in pooled.outcomes] == ["pool"] * len(specs)
+        for left, right in zip(serial.outcomes, pooled.outcomes):
+            assert json.dumps(left.payload, sort_keys=True) == json.dumps(
+                right.payload, sort_keys=True
+            )
+
+    def test_engine_payload_matches_direct_run(self):
+        spec = latency_specs(1)[0]
+        report = run_cells([spec], max_workers=1)
+        direct = run_latency_experiment(
+            "sirius", "static", ConstantLoad(RATE), DURATION, seed=1
+        )
+        assert report.outcomes[0].payload["result"] == json.loads(
+            json.dumps(run_result_to_dict(direct))
+        )
+        assert report.outcomes[0].result() == direct
+
+    def test_qos_cells_round_trip(self):
+        spec = CellSpec.qos("sirius", "baseline", 4.0, DURATION, seed=1)
+        report = run_cells([spec], max_workers=1)
+        result = report.outcomes[0].result()
+        assert result.app == "sirius"
+        assert result.average_power_fraction == pytest.approx(1.0)
+
+    def test_worker_crash_retries_in_process(self, monkeypatch):
+        monkeypatch.setattr(parallel, "execute_cell", _fail_in_worker)
+        specs = latency_specs()
+        report = run_cells(specs, max_workers=2)
+        assert [o.source for o in report.outcomes] == ["retry"] * len(specs)
+        assert all(o.attempts == 2 for o in report.outcomes)
+        assert all(o.result().queries_completed > 0 for o in report.outcomes)
+
+    def test_cell_timeout_retries_in_process(self, monkeypatch):
+        monkeypatch.setattr(parallel, "execute_cell", _sleep_in_worker)
+        report = run_cells(latency_specs(1), max_workers=2, timeout_s=0.25)
+        assert report.outcomes[0].source == "retry"
+        assert report.outcomes[0].result().queries_completed > 0
+
+    def test_unavailable_pool_degrades_to_serial(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", refuse)
+        specs = latency_specs()
+        report = run_cells(specs, max_workers=4)
+        assert [o.source for o in report.outcomes] == ["serial"] * len(specs)
+
+    def test_dead_pool_degrades_to_serial(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        class BrokenFuture:
+            def result(self, timeout=None):
+                raise BrokenProcessPool("pool died")
+
+            def cancel(self):
+                return True
+
+        class BrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def submit(self, fn, *args, **kwargs):
+                return BrokenFuture()
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", BrokenPool)
+        specs = latency_specs()
+        report = run_cells(specs, max_workers=2)
+        assert [o.source for o in report.outcomes] == ["serial"] * len(specs)
+        assert all(o.result().queries_completed > 0 for o in report.outcomes)
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        seen = []
+        specs = latency_specs()
+        run_cells(specs, max_workers=1, cache=tmp_path, progress=seen.append)
+        assert [o.spec for o in seen] == specs
+        seen.clear()
+        run_cells(specs, max_workers=1, cache=tmp_path, progress=seen.append)
+        assert [o.source for o in seen] == ["cache"] * len(specs)
+
+    def test_timing_report_accounts_for_every_cell(self):
+        report = run_cells(latency_specs(), max_workers=1)
+        timing = report.format_timing()
+        assert "latency:sirius/static seed=1" in timing
+        assert f"{report.computed} computed" in timing
+        assert report.compute_seconds > 0.0
+
+    def test_artefact_cells_render_the_registry(self, monkeypatch):
+        import repro.experiments.campaign as campaign_module
+
+        monkeypatch.setattr(
+            campaign_module,
+            "default_registry",
+            lambda: {"figX": lambda: "RENDER X"},
+        )
+        report = run_cells([CellSpec.artefact("figX")], max_workers=1)
+        assert report.outcomes[0].payload["render"] == "RENDER X"
+        assert report.outcomes[0].result() == "RENDER X"
+        with pytest.raises(ExperimentError):
+            execute_cell(CellSpec.artefact("nosuch"))
+
+
+class TestFanOut:
+    def test_serial_path(self):
+        assert fan_out(_double, [(1,), (2,), (3,)], max_workers=1) == [2, 4, 6]
+
+    def test_pool_path_preserves_order(self):
+        assert fan_out(_double, [(i,) for i in range(5)], max_workers=2) == [
+            0,
+            2,
+            4,
+            6,
+            8,
+        ]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            fan_out(_double, [(1,)], max_workers=0)
