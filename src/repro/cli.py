@@ -13,17 +13,25 @@ Commands:
   so re-runs only recompute what changed.
 * ``headline`` — the abstract's four claims, measured through the
   parallel cell engine (same ``--workers`` / ``--cache-dir`` knobs).
+* ``trace`` — one fully observed run: writes the query trace (JSONL +
+  Chrome trace-event JSON for Perfetto), a Prometheus-style metrics
+  dump and the controller decision audit log to a directory.
 
 Both single-run commands can archive their full result with ``--json``.
+The global ``--log-level`` flag configures one shared structured-logging
+setup (module, simulated time, wall time) for every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.obs import Observability, setup_logging
 from repro.experiments.config import TABLE3_SIRIUS, TABLE3_WEBSEARCH
 from repro.experiments.export import (
     qos_result_to_dict,
@@ -64,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PowerChief (ISCA 2017) reproduction harness",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default="warning",
+        help="shared structured-logging level for every subcommand "
+        "(default: warning)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -126,6 +141,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="content-addressed result cache; re-runs only recompute "
         "changed cells",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="one fully observed run: query trace (JSONL + Perfetto), "
+        "metrics dump and controller audit log",
+    )
+    trace.add_argument("app", choices=("sirius", "nlp"))
+    trace.add_argument(
+        "policy", choices=LATENCY_POLICIES, nargs="?", default="powerchief"
+    )
+    trace.add_argument(
+        "--load",
+        choices=tuple(level.value for level in LoadLevel),
+        default="high",
+        help="load level relative to baseline saturation (default: high)",
+    )
+    trace.add_argument("--rate", type=float, help="explicit arrival rate (qps)")
+    trace.add_argument("--duration", type=float, default=300.0)
+    trace.add_argument("--seed", type=int, default=3)
+    trace.add_argument(
+        "--output",
+        default="trace-out",
+        help="directory for trace.jsonl, trace.chrome.json, metrics.prom "
+        "and audit.jsonl (default: trace-out)",
+    )
+    trace.add_argument(
+        "--max-spans",
+        type=int,
+        default=200_000,
+        help="trace buffer bound; earliest spans are kept (default: 200000)",
     )
 
     qos = commands.add_parser("qos", help="one Table-3 QoS-mode run")
@@ -202,6 +248,60 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.audit import BoostEntry, BottleneckEntry, WithdrawEntry
+
+    logger = logging.getLogger("repro.cli")
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        levels = sirius_load_levels() if args.app == "sirius" else nlp_load_levels()
+        rate = levels.rate(LoadLevel(args.load))
+    observability = Observability.enabled(max_spans=args.max_spans)
+    logger.info(
+        "tracing %s/%s at %.2f qps for %.0fs", args.app, args.policy,
+        rate, args.duration,
+    )
+    result = run_latency_experiment(
+        args.app,
+        args.policy,
+        ConstantLoad(rate),
+        args.duration,
+        seed=args.seed,
+        observability=observability,
+    )
+    tracer, metrics, audit = (
+        observability.tracer,
+        observability.metrics,
+        observability.audit,
+    )
+    assert tracer is not None and metrics is not None and audit is not None
+    target = Path(args.output)
+    target.mkdir(parents=True, exist_ok=True)
+    tracer.write_jsonl(target / "trace.jsonl")
+    tracer.write_chrome_trace(target / "trace.chrome.json")
+    (target / "metrics.prom").write_text(metrics.render_prometheus())
+    audit.write_jsonl(target / "audit.jsonl")
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(
+        f"{result.app}/{result.policy}: {result.queries_completed} queries, "
+        f"mean {result.latency.mean:.3f}s, p99 {result.latency.p99:.3f}s, "
+        f"avg power {result.average_power_watts:.2f} W"
+    )
+    print(
+        f"trace: {len(tracer)} spans{dropped}; audit: "
+        f"{len(audit.of_kind(BottleneckEntry))} bottleneck / "
+        f"{len(audit.of_kind(BoostEntry))} boost / "
+        f"{len(audit.of_kind(WithdrawEntry))} withdraw entries; "
+        f"metrics: {len(metrics)} instruments"
+    )
+    print(
+        f"artifacts in {target}/: trace.jsonl, trace.chrome.json "
+        f"(open at ui.perfetto.dev), metrics.prom, audit.jsonl"
+    )
+    return 0
+
+
 def _cmd_qos(args: argparse.Namespace) -> int:
     setup = TABLE3_SIRIUS if args.app == "sirius" else TABLE3_WEBSEARCH
     rate = args.rate if args.rate is not None else (7.0 if args.app == "sirius" else 8.0)
@@ -225,12 +325,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(args.log_level)
     handlers = {
         "figures": _cmd_figures,
         "latency": _cmd_latency,
         "qos": _cmd_qos,
         "campaign": _cmd_campaign,
         "headline": _cmd_headline,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -4,13 +4,27 @@ Figures 13 and 14 of the paper plot "fraction of peak power" over the
 experiment timeline.  :class:`PowerTelemetry` samples the machine's total
 draw on a fixed interval and exposes the series plus summary statistics
 (average, peak, energy) that the benchmark harness renders.
+
+Each :class:`PowerSample` also carries the per-core DVFS level
+distribution at the sampling instant — ``level_counts`` maps ladder level
+to the number of active cores at it — which is what Figure 11(c)'s
+many-instances-near-the-floor convergence looks like from the power
+substrate's side.  When built with a
+:class:`~repro.obs.metrics.MetricsRegistry`, the sampler routes its
+summary statistics through the registry (gauges for the latest and peak
+draw, a counter for samples, a histogram of the sampled draw, and a
+per-level active-core gauge) instead of keeping bespoke aggregate fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter as _CounterDict
+from dataclasses import dataclass, field
+from typing import Optional
+
 from repro.errors import ClusterError
 from repro.cluster.machine import Machine
+from repro.obs.metrics import DEFAULT_POWER_BUCKETS_W, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 
@@ -19,10 +33,20 @@ __all__ = ["PowerSample", "PowerTelemetry"]
 
 @dataclass(frozen=True)
 class PowerSample:
-    """One point on the power timeline."""
+    """One point on the power timeline.
+
+    ``level_counts`` is the machine's DVFS state at the instant: sorted
+    ``(ladder level, active core count)`` pairs, empty when no core is
+    active.
+    """
 
     time: float
     watts: float
+    level_counts: tuple[tuple[int, int], ...] = field(default=())
+
+    @property
+    def active_cores(self) -> int:
+        return sum(count for _, count in self.level_counts)
 
 
 class PowerTelemetry:
@@ -33,6 +57,7 @@ class PowerTelemetry:
         sim: Simulator,
         machine: Machine,
         sample_interval_s: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if sample_interval_s <= 0.0:
             raise ClusterError(
@@ -41,6 +66,7 @@ class PowerTelemetry:
         self.sim = sim
         self.machine = machine
         self.sample_interval_s = float(sample_interval_s)
+        self.registry = registry
         self.samples: list[PowerSample] = []
         self._process = PeriodicProcess(
             sim,
@@ -59,7 +85,37 @@ class PowerTelemetry:
         self._process.stop()
 
     def _sample(self, now: float) -> None:
-        self.samples.append(PowerSample(now, self.machine.total_power()))
+        watts = self.machine.total_power()
+        counts = _CounterDict(
+            core.level for core in self.machine.cores if core.active
+        )
+        level_counts = tuple(sorted(counts.items()))
+        self.samples.append(PowerSample(now, watts, level_counts))
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_power_samples_total", "Power telemetry samples taken"
+            ).inc()
+            gauge = self.registry.gauge(
+                "repro_power_watts", "Machine draw at the latest sample"
+            )
+            gauge.set(watts)
+            peak = self.registry.gauge(
+                "repro_power_peak_watts", "Largest sampled machine draw"
+            )
+            if watts > peak.value():
+                peak.set(watts)
+            self.registry.histogram(
+                "repro_power_sample_watts",
+                "Distribution of sampled machine draw",
+                buckets=DEFAULT_POWER_BUCKETS_W,
+            ).observe(watts)
+            level_gauge = self.registry.gauge(
+                "repro_cores_at_level", "Active cores per DVFS ladder level"
+            )
+            for level in range(
+                self.machine.ladder.min_level, self.machine.ladder.max_level + 1
+            ):
+                level_gauge.set(dict(level_counts).get(level, 0), level=level)
 
     # ------------------------------------------------------------------
     # Summaries
@@ -93,3 +149,20 @@ class PowerTelemetry:
                 f"reference power must be > 0, got {reference_watts}"
             )
         return [(s.time, s.watts / reference_watts) for s in self.samples]
+
+    def level_distribution(self, since: float = 0.0) -> dict[int, float]:
+        """Mean active-core count per DVFS level from ``since`` onward.
+
+        Averaged over samples: ``{level: mean core count}``.  Empty when
+        nothing was sampled.
+        """
+        chosen = [s for s in self.samples if s.time >= since]
+        if not chosen:
+            return {}
+        totals: dict[int, int] = {}
+        for sample in chosen:
+            for level, count in sample.level_counts:
+                totals[level] = totals.get(level, 0) + count
+        return {
+            level: total / len(chosen) for level, total in sorted(totals.items())
+        }

@@ -21,6 +21,16 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.cluster.budget import PowerBudget
 from repro.cluster.dvfs import DvfsActuator
+from repro.obs.audit import (
+    AuditLog,
+    BoostEntry,
+    BottleneckEntry,
+    InstanceMetricReading,
+    PlannedDropReading,
+    RecycleEntry,
+    SkipEntry,
+    WithdrawEntry,
+)
 from repro.core.actions import (
     ActionRecord,
     FrequencyChangeAction,
@@ -100,6 +110,8 @@ class BaseController(ABC):
             budget.machine.power_model, budget.machine.ladder
         )
         self.actions: list[ActionRecord] = []
+        #: Decision audit log; ``None`` (the default) records nothing.
+        self.audit: Optional[AuditLog] = None
         self._process = PeriodicProcess(
             sim,
             self.config.adjust_interval_s,
@@ -110,6 +122,14 @@ class BaseController(ABC):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def attach_audit(self, audit: AuditLog) -> None:
+        """Record every future decision (with its inputs) into ``audit``.
+
+        Post-construction attachment keeps every subclass constructor
+        unchanged; the runner attaches before :meth:`start`.
+        """
+        self.audit = audit
+
     def start(self) -> None:
         """Arm the periodic adjust loop."""
         self._process.start()
@@ -137,9 +157,31 @@ class BaseController(ABC):
 
     def _skip(self, reason: str) -> None:
         self._log(SkipAction(time=self.sim.now, controller=self.name, reason=reason))
+        if self.audit is not None:
+            self.audit.record(
+                SkipEntry(time=self.sim.now, controller=self.name, reason=reason)
+            )
 
     def apply_recycle_plan(self, plan: RecyclePlan) -> None:
         """Execute every planned frequency drop."""
+        if self.audit is not None and plan.drops:
+            self.audit.record(
+                RecycleEntry(
+                    time=self.sim.now,
+                    controller=self.name,
+                    needed_watts=plan.needed_watts,
+                    recycled_watts=plan.recycled_watts,
+                    drops=tuple(
+                        PlannedDropReading(
+                            instance=drop.instance.name,
+                            from_level=drop.from_level,
+                            to_level=drop.to_level,
+                            watts_freed=drop.watts_freed,
+                        )
+                        for drop in plan.drops
+                    ),
+                )
+            )
         for drop in plan.drops:
             self.dvfs.set_level(drop.instance.core, drop.to_level)
             self._log(
@@ -282,11 +324,49 @@ class PowerChiefController(BaseController):
                         redirected_jobs=candidate.redirected_jobs,
                     )
                 )
+                if self.audit is not None:
+                    self.audit.record(
+                        WithdrawEntry(
+                            time=now,
+                            controller=self.name,
+                            instance=candidate.instance.name,
+                            stage=candidate.instance.stage_name,
+                            utilization=candidate.utilization,
+                            redirected_jobs=candidate.redirected_jobs,
+                        )
+                    )
 
         ranked = self.identifier.ranked(self.application)
         if not ranked:
             self._skip("no running instances")
             return
+        if self.audit is not None:
+            # The Equation-1 terms are refetched per instance; within one
+            # event the command center's windows are static, so these are
+            # exactly the values the identifier just ranked on.
+            self.audit.record(
+                BottleneckEntry(
+                    time=now,
+                    controller=self.name,
+                    readings=tuple(
+                        InstanceMetricReading(
+                            instance=entry.instance.name,
+                            stage=entry.instance.stage_name,
+                            metric=entry.metric,
+                            queue_length=entry.instance.queue_length,
+                            avg_queuing=self.command_center.avg_queuing(
+                                entry.instance
+                            ),
+                            avg_serving=self.command_center.avg_serving(
+                                entry.instance
+                            ),
+                        )
+                        for entry in ranked
+                    ),
+                    bottleneck=ranked[-1].instance.name,
+                    spread=ranked[-1].metric - ranked[0].metric,
+                )
+            )
         if len(ranked) >= 2:
             spread = ranked[-1].metric - ranked[0].metric
         else:
@@ -305,4 +385,28 @@ class PowerChiefController(BaseController):
         victims = [entry.instance for entry in ranked[:-1]]
         decision = self.engine.select(bottleneck, victims)
         self.decisions.append(decision)
+        if self.audit is not None:
+            self.audit.record(
+                BoostEntry(
+                    time=now,
+                    controller=self.name,
+                    decision=decision.kind.value,
+                    bottleneck=decision.bottleneck.name,
+                    queue_length=decision.bottleneck.queue_length,
+                    t_inst=decision.expected_delay_instance,
+                    t_freq=decision.expected_delay_frequency,
+                    target_level=decision.target_level,
+                    planned_drops=tuple(
+                        PlannedDropReading(
+                            instance=drop.instance.name,
+                            from_level=drop.from_level,
+                            to_level=drop.to_level,
+                            watts_freed=drop.watts_freed,
+                        )
+                        for drop in decision.recycle_plan.drops
+                    ),
+                    recycled_watts=decision.recycle_plan.recycled_watts,
+                    reason=decision.reason,
+                )
+            )
         self.apply_boosting_decision(decision)

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Callable, Mapping, Optional, Union
 
 from repro.errors import ExperimentError
+from repro.obs.metrics import MetricsRegistry
 from repro.experiments.parallel import (
     CellOutcome,
     CellSpec,
@@ -108,6 +109,7 @@ def run_campaign(
     max_workers: int = 1,
     cache_dir: Union[ResultCache, str, Path, None] = None,
     progress: Optional[Callable[[CellOutcome], None]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CampaignResult:
     """Run every registered artefact; optionally archive the renders.
 
@@ -115,6 +117,8 @@ def run_campaign(
     ``<name>.txt`` alongside a combined ``report.md``.  ``max_workers``
     and ``cache_dir`` only apply to the default registry (artefact cells
     run through the parallel engine); a custom registry runs serially.
+    ``metrics`` routes the engine's cache and timing bookkeeping through
+    a :class:`~repro.obs.metrics.MetricsRegistry`.
     """
     started = time.perf_counter()
     result = CampaignResult()
@@ -125,6 +129,7 @@ def run_campaign(
             max_workers=max_workers,
             cache=cache_dir,
             progress=progress,
+            registry=metrics,
         )
         for name, outcome in zip(names, report.outcomes):
             result.renders[name] = outcome.payload["render"]

@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError, ExperimentError
+from repro.obs.metrics import MetricsRegistry
 from repro.experiments.config import TABLE3_SIRIUS, TABLE3_WEBSEARCH
 from repro.experiments.export import (
     qos_result_from_dict,
@@ -488,12 +489,18 @@ class EngineReport:
         )
 
 
+#: Elapsed-time buckets for per-cell compute (sub-second figure renders
+#: up to multi-minute QoS timelines).
+_CELL_ELAPSED_BUCKETS_S = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 180.0)
+
+
 def run_cells(
     specs: Sequence[CellSpec],
     max_workers: int = 1,
     cache: Union[ResultCache, str, Path, None] = None,
     timeout_s: Optional[float] = None,
     progress: Optional[Callable[[CellOutcome], None]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> EngineReport:
     """Execute every cell, fanning out across processes when asked to.
 
@@ -510,6 +517,9 @@ def run_cells(
 
     ``progress`` is invoked once per completed cell with its
     :class:`CellOutcome` (cache hits first, then computed cells).
+    ``registry`` routes the engine's bookkeeping — cells by source,
+    cache hits/misses, retries, per-cell elapsed time — through the
+    metrics registry, at the single choke point every path shares.
     """
     if max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
@@ -520,6 +530,28 @@ def run_cells(
 
     def finish(index: int, outcome: CellOutcome) -> None:
         outcomes[index] = outcome
+        if registry is not None:
+            registry.counter(
+                "repro_cells_total", "Cells finished, by result source"
+            ).inc(source=outcome.source)
+            if outcome.source == "cache":
+                registry.counter(
+                    "repro_cell_cache_hits_total", "Cells served from the cache"
+                ).inc()
+            else:
+                registry.counter(
+                    "repro_cell_cache_misses_total", "Cells that had to compute"
+                ).inc()
+                registry.histogram(
+                    "repro_cell_elapsed_seconds",
+                    "Per-cell compute time",
+                    buckets=_CELL_ELAPSED_BUCKETS_S,
+                ).observe(outcome.elapsed_s)
+            if outcome.attempts > 1:
+                registry.counter(
+                    "repro_cell_retries_total",
+                    "Cells recomputed after a worker crash or timeout",
+                ).inc()
         if progress is not None:
             progress(outcome)
 

@@ -17,7 +17,7 @@ policies, so improvement ratios compare the policies and nothing else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.errors import ConfigurationError, ExperimentError
 from repro.cluster.budget import PowerBudget
@@ -25,6 +25,8 @@ from repro.cluster.contention import ContentionModel
 from repro.cluster.dvfs import DvfsActuator
 from repro.cluster.frequency import HASWELL_LADDER
 from repro.cluster.machine import Machine
+from repro.cluster.telemetry import PowerTelemetry
+from repro.obs import Observability, bind_simulator, unbind_simulator
 from repro.core.actions import ActionRecord
 from repro.core.baselines import (
     FreqBoostController,
@@ -152,9 +154,10 @@ def _build_app(
     sim: Simulator,
     machine: Machine,
     allocation: Mapping[str, StageAllocation],
+    observability: Optional[Observability] = None,
 ) -> Application:
     profiles = _profiles_for(app)
-    application = Application(app, sim, machine)
+    application = Application(app, sim, machine, observability=observability)
     scatter = _SCATTER_GATHER_STAGES.get(app, ())
     for profile in profiles:
         kind = (
@@ -188,6 +191,52 @@ def _uniform_allocation(
     return allocation
 
 
+def _attach_observability(
+    sim: Simulator,
+    machine: Machine,
+    controller: Optional[BaseController],
+    observability: Optional[Observability],
+    telemetry_interval_s: float,
+) -> "tuple[Optional[PowerTelemetry], Callable[[], None]]":
+    """Arm every observability hook a run needs; returns a finalizer.
+
+    With ``observability=None`` this is a no-op returning a no-op — the
+    standard benchmark path stays exactly as fast as before.
+    """
+    if observability is None:
+        return None, lambda: None
+    bind_simulator(lambda: sim.now)
+    telemetry: Optional[PowerTelemetry] = None
+    hook = None
+    if observability.metrics is not None:
+        events = observability.metrics.counter(
+            "repro_sim_events_total", "Simulation events fired"
+        )
+
+        def hook(event) -> None:
+            events.inc()
+
+        sim.add_event_hook(hook)
+        telemetry = PowerTelemetry(
+            sim,
+            machine,
+            sample_interval_s=telemetry_interval_s,
+            registry=observability.metrics,
+        )
+        telemetry.start()
+    if controller is not None and observability.audit is not None:
+        controller.attach_audit(observability.audit)
+
+    def finalize() -> None:
+        if telemetry is not None:
+            telemetry.stop()
+        if hook is not None:
+            sim.remove_event_hook(hook)
+        unbind_simulator()
+
+    return telemetry, finalize
+
+
 def _summarize_completed(command_center: CommandCenter, context: str) -> LatencySummary:
     latencies = command_center.all_latencies
     if not latencies:
@@ -215,11 +264,14 @@ def run_latency_experiment(
     sample_interval_s: float = 5.0,
     stats_window_s: float = 60.0,
     contention: Optional[ContentionModel] = None,
+    observability: Optional[Observability] = None,
 ) -> RunResult:
     """Run one (application, policy, load) cell of Figures 2/4/10/11/12.
 
     ``allocation`` overrides the Table-2 one-instance-per-stage deployment
-    (Figure 2's static single-stage boosts use this).
+    (Figure 2's static single-stage boosts use this).  ``observability``
+    (kept by the caller) collects query spans, registry metrics and the
+    controller's decision audit log for the run.
     """
     if policy not in LATENCY_POLICIES:
         raise ConfigurationError(
@@ -232,7 +284,7 @@ def run_latency_experiment(
     initial_level = HASWELL_LADDER.level_of(initial_freq_ghz)
     if allocation is None:
         allocation = _uniform_allocation(app, initial_level, 1)
-    application = _build_app(app, sim, machine, allocation)
+    application = _build_app(app, sim, machine, allocation, observability)
     budget = PowerBudget(machine, budget_watts)
     budget.assert_within()
     command_center = CommandCenter(sim, application, window_s=stats_window_s)
@@ -254,13 +306,19 @@ def run_latency_experiment(
         sim, application, factory, trace, streams, duration_s
     )
     sampler = StateSampler(sim, application, sample_interval_s)
+    _, finalize_obs = _attach_observability(
+        sim, machine, controller, observability, sample_interval_s
+    )
 
-    controller.start()
-    sampler.start()
-    generator.start()
-    sim.run(until=duration_s)
-    controller.stop()
-    sampler.stop()
+    try:
+        controller.start()
+        sampler.start()
+        generator.start()
+        sim.run(until=duration_s)
+        controller.stop()
+        sampler.stop()
+    finally:
+        finalize_obs()
     budget.assert_within()
 
     energy = machine.total_energy()
@@ -294,6 +352,7 @@ def run_qos_experiment(
     n_cores: int = 16,
     sample_interval_s: float = 5.0,
     e2e_window_s: Optional[float] = None,
+    observability: Optional[Observability] = None,
 ) -> QosRunResult:
     """Run one (deployment, policy) timeline of Figures 13/14.
 
@@ -315,7 +374,7 @@ def run_qos_experiment(
     allocation = _uniform_allocation(
         setup.app, initial_level, dict(setup.instances_per_stage)
     )
-    application = _build_app(setup.app, sim, machine, allocation)
+    application = _build_app(setup.app, sim, machine, allocation, observability)
     reference_power = application.total_power()
     # QoS mode has no budget ceiling: the machine's peak is the cap.
     budget = PowerBudget(machine, machine.peak_power())
@@ -369,14 +428,20 @@ def run_qos_experiment(
         sample_interval_s=sample_interval_s,
     )
 
-    if controller is not None:
-        controller.start()
-    sampler.start()
-    generator.start()
-    sim.run(until=duration_s)
-    if controller is not None:
-        controller.stop()
-    sampler.stop()
+    _, finalize_obs = _attach_observability(
+        sim, machine, controller, observability, sample_interval_s
+    )
+    try:
+        if controller is not None:
+            controller.start()
+        sampler.start()
+        generator.start()
+        sim.run(until=duration_s)
+        if controller is not None:
+            controller.stop()
+        sampler.stop()
+    finally:
+        finalize_obs()
 
     return QosRunResult(
         app=setup.app,

@@ -1,0 +1,115 @@
+"""Observability: tracing, metrics and the controller audit log.
+
+Three pillars, one facade:
+
+* :mod:`repro.obs.trace` — per-(query, instance) spans in a bounded
+  buffer, exportable as JSONL and Chrome trace-event JSON (Perfetto);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms behind a registry with a Prometheus text exporter;
+* :mod:`repro.obs.audit` — every controller decision recorded with the
+  Equation-1/2/3 inputs that produced it.
+
+:class:`Observability` bundles the three so runners thread one object.
+Every pillar is optional and every producer guards its emit on ``is not
+None`` — a run without observability pays a single attribute check per
+potential emit point and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.audit import (
+    AuditEntry,
+    AuditLog,
+    BoostEntry,
+    BottleneckEntry,
+    InstanceMetricReading,
+    PlannedDropReading,
+    RecycleEntry,
+    SkipEntry,
+    WithdrawEntry,
+)
+from repro.obs.logging import bind_simulator, setup_logging, unbind_simulator
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_POWER_BUCKETS_W,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    TraceBuffer,
+    spans_from_chrome_trace,
+    spans_from_jsonl,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+)
+
+__all__ = [
+    "Observability",
+    # trace
+    "Span",
+    "TraceBuffer",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "spans_to_chrome_trace",
+    "spans_from_chrome_trace",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_POWER_BUCKETS_W",
+    # audit
+    "AuditEntry",
+    "AuditLog",
+    "BottleneckEntry",
+    "BoostEntry",
+    "RecycleEntry",
+    "WithdrawEntry",
+    "SkipEntry",
+    "InstanceMetricReading",
+    "PlannedDropReading",
+    # logging
+    "setup_logging",
+    "bind_simulator",
+    "unbind_simulator",
+]
+
+
+@dataclass
+class Observability:
+    """The bundle a runner threads through the system it builds.
+
+    Any pillar may be ``None``; :meth:`enabled` builds all three with
+    bounded defaults.
+    """
+
+    tracer: Optional[TraceBuffer] = None
+    metrics: Optional[MetricsRegistry] = None
+    audit: Optional[AuditLog] = None
+
+    @classmethod
+    def enabled(
+        cls,
+        max_spans: int = 200_000,
+        max_audit_entries: int = 100_000,
+    ) -> "Observability":
+        return cls(
+            tracer=TraceBuffer(max_spans=max_spans),
+            metrics=MetricsRegistry(),
+            audit=AuditLog(max_entries=max_audit_entries),
+        )
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.tracer is not None
+            or self.metrics is not None
+            or self.audit is not None
+        )

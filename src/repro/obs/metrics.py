@@ -1,0 +1,319 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+The paper's runtime is measurement-driven end to end, yet the repro's
+stat plumbing grew ad hoc — bespoke fields on :class:`PowerTelemetry`,
+hit/miss integers on the result cache, per-cell timing tuples in the
+campaign driver.  This module gives all of them one registry with a
+Prometheus-style text exporter, so any run can dump a single
+machine-readable snapshot of everything it counted.
+
+Design constraints:
+
+* **Zero-cost when absent.**  Every producer holds an ``Optional``
+  registry (or instrument) and guards its emit; no registry means no
+  attribute lookups beyond a single ``is not None``.
+* **Deterministic.**  Instruments carry no wall-clock state of their
+  own; anything time-like is observed by the caller from the simulated
+  clock, so two runs of the same seed render byte-identical dumps.
+* **Fixed buckets.**  Histograms use explicit upper bounds chosen at
+  creation (latency decades by default), cumulative Prometheus
+  semantics, and a nearest-bucket quantile estimator whose error is
+  bounded by one bucket width (pinned against
+  :func:`repro.util.percentile.percentile` by the property suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEFAULT_POWER_BUCKETS_W",
+]
+
+#: Latency decades from 1 ms to ~2 minutes; queuing and serving times in
+#: the Table-2/3 scenarios land squarely inside this range.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+)
+
+#: Machine draw for a 16-core Haswell ladder (floor ~1.7 W to peak ~160 W).
+DEFAULT_POWER_BUCKETS_W = (2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 120.0, 160.0)
+
+_LabelValue = Union[str, int, float]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, _LabelValue]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count, optionally split by label set."""
+
+    name: str
+    help: str
+    _values: dict[tuple[tuple[str, str], ...], float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, **labels: _LabelValue) -> None:
+        if amount < 0.0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: _LabelValue) -> float:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} counter",
+        ]
+        if not self._values:
+            lines.append(f"{self.name} 0")
+            return lines
+        for key in sorted(self._values):
+            labels = _format_labels(dict(key))
+            lines.append(f"{self.name}{labels} {_format_value(self._values[key])}")
+        return lines
+
+
+@dataclass
+class Gauge:
+    """A value that goes up and down (instantaneous power, pool sizes)."""
+
+    name: str
+    help: str
+    _values: dict[tuple[tuple[str, str], ...], float] = field(default_factory=dict)
+
+    def set(self, value: float, **labels: _LabelValue) -> None:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: _LabelValue) -> None:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: _LabelValue) -> float:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} gauge",
+        ]
+        if not self._values:
+            lines.append(f"{self.name} 0")
+            return lines
+        for key in sorted(self._values):
+            labels = _format_labels(dict(key))
+            lines.append(f"{self.name}{labels} {_format_value(self._values[key])}")
+        return lines
+
+
+class Histogram:
+    """A fixed-bucket histogram with Prometheus cumulative semantics.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches the overflow.  :meth:`quantile`
+    estimates by linear interpolation inside the winning bucket — its
+    error is therefore bounded by that bucket's width whenever the
+    quantile lands in a finite bucket.
+    """
+
+    def __init__(self, name: str, help: str, buckets: Sequence[float]) -> None:
+        if not buckets:
+            raise ConfigurationError(f"histogram {name} needs at least one bucket")
+        bounds = [float(b) for b in buckets]
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.bounds: tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[index] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative (upper bound, count) pairs, ending with +Inf."""
+        cumulative = 0
+        out: list[tuple[float, int]] = []
+        for bound, count in zip(self.bounds, self._counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        out.append((math.inf, cumulative + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the buckets.
+
+        Uses the nearest-rank target ``ceil(q * count)`` so the estimate
+        brackets the exact :func:`repro.util.percentile.percentile` of
+        the same sample: the true value lies inside the winning bucket,
+        and the interpolated estimate never leaves it.  Values beyond the
+        last finite bound clamp to that bound (the +Inf bucket has no
+        width to interpolate over).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            raise ConfigurationError(
+                f"histogram {self.name} is empty; no quantile to estimate"
+            )
+        target = max(1, math.ceil(q * self._count))
+        cumulative = 0
+        previous_bound = 0.0
+        for bound, count in zip(self.bounds, self._counts):
+            if count:
+                if cumulative + count >= target:
+                    fraction = (target - cumulative) / count
+                    return previous_bound + fraction * (bound - previous_bound)
+                cumulative += count
+            previous_bound = bound
+        return self.bounds[-1]
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for bound, cumulative in self.bucket_counts():
+            le = _format_value(bound)
+            lines.append(f'{self.name}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A namespace of instruments with a Prometheus text exporter.
+
+    Re-requesting a name returns the existing instrument (so producers
+    scattered across modules share counters without plumbing), but a
+    kind mismatch — asking for a counter where a gauge lives — is a
+    configuration error, never a silent aliasing.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind: type) -> Union[Counter, Gauge, Histogram, None]:
+        existing = self._instruments.get(name)
+        if existing is None:
+            return None
+        if not isinstance(existing, kind):
+            raise ConfigurationError(
+                f"metric {name!r} is a {type(existing).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return existing
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        existing = self._get(name, Counter)
+        if existing is None:
+            existing = Counter(name, help)
+            self._instruments[name] = existing
+        return existing
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        existing = self._get(name, Gauge)
+        if existing is None:
+            existing = Gauge(name, help)
+            self._instruments[name] = existing
+        return existing
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        existing = self._get(name, Histogram)
+        if existing is None:
+            existing = Histogram(name, help, buckets)
+            self._instruments[name] = existing
+        return existing
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        return self._instruments.get(name)
+
+    def render_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            lines.extend(self._instruments[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

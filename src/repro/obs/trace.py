@@ -1,0 +1,259 @@
+"""Query tracing: per-visit spans and their exporters.
+
+The service/query joint design already stamps enqueue / start / finish
+times into each :class:`~repro.service.records.StageRecord`; the tracer
+turns those stamps into :class:`Span` records — one per (query, instance)
+visit — collected in a bounded in-memory buffer.  Two export formats:
+
+* **JSONL** — one span object per line, trivially greppable and
+  schema-checked by the CI smoke step;
+* **Chrome trace-event JSON** — loadable by Perfetto (ui.perfetto.dev)
+  or ``chrome://tracing``: each stage renders as a process, each
+  instance as a thread, and every visit as a ``queue`` slice followed by
+  a ``serve`` slice, so a tail query's time is visually attributable at
+  a glance.
+
+Tracing is strictly opt-in: instances hold ``tracer=None`` by default
+and guard the emit with one ``is not None`` check, so a run without a
+tracer pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.service.records import StageRecord
+
+__all__ = [
+    "Span",
+    "TraceBuffer",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "spans_to_chrome_trace",
+    "spans_from_chrome_trace",
+]
+
+#: Chrome trace events use microsecond timestamps.
+_US = 1e6
+
+
+@dataclass(frozen=True)
+class Span:
+    """One query's visit to one service instance, fully timed.
+
+    ``queue_at_arrival`` is the instance's realtime queue length ``L_i``
+    the moment the query arrived (before it joined), and
+    ``service_level`` the DVFS ladder level the core ran at when serving
+    began — together they reconstruct the Equation-1 view the controller
+    had of this instance.
+    """
+
+    qid: int
+    stage: str
+    instance_id: int
+    instance: str
+    enqueue_time: float
+    start_time: float
+    finish_time: float
+    queue_at_arrival: int
+    service_level: int
+    work: float
+
+    def __post_init__(self) -> None:
+        if not self.enqueue_time <= self.start_time <= self.finish_time:
+            raise ConfigurationError(
+                f"span for query {self.qid} at {self.instance} is not "
+                f"ordered: enqueue={self.enqueue_time} start={self.start_time} "
+                f"finish={self.finish_time}"
+            )
+
+    @property
+    def queuing_time(self) -> float:
+        return self.start_time - self.enqueue_time
+
+    @property
+    def serving_time(self) -> float:
+        return self.finish_time - self.start_time
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(**data)
+
+
+class TraceBuffer:
+    """A bounded in-memory span sink.
+
+    Keeps the **earliest** ``max_spans`` spans and counts the overflow —
+    the head of a run is where controller behaviour is most interesting,
+    and a silent ring buffer would make "trace looks complete" lies
+    cheap.  ``dropped`` says exactly how much is missing.
+    """
+
+    def __init__(self, max_spans: int = 200_000) -> None:
+        if max_spans <= 0:
+            raise ConfigurationError(f"max_spans must be > 0, got {max_spans}")
+        self.max_spans = int(max_spans)
+        self._spans: deque[Span] = deque()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, span: Span) -> None:
+        if len(self._spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self._spans.append(span)
+
+    def emit_record(self, qid: int, work: float, record: "StageRecord") -> None:
+        """Build and emit a span from a completed stage record."""
+        assert record.start_time is not None and record.finish_time is not None
+        self.emit(
+            Span(
+                qid=qid,
+                stage=record.stage_name,
+                instance_id=record.instance_id,
+                instance=record.instance_name,
+                enqueue_time=record.enqueue_time,
+                start_time=record.start_time,
+                finish_time=record.finish_time,
+                queue_at_arrival=record.queue_at_arrival,
+                service_level=(
+                    record.service_level if record.service_level is not None else -1
+                ),
+                work=work,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        target = Path(path)
+        target.write_text(spans_to_jsonl(self._spans))
+        return target
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> Path:
+        target = Path(path)
+        target.write_text(
+            json.dumps(spans_to_chrome_trace(self._spans), indent=None)
+        )
+        return target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceBuffer({len(self._spans)} spans, {self.dropped} dropped)"
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per line (trailing newline included)."""
+    lines = [
+        json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+        for span in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_jsonl(text: str) -> list[Span]:
+    spans = []
+    for line in text.splitlines():
+        if line.strip():
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def spans_to_chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Spans as a Chrome trace-event JSON object.
+
+    Layout: one *process* per stage, one *thread* per instance, and per
+    visit a ``queue`` complete event followed by a ``serve`` complete
+    event.  The serve event's ``args`` carries the full span, so
+    :func:`spans_from_chrome_trace` round-trips losslessly.
+    """
+    span_list = list(spans)
+    stage_pids: dict[str, int] = {}
+    instance_tids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for span in span_list:
+        if span.stage not in stage_pids:
+            pid = len(stage_pids) + 1
+            stage_pids[span.stage] = pid
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"stage:{span.stage}"},
+                }
+            )
+        if span.instance not in instance_tids:
+            tid = len(instance_tids) + 1
+            instance_tids[span.instance] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": stage_pids[span.stage],
+                    "tid": tid,
+                    "args": {"name": span.instance},
+                }
+            )
+        pid = stage_pids[span.stage]
+        tid = instance_tids[span.instance]
+        events.append(
+            {
+                "name": "queue",
+                "cat": "queue",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": span.enqueue_time * _US,
+                "dur": span.queuing_time * _US,
+                "args": {"qid": span.qid, "queue_at_arrival": span.queue_at_arrival},
+            }
+        )
+        events.append(
+            {
+                "name": f"serve q{span.qid}",
+                "cat": "serve",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": span.start_time * _US,
+                "dur": span.serving_time * _US,
+                "args": {"span": span.to_dict()},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.trace", "span_count": len(span_list)},
+    }
+
+
+def spans_from_chrome_trace(data: dict[str, Any]) -> list[Span]:
+    """Reconstruct the span list a :func:`spans_to_chrome_trace` dump encodes."""
+    spans: list[Span] = []
+    for event in data.get("traceEvents", []):
+        if event.get("cat") == "serve" and "span" in event.get("args", {}):
+            spans.append(Span.from_dict(event["args"]["span"]))
+    return spans

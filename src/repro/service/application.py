@@ -22,6 +22,7 @@ from repro.cluster.machine import Machine
 from repro.service.dispatch import Dispatcher
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs import Observability
     from repro.service.rpc import RpcFabric
 from repro.service.instance import ServiceInstance
 from repro.service.profile import ServiceProfile
@@ -54,6 +55,7 @@ class Application:
         machine: Machine,
         hop_delay_s: float = 0.0,
         fabric: Optional["RpcFabric"] = None,
+        observability: Optional["Observability"] = None,
     ) -> None:
         if not name:
             raise ConfigurationError("application needs a non-empty name")
@@ -66,6 +68,8 @@ class Application:
         self.machine = machine
         self.hop_delay_s = float(hop_delay_s)
         self.fabric = fabric
+        self.observability = observability
+        self._metrics = None if observability is None else observability.metrics
         self._stages: list[Stage] = []
         self._stage_by_name: dict[str, Stage] = {}
         self._iid_counter = itertools.count(0)
@@ -95,6 +99,11 @@ class Application:
             iid_counter=self._iid_counter,
             dispatcher=dispatcher,
             kind=kind,
+            tracer=(
+                None
+                if self.observability is None
+                else self.observability.tracer
+            ),
         )
         self._stages.append(stage)
         self._stage_by_name[profile.name] = stage
@@ -165,12 +174,25 @@ class Application:
             )
         query.arrival_time = self.sim.now
         self._submitted += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "repro_queries_submitted_total", "Queries injected into the pipeline"
+            ).inc(app=self.name)
         self._advance(query, 0)
 
     def _advance(self, query: Query, stage_index: int) -> None:
         if stage_index >= len(self._stages):
             query.completion_time = self.sim.now
             self._completed += 1
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "repro_queries_completed_total",
+                    "Queries that finished the last pipeline stage",
+                ).inc(app=self.name)
+                self._metrics.histogram(
+                    "repro_query_e2e_latency_seconds",
+                    "End-to-end response latency",
+                ).observe(query.end_to_end_latency)
             if self.fabric is not None:
                 # The latency statistics travel to the command center as
                 # one RPC message per query (Section 4.1, Figure 6).

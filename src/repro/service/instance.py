@@ -37,6 +37,7 @@ from repro.service.profile import ServiceProfile
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.cluster.machine import Machine
+    from repro.obs.trace import TraceBuffer
 from repro.service.query import Query
 from repro.service.records import StageRecord
 from repro.sim.engine import Simulator
@@ -83,6 +84,7 @@ class ServiceInstance:
         core: Core,
         sim: Simulator,
         machine: Optional["Machine"] = None,
+        tracer: Optional["TraceBuffer"] = None,
     ) -> None:
         self.iid = iid
         self.name = name
@@ -91,6 +93,7 @@ class ServiceInstance:
         self.core = core
         self.sim = sim
         self._machine = machine
+        self._tracer = tracer
         self._state = InstanceState.RUNNING
         self._queue: deque[Job] = deque()
         self._current: Optional[Job] = None
@@ -178,6 +181,7 @@ class ServiceInstance:
             instance_name=self.name,
             stage_name=self.stage_name,
             enqueue_time=enqueue_time,
+            queue_at_arrival=self.queue_length,
         )
         self._queue.append(job)
         if self._current is None:
@@ -265,6 +269,7 @@ class ServiceInstance:
         self._remaining_work = job.work
         assert job.record is not None
         job.record.start_time = self.sim.now
+        job.record.service_level = self.level
         if self._busy_since is None:
             self._busy_since = self.sim.now
         self._start_segment()
@@ -274,6 +279,8 @@ class ServiceInstance:
         assert job is not None and job.record is not None
         job.record.finish_time = self.sim.now
         job.query.append_record(job.record)
+        if self._tracer is not None:
+            self._tracer.emit_record(job.query.qid, job.work, job.record)
         self._current = None
         self._completion = None
         self._remaining_work = 0.0

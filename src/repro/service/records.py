@@ -26,6 +26,12 @@ class StageRecord:
     ``start_time`` when the instance begins serving it, ``finish_time``
     when serving completes.  All timestamps are local to the instance —
     the design needs no global clock synchronisation (Section 4.1).
+
+    ``queue_at_arrival`` is the instance's realtime queue length ``L_i``
+    the moment the query arrived (before it joined the queue), and
+    ``service_level`` the DVFS ladder level the core ran at when serving
+    began — the tracer exports both so a span reconstructs the
+    Equation-1 view the controller had of the instance.
     """
 
     instance_id: int
@@ -34,6 +40,8 @@ class StageRecord:
     enqueue_time: float
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
+    queue_at_arrival: int = 0
+    service_level: Optional[int] = None
 
     @property
     def complete(self) -> bool:

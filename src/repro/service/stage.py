@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import StageError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.trace import TraceBuffer
 from repro.cluster.machine import Machine
 from repro.service.dispatch import Dispatcher, ShortestQueueDispatcher
 from repro.service.instance import Job, ServiceInstance
@@ -50,6 +53,7 @@ class Stage:
         iid_counter: "itertools.count[int]",
         dispatcher: Optional[Dispatcher] = None,
         kind: StageKind = StageKind.PIPELINE,
+        tracer: Optional["TraceBuffer"] = None,
     ) -> None:
         if not name:
             raise StageError("stage needs a non-empty name")
@@ -58,6 +62,7 @@ class Stage:
         self.machine = machine
         self.sim = sim
         self.kind = kind
+        self.tracer = tracer
         self.dispatcher = dispatcher if dispatcher is not None else ShortestQueueDispatcher()
         self._iid_counter = iid_counter
         self._name_counter = itertools.count(1)
@@ -115,6 +120,7 @@ class Stage:
             core=core,
             sim=self.sim,
             machine=self.machine,
+            tracer=self.tracer,
         )
         self._instances.append(instance)
         self._launches += 1

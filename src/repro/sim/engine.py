@@ -48,6 +48,7 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._event_hooks: list[Callable[[Event], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -126,6 +127,9 @@ class Simulator:
         self._now = event.time
         event._mark_fired()
         self._events_processed += 1
+        if self._event_hooks:
+            for hook in self._event_hooks:
+                hook(event)
         event.action(*event.args)
         return True
 
@@ -167,6 +171,22 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+
+    # ------------------------------------------------------------------
+    # Observability hooks
+    # ------------------------------------------------------------------
+    def add_event_hook(self, hook: Callable[[Event], None]) -> None:
+        """Invoke ``hook(event)`` just before each fired event's callback.
+
+        The engine's hot loop pays one truthiness check when no hook is
+        registered; observability (event counters by priority class,
+        progress heartbeats) attaches here rather than wrapping every
+        callback.  Hooks must not schedule or cancel events.
+        """
+        self._event_hooks.append(hook)
+
+    def remove_event_hook(self, hook: Callable[[Event], None]) -> None:
+        self._event_hooks.remove(hook)
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,68 @@
+"""Tests for the shared logging setup and simulated-time injection."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import (
+    bind_simulator,
+    setup_logging,
+    unbind_simulator,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging_state():
+    yield
+    unbind_simulator()
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+
+
+class TestSetupLogging:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            setup_logging("loud")
+
+    def test_idempotent_single_handler(self):
+        logger = setup_logging("info")
+        setup_logging("info")
+        assert len(logger.handlers) == 1
+        assert not logger.propagate
+
+    def test_level_applied(self):
+        assert setup_logging("debug").level == logging.DEBUG
+        assert setup_logging("error").level == logging.ERROR
+
+    def test_line_format_without_simulator(self):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream)
+        logging.getLogger("repro.test").info("hello")
+        line = stream.getvalue()
+        assert "repro.test" in line
+        assert "[sim=-]" in line
+        assert "hello" in line
+
+    def test_line_format_with_bound_simulator(self):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream)
+        bind_simulator(lambda: 184.25)
+        logging.getLogger("repro.test").info("boosting IMM_1")
+        assert "[sim=184.250s]" in stream.getvalue()
+        unbind_simulator()
+        logging.getLogger("repro.test").info("after run")
+        assert "[sim=-]" in stream.getvalue().splitlines()[-1]
+
+    def test_level_filters_records(self):
+        stream = io.StringIO()
+        setup_logging("warning", stream=stream)
+        logging.getLogger("repro.test").info("quiet")
+        logging.getLogger("repro.test").warning("loud")
+        text = stream.getvalue()
+        assert "quiet" not in text
+        assert "loud" in text

@@ -1,0 +1,207 @@
+"""Unit and property tests for the metrics registry.
+
+The property suite pins the histogram quantile estimator against the
+exact nearest-rank :func:`repro.util.percentile.percentile`: both use the
+``ceil(q * n)`` rank, so the true percentile lands inside the winning
+bucket and the interpolated estimate can never be more than one bucket
+width away.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.util.percentile import percentile
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c_total", "help")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_label_sets_are_independent(self):
+        counter = Counter("c_total", "help")
+        counter.inc(app="sirius")
+        counter.inc(3.0, app="nlp")
+        assert counter.value(app="sirius") == 1.0
+        assert counter.value(app="nlp") == 3.0
+        assert counter.value() == 0.0
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+    def test_render_sorts_label_sets(self):
+        counter = Counter("c_total", "queries")
+        counter.inc(app="nlp")
+        counter.inc(app="sirius")
+        lines = counter.render()
+        assert lines[0] == "# HELP c_total queries"
+        assert lines[1] == "# TYPE c_total counter"
+        assert lines[2] == 'c_total{app="nlp"} 1'
+        assert lines[3] == 'c_total{app="sirius"} 1'
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("g", "help")
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value() == 2.5
+
+    def test_labelled_values(self):
+        gauge = Gauge("g", "help")
+        gauge.set(2, level=0)
+        gauge.set(1, level=8)
+        assert gauge.value(level=0) == 2.0
+        assert gauge.value(level=8) == 1.0
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "help", [])
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "help", [1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "help", [2.0, 1.0])
+
+    def test_cumulative_bucket_counts(self):
+        hist = Histogram("h", "help", [1.0, 2.0])
+        for value in (0.5, 0.7, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.bucket_counts() == [(1.0, 2), (2.0, 3), (math.inf, 4)]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(101.7)
+
+    def test_render_prometheus_shape(self):
+        hist = Histogram("h_seconds", "latency", [1.0])
+        hist.observe(0.5)
+        lines = hist.render()
+        assert lines[0] == "# HELP h_seconds latency"
+        assert lines[1] == "# TYPE h_seconds histogram"
+        assert 'h_seconds_bucket{le="1"} 1' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 1' in lines
+        assert "h_seconds_sum 0.5" in lines
+        assert "h_seconds_count 1" in lines
+
+    def test_quantile_empty_raises(self):
+        hist = Histogram("h", "help", [1.0])
+        with pytest.raises(ConfigurationError):
+            hist.quantile(0.5)
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "help", [1.0]).quantile(1.5)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram("h", "help", [1.0, 2.0])
+        # Four samples in (1, 2]: the median target is rank 2, half way
+        # through the winning bucket's count.
+        for value in (1.1, 1.2, 1.8, 1.9):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+
+    def test_quantile_clamps_to_last_finite_bound(self):
+        hist = Histogram("h", "help", [1.0])
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 1.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("name")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("name")
+
+    def test_render_prometheus_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "b").inc()
+        registry.gauge("a_gauge", "a").set(1.0)
+        text = registry.render_prometheus()
+        assert text.index("a_gauge") < text.index("b_total")
+        assert text.endswith("\n")
+        assert registry.names() == ["a_gauge", "b_total"]
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().get("missing") is None
+
+
+def _winning_bucket_width(value: float) -> float:
+    """Width of the default-latency bucket that contains ``value``."""
+    previous = 0.0
+    for bound in DEFAULT_LATENCY_BUCKETS_S:
+        if value <= bound:
+            return bound - previous
+        previous = bound
+    raise AssertionError(f"{value} beyond the last finite bound")
+
+
+class TestQuantileVersusNearestRank:
+    """Histogram quantiles bracket the exact nearest-rank percentile."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=400,
+        ),
+        st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+    )
+    def test_estimate_within_one_bucket_width(self, values, q):
+        hist = Histogram("h", "help", DEFAULT_LATENCY_BUCKETS_S)
+        for value in values:
+            hist.observe(value)
+        exact = percentile(values, q * 100.0)
+        estimate = hist.quantile(q)
+        assert abs(estimate - exact) <= _winning_bucket_width(exact) + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    def test_p99_lands_in_the_exact_values_bucket(self, values):
+        # Same rank rule on both sides => same winning bucket, so the
+        # estimate is bounded below by the bucket's floor and above by
+        # its ceiling.
+        hist = Histogram("h", "help", DEFAULT_LATENCY_BUCKETS_S)
+        for value in values:
+            hist.observe(value)
+        exact = percentile(values, 99.0)
+        estimate = hist.quantile(0.99)
+        previous = 0.0
+        for bound in DEFAULT_LATENCY_BUCKETS_S:
+            if exact <= bound:
+                assert previous <= estimate <= bound
+                break
+            previous = bound
