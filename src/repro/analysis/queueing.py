@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError
+from repro.units import exactly
 
 __all__ = [
     "utilization",
@@ -95,6 +96,6 @@ def required_instances(
         raise ConfigurationError(
             f"mean service time must be > 0, got {mean_service_time}"
         )
-    if arrival_rate == 0.0:
+    if exactly(arrival_rate, 0.0):
         return 1
     return max(1, math.ceil(arrival_rate * mean_service_time / max_utilization))

@@ -16,6 +16,9 @@ Commands:
 * ``trace`` — one fully observed run: writes the query trace (JSONL +
   Chrome trace-event JSON for Perfetto), a Prometheus-style metrics
   dump and the controller decision audit log to a directory.
+* ``lint`` — the domain-aware static-analysis pass (:mod:`repro.lint`)
+  over source trees; exits 0 when clean, 1 on findings, 2 on a crash in
+  the tool itself.
 
 Both single-run commands can archive their full result with ``--json``.
 The global ``--log-level`` flag configures one shared structured-logging
@@ -174,6 +177,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace buffer bound; earliest spans are kept (default: 200000)",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the domain-aware static-analysis pass over source trees",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     qos = commands.add_parser("qos", help="one Table-3 QoS-mode run")
     qos.add_argument("app", choices=("sirius", "websearch"))
     qos.add_argument("policy", choices=QOS_POLICIES)
@@ -302,6 +331,38 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Exit codes: 0 clean, 1 findings, 2 the linter itself crashed."""
+    import json as json_module
+
+    from repro.lint import default_registry, lint_paths
+
+    try:
+        registry = default_registry()
+        if args.list_rules:
+            for rule, description, scope in registry.describe():
+                scoped = f" [{', '.join(scope)}]" if scope else ""
+                print(f"{rule}{scoped}: {description}")
+            return 0
+        select = (
+            [rule.strip() for rule in args.select.split(",") if rule.strip()]
+            if args.select
+            else None
+        )
+        report = lint_paths(args.paths, registry=registry, select=select)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # a crash must never read as "clean"
+        print(f"repro-lint internal error: {error!r}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 1 if report.findings else 0
+
+
 def _cmd_qos(args: argparse.Namespace) -> int:
     setup = TABLE3_SIRIUS if args.app == "sirius" else TABLE3_WEBSEARCH
     rate = args.rate if args.rate is not None else (7.0 if args.app == "sirius" else 8.0)
@@ -333,6 +394,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "headline": _cmd_headline,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -13,17 +13,18 @@ from typing import Optional, Protocol
 
 from repro.errors import ClusterError, PowerBudgetExceeded
 from repro.cluster.machine import Machine
+from repro.units import EPSILON_WATTS, Watts
 
 __all__ = ["PowerBudget", "PowerScope"]
 
 #: Slack used in comparisons so float noise never trips the hard invariant.
-_EPSILON_WATTS = 1e-9
+_EPSILON_WATTS = EPSILON_WATTS
 
 
 class PowerScope(Protocol):
     """Anything whose draw can be budgeted (a machine, or one application)."""
 
-    def total_power(self) -> float: ...
+    def total_power(self) -> Watts: ...
 
 
 class PowerBudget:
@@ -51,13 +52,13 @@ class PowerBudget:
         self._scope: PowerScope = scope if scope is not None else machine
 
     # ------------------------------------------------------------------
-    def draw(self) -> float:
+    def draw(self) -> Watts:
         """Current draw of the budgeted scope in watts."""
         return self._scope.total_power()
 
-    def available(self) -> float:
+    def available(self) -> Watts:
         """Unallocated headroom in watts (never negative)."""
-        return max(0.0, self.budget_watts - self.draw())
+        return Watts(max(0.0, self.budget_watts - self.draw()))
 
     def utilization(self) -> float:
         """Fraction of the budget currently drawn."""

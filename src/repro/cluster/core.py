@@ -21,6 +21,7 @@ from typing import Callable
 from repro.errors import ClusterError, InstanceStateError
 from repro.cluster.frequency import FrequencyLadder
 from repro.cluster.power import PowerModel
+from repro.units import DvfsLevel, Ghz, Joules, Watts
 
 __all__ = ["Core", "CoreState", "FrequencyObserver"]
 
@@ -67,20 +68,20 @@ class Core:
         return self._state is CoreState.ACTIVE
 
     @property
-    def level(self) -> int:
+    def level(self) -> DvfsLevel:
         """Current ladder level."""
-        return self._level
+        return DvfsLevel(self._level)
 
     @property
-    def frequency_ghz(self) -> float:
+    def frequency_ghz(self) -> Ghz:
         """Current frequency in GHz."""
         return self.ladder.frequency_of(self._level)
 
     @property
-    def power_watts(self) -> float:
+    def power_watts(self) -> Watts:
         """Instantaneous draw: the modelled power when active, else 0."""
         if not self.active:
-            return 0.0
+            return Watts(0.0)
         return self.power_model.power_of_level(self.ladder, self._level)
 
     @property
@@ -88,10 +89,11 @@ class Core:
         """Number of DVFS level changes applied to this core."""
         return self._transitions
 
-    def energy_joules(self) -> float:
+    def energy_joules(self) -> Joules:
         """Energy consumed so far, including the open segment."""
-        return self._energy_joules + self.power_watts * (
-            self._clock() - self._segment_start
+        return Joules(
+            self._energy_joules
+            + self.power_watts * (self._clock() - self._segment_start)
         )
 
     # ------------------------------------------------------------------

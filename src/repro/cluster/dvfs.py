@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ClusterError
+from repro.units import DvfsLevel, exactly
 from repro.cluster.core import Core
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
@@ -50,7 +51,7 @@ class DvfsActuator:
         """
         core.ladder.validate_level(level)
         self._requests += 1
-        if self.transition_latency_s == 0.0:
+        if exactly(self.transition_latency_s, 0.0):
             core.set_level(level)
         else:
             self.sim.schedule(
@@ -60,18 +61,18 @@ class DvfsActuator:
                 priority=EventPriority.COMPLETION,
             )
 
-    def step_down(self, core: Core) -> Optional[int]:
+    def step_down(self, core: Core) -> Optional[DvfsLevel]:
         """Drop the core one level; returns the new level or ``None`` at floor."""
         if core.level <= core.ladder.min_level:
             return None
-        new_level = core.level - 1
+        new_level = DvfsLevel(core.level - 1)
         self.set_level(core, new_level)
         return new_level
 
-    def step_up(self, core: Core) -> Optional[int]:
+    def step_up(self, core: Core) -> Optional[DvfsLevel]:
         """Raise the core one level; returns the new level or ``None`` at top."""
         if core.level >= core.ladder.max_level:
             return None
-        new_level = core.level + 1
+        new_level = DvfsLevel(core.level + 1)
         self.set_level(core, new_level)
         return new_level

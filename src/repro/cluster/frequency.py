@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.errors import FrequencyError
+from repro.units import Ghz, DvfsLevel
 
 __all__ = ["FrequencyLadder", "HASWELL_LADDER"]
 
@@ -34,7 +36,7 @@ class FrequencyLadder:
     min_ghz: float = 1.2
     max_ghz: float = 2.4
     step_ghz: float = 0.1
-    levels: tuple[float, ...] = field(init=False, repr=False)
+    levels: tuple[Ghz, ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.min_ghz <= 0.0:
@@ -57,7 +59,7 @@ class FrequencyLadder:
                 f"{self.step_ghz} GHz steps"
             )
         levels = tuple(
-            round(self.min_ghz + i * self.step_ghz, 9) for i in range(count)
+            Ghz(round(self.min_ghz + i * self.step_ghz, 9)) for i in range(count)
         )
         object.__setattr__(self, "levels", levels)
 
@@ -68,25 +70,25 @@ class FrequencyLadder:
         return len(self.levels)
 
     @property
-    def min_level(self) -> int:
+    def min_level(self) -> DvfsLevel:
         """Index of the slowest step (always 0)."""
-        return 0
+        return DvfsLevel(0)
 
     @property
-    def max_level(self) -> int:
+    def max_level(self) -> DvfsLevel:
         """Index of the fastest step."""
-        return len(self.levels) - 1
+        return DvfsLevel(len(self.levels) - 1)
 
-    def frequency_of(self, level: int) -> float:
+    def frequency_of(self, level: int) -> Ghz:
         """Frequency in GHz of the given level index."""
         self.validate_level(level)
         return self.levels[level]
 
-    def level_of(self, freq_ghz: float) -> int:
+    def level_of(self, freq_ghz: float) -> DvfsLevel:
         """Level index whose frequency equals ``freq_ghz`` (within tolerance)."""
         for index, freq in enumerate(self.levels):
             if math.isclose(freq, freq_ghz, abs_tol=_TOLERANCE_GHZ):
-                return index
+                return DvfsLevel(index)
         raise FrequencyError(
             f"{freq_ghz} GHz is not on the ladder "
             f"[{self.min_ghz}..{self.max_ghz} step {self.step_ghz}]"
@@ -101,16 +103,16 @@ class FrequencyLadder:
                 f"level {level} out of range [0, {len(self.levels) - 1}]"
             )
 
-    def clamp_level(self, level: int) -> int:
+    def clamp_level(self, level: int) -> DvfsLevel:
         """Clamp an integer to the valid level range."""
-        return max(0, min(int(level), self.max_level))
+        return DvfsLevel(max(0, min(int(level), self.max_level)))
 
-    def nearest_level(self, freq_ghz: float) -> int:
+    def nearest_level(self, freq_ghz: float) -> DvfsLevel:
         """Level whose frequency is closest to ``freq_ghz``."""
         raw = (freq_ghz - self.min_ghz) / self.step_ghz
         return self.clamp_level(int(round(raw)))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Ghz]:
         return iter(self.levels)
 
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ from repro.cluster.core import Core, CoreState
 from repro.cluster.frequency import HASWELL_LADDER, FrequencyLadder
 from repro.cluster.power import DEFAULT_POWER_MODEL, PowerModel
 from repro.sim.engine import Simulator
+from repro.units import Joules, Watts
 
 __all__ = ["Machine"]
 
@@ -108,18 +109,18 @@ class Machine:
             listener(active)
 
     # ------------------------------------------------------------------
-    def total_power(self) -> float:
+    def total_power(self) -> Watts:
         """Instantaneous draw of all active cores, in watts."""
-        return sum(core.power_watts for core in self._cores)
+        return Watts(sum(core.power_watts for core in self._cores))
 
-    def total_energy(self) -> float:
+    def total_energy(self) -> Joules:
         """Total energy consumed by all cores so far, in joules."""
-        return sum(core.energy_joules() for core in self._cores)
+        return Joules(sum(core.energy_joules() for core in self._cores))
 
-    def peak_power(self) -> float:
+    def peak_power(self) -> Watts:
         """Draw if every core ran active at the top ladder level."""
         per_core = self.power_model.power_of_level(self.ladder, self.ladder.max_level)
-        return per_core * len(self._cores)
+        return Watts(per_core * len(self._cores))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

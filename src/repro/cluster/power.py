@@ -23,6 +23,7 @@ from typing import Mapping, Optional
 
 from repro.errors import ClusterError, FrequencyError
 from repro.cluster.frequency import FrequencyLadder
+from repro.units import Watts
 
 __all__ = [
     "PowerModel",
@@ -36,13 +37,13 @@ class PowerModel(ABC):
     """Maps a core frequency (GHz) to its power draw (W)."""
 
     @abstractmethod
-    def power(self, freq_ghz: float) -> float:
-        """Power in watts of a core running at ``freq_ghz``."""
+    def power(self, freq_ghz: float) -> Watts:
+        """Power in watts of a core running at ``freq_ghz`` (GHz)."""
 
     # ------------------------------------------------------------------
     # Ladder-aware helpers shared by all models
     # ------------------------------------------------------------------
-    def power_of_level(self, ladder: FrequencyLadder, level: int) -> float:
+    def power_of_level(self, ladder: FrequencyLadder, level: int) -> Watts:
         """Power at a ladder level."""
         return self.power(ladder.frequency_of(level))
 
@@ -61,10 +62,11 @@ class PowerModel(ABC):
                 best = level
         return best
 
-    def recyclable(self, ladder: FrequencyLadder, level: int) -> float:
+    def recyclable(self, ladder: FrequencyLadder, level: int) -> Watts:
         """Watts freed by dropping a core from ``level`` to the floor."""
-        return self.power_of_level(ladder, level) - self.power_of_level(
-            ladder, ladder.min_level
+        return Watts(
+            self.power_of_level(ladder, level)
+            - self.power_of_level(ladder, ladder.min_level)
         )
 
 
@@ -95,10 +97,10 @@ class CubicPowerModel(PowerModel):
         coeff = (ref_power_watts - static_watts) / (ref_freq_ghz**3)
         return cls(static_watts=static_watts, dynamic_coeff=coeff)
 
-    def power(self, freq_ghz: float) -> float:
+    def power(self, freq_ghz: float) -> Watts:
         if freq_ghz <= 0.0:
             raise FrequencyError(f"frequency must be > 0 GHz, got {freq_ghz}")
-        return self.static_watts + self.dynamic_coeff * freq_ghz**3
+        return Watts(self.static_watts + self.dynamic_coeff * freq_ghz**3)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -130,10 +132,10 @@ class TabularPowerModel(PowerModel):
             previous_power = watts
         self._table = tuple(items)
 
-    def power(self, freq_ghz: float) -> float:
+    def power(self, freq_ghz: float) -> Watts:
         for freq, watts in self._table:
             if abs(freq - freq_ghz) < 1e-6:
-                return watts
+                return Watts(watts)
         known = ", ".join(f"{freq:g}" for freq, _ in self._table)
         raise FrequencyError(f"{freq_ghz} GHz not in power table ({known})")
 

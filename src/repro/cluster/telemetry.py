@@ -27,6 +27,7 @@ from repro.cluster.machine import Machine
 from repro.obs.metrics import DEFAULT_POWER_BUCKETS_W, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
+from repro.units import Joules, SimTime, Watts
 
 __all__ = ["PowerSample", "PowerTelemetry"]
 
@@ -40,8 +41,8 @@ class PowerSample:
     active.
     """
 
-    time: float
-    watts: float
+    time: SimTime
+    watts: Watts
     level_counts: tuple[tuple[int, int], ...] = field(default=())
 
     @property
@@ -86,6 +87,7 @@ class PowerTelemetry:
 
     def _sample(self, now: float) -> None:
         watts = self.machine.total_power()
+        now = SimTime(now)
         counts = _CounterDict(
             core.level for core in self.machine.cores if core.active
         )
@@ -120,27 +122,27 @@ class PowerTelemetry:
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
-    def average_power(self, since: float = 0.0) -> float:
+    def average_power(self, since: float = 0.0) -> Watts:
         """Mean of the sampled draw from ``since`` onward (0 if no samples)."""
         values = [s.watts for s in self.samples if s.time >= since]
         if not values:
-            return 0.0
-        return sum(values) / len(values)
+            return Watts(0.0)
+        return Watts(sum(values) / len(values))
 
-    def peak_power(self) -> float:
+    def peak_power(self) -> Watts:
         """Maximum sampled draw (0 if no samples)."""
         if not self.samples:
-            return 0.0
-        return max(sample.watts for sample in self.samples)
+            return Watts(0.0)
+        return Watts(max(sample.watts for sample in self.samples))
 
-    def energy_joules(self) -> float:
+    def energy_joules(self) -> Joules:
         """Trapezoidal integral of the sampled power series."""
         if len(self.samples) < 2:
-            return 0.0
+            return Joules(0.0)
         total = 0.0
         for before, after in zip(self.samples, self.samples[1:]):
             total += 0.5 * (before.watts + after.watts) * (after.time - before.time)
-        return total
+        return Joules(total)
 
     def fractions_of(self, reference_watts: float) -> list[tuple[float, float]]:
         """The series normalised to a reference draw (e.g. peak power)."""

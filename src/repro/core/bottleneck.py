@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.errors import ServiceError
 from repro.core.metrics import MetricKind, compute_metric
+from repro.units import SimTime
 from repro.service.application import Application
 from repro.service.command_center import CommandCenter
 from repro.service.instance import ServiceInstance
@@ -25,7 +26,7 @@ class RankedInstance:
     """An instance paired with its evaluated latency metric."""
 
     instance: ServiceInstance
-    metric: float
+    metric: SimTime
 
 
 class BottleneckIdentifier:
@@ -39,7 +40,7 @@ class BottleneckIdentifier:
         self.command_center = command_center
         self.metric_kind = metric_kind
 
-    def metric_of(self, instance: ServiceInstance) -> float:
+    def metric_of(self, instance: ServiceInstance) -> SimTime:
         """The latency metric of one instance at the current time."""
         return compute_metric(self.command_center, instance, self.metric_kind)
 
@@ -65,7 +66,7 @@ class BottleneckIdentifier:
         """The instance with the largest latency metric."""
         return self.ranked(application)[-1]
 
-    def spread(self, application: Application) -> float:
+    def spread(self, application: Application) -> SimTime:
         """Metric difference between the slowest and fastest instances.
 
         Compared against the *balance threshold* (Table 2): when the
@@ -73,4 +74,4 @@ class BottleneckIdentifier:
         power-reallocation oscillation (Section 8.1).
         """
         entries = self.ranked(application)
-        return entries[-1].metric - entries[0].metric
+        return SimTime(entries[-1].metric - entries[0].metric)

@@ -18,6 +18,8 @@ candidate boosting technique, without applying it:
 
 from __future__ import annotations
 
+from repro.units import SimTime
+
 __all__ = [
     "unboosted_expected_delay",
     "instance_boost_expected_delay",
@@ -38,27 +40,31 @@ def _validate(queue_length: int, avg_queuing: float, avg_serving: float) -> None
 
 def unboosted_expected_delay(
     queue_length: int, avg_queuing: float, avg_serving: float
-) -> float:
+) -> SimTime:
     """Delay until the last queued query finishes with no boosting.
 
     ``(L - 1) * (q + s) + s`` — the baseline both techniques are compared
     against (Section 5.1).
     """
     _validate(queue_length, avg_queuing, avg_serving)
-    return (queue_length - 1) * (avg_queuing + avg_serving) + avg_serving
+    return SimTime(
+        (queue_length - 1) * (avg_queuing + avg_serving) + avg_serving
+    )
 
 
 def instance_boost_expected_delay(
     queue_length: int, avg_queuing: float, avg_serving: float
-) -> float:
+) -> SimTime:
     """Equation 2: expected delay after cloning the bottleneck instance."""
     _validate(queue_length, avg_queuing, avg_serving)
-    return (queue_length - 1) * (avg_queuing + avg_serving) / 2.0 + avg_serving
+    return SimTime(
+        (queue_length - 1) * (avg_queuing + avg_serving) / 2.0 + avg_serving
+    )
 
 
 def frequency_boost_expected_delay(
     alpha_lh: float, queue_length: int, avg_queuing: float, avg_serving: float
-) -> float:
+) -> SimTime:
     """Equation 3: expected delay after boosting ``f_l`` to ``f_h``.
 
     ``alpha_lh`` is the execution-time ratio ``r_h / r_l`` from offline
@@ -69,6 +75,7 @@ def frequency_boost_expected_delay(
             f"alpha must be in (0, 1] for a boost to a >= frequency, got {alpha_lh}"
         )
     _validate(queue_length, avg_queuing, avg_serving)
-    return alpha_lh * unboosted_expected_delay(
-        queue_length, avg_queuing, avg_serving
+    return SimTime(
+        alpha_lh
+        * unboosted_expected_delay(queue_length, avg_queuing, avg_serving)
     )

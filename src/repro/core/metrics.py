@@ -20,6 +20,7 @@ import enum
 
 from repro.service.command_center import CommandCenter
 from repro.service.instance import ServiceInstance
+from repro.units import SimTime
 
 __all__ = ["MetricKind", "equation1_metric", "compute_metric"]
 
@@ -36,20 +37,22 @@ class MetricKind(enum.Enum):
     POWERCHIEF = "powerchief"
 
 
-def equation1_metric(queue_length: int, avg_queuing: float, avg_serving: float) -> float:
+def equation1_metric(
+    queue_length: int, avg_queuing: float, avg_serving: float
+) -> SimTime:
     """Equation 1: expected delay ``L * q + s`` for an incoming query."""
     if queue_length < 0:
         raise ValueError(f"queue length must be >= 0, got {queue_length}")
     if avg_queuing < 0.0 or avg_serving < 0.0:
         raise ValueError("latency statistics must be >= 0")
-    return queue_length * avg_queuing + avg_serving
+    return SimTime(queue_length * avg_queuing + avg_serving)
 
 
 def compute_metric(
     command_center: CommandCenter,
     instance: ServiceInstance,
     kind: MetricKind = MetricKind.POWERCHIEF,
-) -> float:
+) -> SimTime:
     """Evaluate a latency metric for one instance from windowed statistics."""
     if kind is MetricKind.POWERCHIEF:
         return equation1_metric(
@@ -58,19 +61,21 @@ def compute_metric(
             command_center.avg_serving(instance),
         )
     if kind is MetricKind.AVG_QUEUING:
-        return command_center.avg_queuing(instance)
+        return SimTime(command_center.avg_queuing(instance))
     if kind is MetricKind.AVG_SERVING:
-        return command_center.avg_serving(instance)
+        return SimTime(command_center.avg_serving(instance))
     if kind is MetricKind.AVG_PROCESSING:
-        return command_center.avg_queuing(instance) + command_center.avg_serving(
-            instance
+        return SimTime(
+            command_center.avg_queuing(instance)
+            + command_center.avg_serving(instance)
         )
     if kind is MetricKind.P99_QUEUING:
-        return command_center.p99_queuing(instance)
+        return SimTime(command_center.p99_queuing(instance))
     if kind is MetricKind.P99_SERVING:
-        return command_center.p99_serving(instance)
+        return SimTime(command_center.p99_serving(instance))
     if kind is MetricKind.P99_PROCESSING:
-        return command_center.p99_queuing(instance) + command_center.p99_serving(
-            instance
+        return SimTime(
+            command_center.p99_queuing(instance)
+            + command_center.p99_serving(instance)
         )
     raise ValueError(f"unknown metric kind: {kind!r}")

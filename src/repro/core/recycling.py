@@ -20,10 +20,11 @@ from typing import Sequence
 from repro.cluster.frequency import FrequencyLadder
 from repro.cluster.power import PowerModel
 from repro.service.instance import ServiceInstance
+from repro.units import EPSILON_WATTS, DvfsLevel, Watts
 
 __all__ = ["PlannedDrop", "RecyclePlan", "PowerRecycler"]
 
-_EPSILON_WATTS = 1e-9
+_EPSILON_WATTS = EPSILON_WATTS
 
 
 @dataclass(frozen=True)
@@ -31,9 +32,9 @@ class PlannedDrop:
     """One victim's planned frequency reduction."""
 
     instance: ServiceInstance
-    from_level: int
-    to_level: int
-    watts_freed: float
+    from_level: DvfsLevel
+    to_level: DvfsLevel
+    watts_freed: Watts
 
 
 @dataclass
@@ -44,9 +45,9 @@ class RecyclePlan:
     drops: list[PlannedDrop] = field(default_factory=list)
 
     @property
-    def recycled_watts(self) -> float:
+    def recycled_watts(self) -> Watts:
         """Total power the plan frees."""
-        return sum(drop.watts_freed for drop in self.drops)
+        return Watts(sum(drop.watts_freed for drop in self.drops))
 
     @property
     def satisfied(self) -> bool:
@@ -130,14 +131,14 @@ class PowerRecycler:
                 self.ladder, level
             )
             if freed + _EPSILON_WATTS >= needed_watts:
-                chosen = level
+                chosen = DvfsLevel(level)
                 break
         freed = current_power - self.power_model.power_of_level(self.ladder, chosen)
         if freed <= _EPSILON_WATTS:
             return None
         return PlannedDrop(
             instance=victim,
-            from_level=current,
+            from_level=DvfsLevel(current),
             to_level=chosen,
-            watts_freed=freed,
+            watts_freed=Watts(freed),
         )

@@ -1,0 +1,21 @@
+"""Built-in checkers.  Importing this package registers every rule."""
+
+from repro.lint.checkers import (  # noqa: F401  (imports register rules)
+    builtins,
+    dataclasses,
+    determinism,
+    floatcmp,
+    metrics,
+    picklability,
+    units,
+)
+
+__all__ = [
+    "builtins",
+    "dataclasses",
+    "determinism",
+    "floatcmp",
+    "metrics",
+    "picklability",
+    "units",
+]

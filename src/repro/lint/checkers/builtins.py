@@ -1,0 +1,141 @@
+"""Shadowed-builtin rule.
+
+Rebinding ``id``, ``list`` or ``filter`` inside simulation code is a
+classic source of confusing tracebacks three calls later; the rule flags
+parameter names and local/global assignments that shadow a curated set
+of builtins actually used across this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+from repro.lint.source import SourceModule
+
+__all__ = ["ShadowBuiltinChecker"]
+
+_SHADOWED = frozenset(
+    {
+        "abs",
+        "all",
+        "any",
+        "bin",
+        "bool",
+        "bytes",
+        "dict",
+        "dir",
+        "filter",
+        "float",
+        "format",
+        "frozenset",
+        "hash",
+        "help",
+        "hex",
+        "id",
+        "input",
+        "int",
+        "iter",
+        "len",
+        "list",
+        "map",
+        "max",
+        "min",
+        "next",
+        "object",
+        "oct",
+        "open",
+        "print",
+        "range",
+        "repr",
+        "round",
+        "set",
+        "sorted",
+        "str",
+        "sum",
+        "tuple",
+        "type",
+        "vars",
+        "zip",
+    }
+)
+
+
+def _binding_names(
+    node: ast.AST, method_names: frozenset[int]
+) -> Iterator[tuple[str, ast.AST]]:
+    """(name, anchor node) for every name this statement binds.
+
+    Method names are exempt (``Gauge.set``, ``Filter.filter`` live in
+    attribute namespace and shadow nothing), but their *parameters* are
+    still real bindings and are checked.
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        arguments = node.args
+        for argument in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+            *(filter(None, (arguments.vararg, arguments.kwarg))),
+        ):
+            if argument.arg not in ("self", "cls"):
+                yield argument.arg, argument
+        if id(node) not in method_names:
+            yield node.name, node
+    elif isinstance(node, ast.ClassDef):
+        yield node.name, node
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield from _target_names(target)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        yield from _target_names(node.target)
+    elif isinstance(node, ast.For):
+        yield from _target_names(node.target)
+    elif isinstance(node, (ast.withitem,)):
+        if node.optional_vars is not None:
+            yield from _target_names(node.optional_vars)
+    elif isinstance(node, ast.comprehension):
+        yield from _target_names(node.target)
+
+
+def _target_names(target: ast.expr) -> Iterator[tuple[str, ast.AST]]:
+    if isinstance(target, ast.Name):
+        yield target.id, target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+@register
+class ShadowBuiltinChecker(Checker):
+    """Flag bindings that shadow commonly used builtins."""
+
+    rule_id = "shadow-builtin"
+    description = "no parameter or assignment may shadow a common builtin"
+    hint = "rename the binding (id -> iid, filter -> predicate, ...)"
+    scope = ()
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        # Class-body bindings (methods, fields) live in attribute
+        # namespace and shadow nothing; only their parameters count.
+        class_body = frozenset(
+            id(statement)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+            for statement in node.body
+        )
+        for node in ast.walk(module.tree):
+            if id(node) in class_body and not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            for name, anchor in _binding_names(node, class_body):
+                if name in _SHADOWED:
+                    yield self.finding(
+                        module,
+                        anchor,
+                        f"binding {name!r} shadows the builtin of the same "
+                        f"name",
+                    )

@@ -1,0 +1,119 @@
+"""Determinism rules: the simulated world must not read the host's clock
+or the process-global random state.
+
+Scope: ``sim/``, ``core/`` and ``service/`` — everything that executes
+inside the simulation.  Wall-clock time must route through the sim clock
+(:attr:`repro.sim.engine.Simulator.now`) and randomness through the named
+streams of :mod:`repro.sim.rng`; otherwise two runs of the same seed
+diverge and the content-addressed result cache silently lies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import import_origins, resolve_call_target
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+from repro.lint.source import SourceModule
+
+__all__ = ["WallClockChecker", "UnseededRandomChecker"]
+
+_SIM_SCOPE = ("sim/", "core/", "service/")
+
+#: Call targets that read the host clock.
+_WALL_CLOCK_TARGETS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level ``random`` functions that draw from the global, unseeded
+#: stream (seeding it globally is just as bad: it is shared state).
+_GLOBAL_RANDOM_PREFIXES = ("random.", "numpy.random.")
+
+#: Explicitly allowed targets under those prefixes: constructing an
+#: *owned* generator is fine when it is seeded (checked separately).
+_GENERATOR_CONSTRUCTORS = frozenset(
+    {"random.Random", "numpy.random.default_rng", "numpy.random.Generator"}
+)
+
+
+@register
+class WallClockChecker(Checker):
+    """Forbid host-clock reads inside the simulated world."""
+
+    rule_id = "wall-clock"
+    description = (
+        "no time.time()/datetime.now() style host-clock reads inside "
+        "sim/, core/ or service/"
+    )
+    hint = "use the simulated clock (Simulator.now or an injected clock callable)"
+    scope = _SIM_SCOPE
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        origins = import_origins(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, origins)
+            if target in _WALL_CLOCK_TARGETS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to {target}() reads the host clock inside the "
+                    f"simulated world",
+                )
+
+
+@register
+class UnseededRandomChecker(Checker):
+    """Forbid the global random stream inside the simulated world."""
+
+    rule_id = "unseeded-random"
+    description = (
+        "no global random/numpy.random draws inside sim/, core/ or "
+        "service/ — randomness routes through sim/rng.py named streams"
+    )
+    hint = (
+        "draw from a named stream (RandomStreams.stream(...)) or accept a "
+        "seeded random.Random"
+    )
+    scope = _SIM_SCOPE
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        origins = import_origins(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, origins)
+            if target is None:
+                continue
+            if target in _GENERATOR_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{target}() constructed without a seed",
+                        hint="pass an explicit seed derived from the "
+                        "experiment's master seed",
+                    )
+                continue
+            if any(target.startswith(prefix) for prefix in _GLOBAL_RANDOM_PREFIXES):
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to {target}() uses the process-global random "
+                    f"stream",
+                )

@@ -1,0 +1,67 @@
+"""Float-equality rule: no ``==``/``!=`` on power/latency expressions.
+
+Computed floats (a watt total after recycling, a windowed latency mean)
+are never bitwise-reproducible; exact comparison is how tolerance bugs
+hide until a rare load mix trips them.  The approved idioms live in
+:mod:`repro.units`: ``approx_eq`` for tolerance comparison and
+``exactly`` for intentional sentinel checks on *assigned* values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import unit_of_identifier
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+from repro.lint.source import SourceModule
+
+__all__ = ["FloatEqualityChecker"]
+
+
+def _float_like(node: ast.expr) -> bool:
+    """Whether an expression is confidently floating-point valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return unit_of_identifier(node.id) is not None
+    if isinstance(node, ast.Attribute):
+        return unit_of_identifier(node.attr) is not None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        return _float_like(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _float_like(node.left) or _float_like(node.right)
+    return False
+
+
+@register
+class FloatEqualityChecker(Checker):
+    """Flag exact equality on float-valued expressions."""
+
+    rule_id = "float-equality"
+    description = (
+        "no ==/!= on float-valued power/latency expressions; use "
+        "repro.units.approx_eq or repro.units.exactly"
+    )
+    hint = (
+        "use repro.units.approx_eq(a, b, tol) for computed values or "
+        "repro.units.exactly(a, sentinel) for assigned sentinels"
+    )
+    scope = ()  # float discipline holds everywhere
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _float_like(left) or _float_like(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact float equality on a power/latency expression",
+                    )
+                    break

@@ -1,0 +1,88 @@
+"""Parsed source modules and suppression-comment handling."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceModule", "Suppressions", "parse_suppressions"]
+
+#: ``# repro-lint: disable=rule-a,rule-b`` — suppresses those rules on the
+#: physical line the comment sits on.  ``disable-file=`` suppresses for
+#: the whole module.  ``disable=all`` matches every rule.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Which rules are switched off, per line and per file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def covers(self, line: int, rule: str) -> bool:
+        """Whether a finding of ``rule`` on ``line`` is suppressed."""
+        if rule in self.file_wide or "all" in self.file_wide:
+            return True
+        rules = self.by_line.get(line, ())
+        return rule in rules or "all" in rules
+
+
+def parse_suppressions(text: str) -> Suppressions:
+    """Extract suppression comments from source text.
+
+    The scan is line-based on purpose: a suppression applies to findings
+    reported on the same physical line, which matches how every AST node
+    in this package is located.
+    """
+    suppressions = Suppressions()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {rule.strip() for rule in match.group(2).split(",") if rule.strip()}
+        if match.group(1) == "disable-file":
+            suppressions.file_wide |= rules
+        else:
+            suppressions.by_line.setdefault(lineno, set()).update(rules)
+    return suppressions
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file, ready for checkers.
+
+    ``package_path`` is the path relative to the ``repro`` package root
+    when the file lives under one (``sim/engine.py``), otherwise relative
+    to the scanned root — checker scopes match against it with simple
+    prefix tests, so golden-test trees can mimic the package layout.
+    """
+
+    path: Path
+    package_path: str
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def parse(cls, path: Path, package_path: str) -> "SourceModule":
+        """Parse a file; raises :class:`SyntaxError` on unparsable source."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            package_path=package_path,
+            text=text,
+            tree=tree,
+            suppressions=parse_suppressions(text),
+        )
+
+    def in_scope(self, prefixes: tuple[str, ...]) -> bool:
+        """Whether this module matches any scope prefix (empty = all)."""
+        if not prefixes:
+            return True
+        return any(self.package_path.startswith(prefix) for prefix in prefixes)

@@ -91,7 +91,7 @@ class Counter:
     """A monotonically increasing count, optionally split by label set."""
 
     name: str
-    help: str
+    help_text: str
     _values: dict[tuple[tuple[str, str], ...], float] = field(default_factory=dict)
 
     def inc(self, amount: float = 1.0, **labels: _LabelValue) -> None:
@@ -108,7 +108,7 @@ class Counter:
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help}",
+            f"# HELP {self.name} {self.help_text}",
             f"# TYPE {self.name} counter",
         ]
         if not self._values:
@@ -125,7 +125,7 @@ class Gauge:
     """A value that goes up and down (instantaneous power, pool sizes)."""
 
     name: str
-    help: str
+    help_text: str
     _values: dict[tuple[tuple[str, str], ...], float] = field(default_factory=dict)
 
     def set(self, value: float, **labels: _LabelValue) -> None:
@@ -142,7 +142,7 @@ class Gauge:
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help}",
+            f"# HELP {self.name} {self.help_text}",
             f"# TYPE {self.name} gauge",
         ]
         if not self._values:
@@ -164,7 +164,7 @@ class Histogram:
     quantile lands in a finite bucket.
     """
 
-    def __init__(self, name: str, help: str, buckets: Sequence[float]) -> None:
+    def __init__(self, name: str, help_text: str, buckets: Sequence[float]) -> None:
         if not buckets:
             raise ConfigurationError(f"histogram {name} needs at least one bucket")
         bounds = [float(b) for b in buckets]
@@ -173,7 +173,7 @@ class Histogram:
                 f"histogram {name} buckets must be strictly increasing"
             )
         self.name = name
-        self.help = help
+        self.help_text = help_text
         self.bounds: tuple[float, ...] = tuple(bounds)
         self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
         self._sum = 0.0
@@ -237,7 +237,7 @@ class Histogram:
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help}",
+            f"# HELP {self.name} {self.help_text}",
             f"# TYPE {self.name} histogram",
         ]
         for bound, cumulative in self.bucket_counts():
@@ -272,29 +272,29 @@ class MetricsRegistry:
             )
         return existing
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(self, name: str, help_text: str = "") -> Counter:
         existing = self._get(name, Counter)
         if existing is None:
-            existing = Counter(name, help)
+            existing = Counter(name, help_text)
             self._instruments[name] = existing
         return existing
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
         existing = self._get(name, Gauge)
         if existing is None:
-            existing = Gauge(name, help)
+            existing = Gauge(name, help_text)
             self._instruments[name] = existing
         return existing
 
     def histogram(
         self,
         name: str,
-        help: str = "",
+        help_text: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
     ) -> Histogram:
         existing = self._get(name, Histogram)
         if existing is None:
-            existing = Histogram(name, help, buckets)
+            existing = Histogram(name, help_text, buckets)
             self._instruments[name] = existing
         return existing
 

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, StageError
+from repro.units import exactly
 from repro.cluster.machine import Machine
 from repro.service.dispatch import Dispatcher
 
@@ -221,7 +222,7 @@ class Application:
                 else "user"
             )
             self.fabric.send(src, dst, lambda: self._advance(query, next_index))
-        elif self.hop_delay_s == 0.0:
+        elif exactly(self.hop_delay_s, 0.0):
             self._advance(query, next_index)
         else:
             self.sim.schedule(self.hop_delay_s, self._advance, query, next_index)

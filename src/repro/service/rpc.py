@@ -19,6 +19,7 @@ from collections import Counter
 from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
+from repro.units import exactly
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 from repro.sim.rng import SeededStream
@@ -60,7 +61,7 @@ class RpcFabric:
         if self.jitter_s > 0.0:
             assert self._rng is not None
             delay += self._rng.uniform(0.0, self.jitter_s)
-        if delay == 0.0:
+        if exactly(delay, 0.0):
             deliver()
         else:
             self.sim.schedule(delay, deliver, priority=EventPriority.NORMAL)

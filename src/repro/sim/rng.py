@@ -14,6 +14,8 @@ import math
 import random
 from typing import Iterator
 
+from repro.units import exactly
+
 __all__ = ["RandomStreams", "SeededStream"]
 
 
@@ -43,7 +45,7 @@ class SeededStream(random.Random):
             raise ValueError(f"lognormal mean must be > 0, got {mean}")
         if sigma < 0.0:
             raise ValueError(f"lognormal sigma must be >= 0, got {sigma}")
-        if sigma == 0.0:
+        if exactly(sigma, 0.0):
             return mean
         mu = math.log(mean) - 0.5 * sigma * sigma
         return self.lognormvariate(mu, sigma)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.units import exactly
+
 __all__ = ["sparkline"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
@@ -41,7 +43,7 @@ def sparkline(
         if value is None:
             cells.append(_GAP)
             continue
-        if span == 0.0:
+        if exactly(span, 0.0):
             cells.append(_BLOCKS[len(_BLOCKS) // 2])
             continue
         clamped = min(max(value, low), high)

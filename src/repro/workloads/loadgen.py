@@ -18,6 +18,7 @@ from abc import ABC, abstractmethod
 from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.units import exactly
 from repro.service.application import Application
 from repro.service.profile import ServiceProfile
 from repro.service.query import Query
@@ -68,7 +69,7 @@ class PiecewiseLoad(LoadTrace):
     def __init__(self, segments: Sequence[tuple[float, float]]) -> None:
         if not segments:
             raise ConfigurationError("piecewise load needs at least one segment")
-        if segments[0][0] != 0.0:
+        if not exactly(segments[0][0], 0.0):
             raise ConfigurationError(
                 f"first segment must start at t=0, got {segments[0][0]}"
             )

@@ -1,0 +1,125 @@
+"""The ``repro lint`` CLI contract: exit codes, JSON output, self-clean.
+
+Exit codes are load-bearing for CI: 0 means the tree is clean, 1 means
+findings, 2 means the linter itself failed — and a crash must never
+read as a clean pass.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import default_registry, lint_paths
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+EXPECTED_RULES = {
+    "wall-clock",
+    "unseeded-random",
+    "unit-mismatch",
+    "float-equality",
+    "pickle-fanout",
+    "metric-name",
+    "metric-duplicate",
+    "dataclass-mutable-default",
+    "dataclass-frozen-shared",
+    "mutable-default-arg",
+    "shadow-builtin",
+}
+
+
+def write(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+class TestRegistry:
+    def test_all_rules_are_registered(self):
+        assert EXPECTED_RULES <= set(default_registry().rule_ids())
+
+    def test_list_rules_exits_zero_and_names_every_rule(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in EXPECTED_RULES:
+            assert rule in out
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path / "core" / "ok.py", "X = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write(
+            tmp_path / "core" / "bad.py",
+            """\
+            def total(power_watts, freq_ghz):
+                return power_watts + freq_ghz
+            """,
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "unit-mismatch" in out
+        assert "bad.py:2:" in out
+
+    def test_missing_target_is_a_crash_not_a_pass(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "does-not-exist")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_selection_is_a_crash(self, capsys):
+        assert main(["lint", "--select", "no-such-rule", "src"]) == 2
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        write(
+            tmp_path / "core" / "bad.py",
+            """\
+            def drained(power_watts):
+                return power_watts == 0.0
+            """,
+        )
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["suppressed"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "float-equality"
+        assert finding["line"] == 2
+        assert finding["package_path"] == "core/bad.py"
+        assert finding["hint"]
+
+    def test_json_clean_tree(self, tmp_path, capsys):
+        write(tmp_path / "core" / "ok.py", "X = 1\n")
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestSelect:
+    def test_select_limits_the_rule_set(self, tmp_path, capsys):
+        write(
+            tmp_path / "core" / "bad.py",
+            """\
+            def f(id, power_watts, freq_ghz):
+                return power_watts + freq_ghz
+            """,
+        )
+        assert main(["lint", "--select", "shadow-builtin", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "shadow-builtin" in out
+        assert "unit-mismatch" not in out
+
+
+class TestSelfClean:
+    def test_shipped_tree_has_zero_unsuppressed_findings(self):
+        report = lint_paths([REPO_SRC])
+        assert report.files_scanned > 50
+        details = "\n".join(f.format() for f in report.findings)
+        assert report.clean, f"repro lint found violations:\n{details}"
