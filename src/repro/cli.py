@@ -16,6 +16,9 @@ Commands:
 * ``trace`` — one fully observed run: writes the query trace (JSONL +
   Chrome trace-event JSON for Perfetto), a Prometheus-style metrics
   dump and the controller decision audit log to a directory.
+* ``chaos`` — one latency run under a fault plan (built-in name or a
+  plan JSON file), with the resilience stack armed; prints the goodput
+  report and the P99/QPS/power deltas against the fault-free baseline.
 * ``lint`` — the domain-aware static-analysis pass (:mod:`repro.lint`)
   over source trees; exits 0 when clean, 1 on findings, 2 on a crash in
   the tool itself.
@@ -53,6 +56,12 @@ from repro.workloads.nlp import nlp_load_levels
 from repro.workloads.sirius import sirius_load_levels
 
 __all__ = ["main", "build_parser"]
+
+
+def _named_plan_names() -> tuple[str, ...]:
+    from repro.faults.plan import named_plans
+
+    return named_plans()
 
 
 def _figure_registry() -> dict[str, Callable[[], str]]:
@@ -202,6 +211,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="one latency run under a fault plan, with goodput report",
+    )
+    chaos.add_argument("app", choices=("sirius", "nlp"))
+    chaos.add_argument(
+        "policy", choices=LATENCY_POLICIES, nargs="?", default="powerchief"
+    )
+    chaos.add_argument(
+        "--plan",
+        default="all-faults",
+        help="built-in plan name or a path to a plan .json "
+        f"(built-ins: {', '.join(_named_plan_names())}; default: all-faults)",
+    )
+    chaos.add_argument(
+        "--load",
+        choices=tuple(level.value for level in LoadLevel),
+        default="high",
+        help="load level relative to baseline saturation (default: high)",
+    )
+    chaos.add_argument("--rate", type=float, help="explicit arrival rate (qps)")
+    chaos.add_argument("--duration", type=float, default=300.0)
+    chaos.add_argument("--seed", type=int, default=3)
+    chaos.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the fault-free baseline run (no delta section)",
+    )
+    chaos.add_argument("--json", help="write the full report to this path")
 
     qos = commands.add_parser("qos", help="one Table-3 QoS-mode run")
     qos.add_argument("app", choices=("sirius", "websearch"))
@@ -363,6 +402,43 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults import load_plan, run_chaos_experiment
+
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        levels = sirius_load_levels() if args.app == "sirius" else nlp_load_levels()
+        rate = levels.rate(LoadLevel(args.load))
+    plan = load_plan(args.plan, args.duration)
+    chaos_result = run_chaos_experiment(
+        args.app,
+        args.policy,
+        ConstantLoad(rate),
+        args.duration,
+        plan,
+        seed=args.seed,
+        with_baseline=not args.no_baseline,
+    )
+    print(f"{args.app}/{args.policy} under plan {plan.name!r}:")
+    print()
+    print(chaos_result.report.render(chaos_result.baseline))
+    if args.json:
+        payload = {
+            "app": args.app,
+            "policy": args.policy,
+            "seed": args.seed,
+            "plan": plan.to_dict(),
+            "report": dataclasses.asdict(chaos_result.report),
+            "events": [dataclasses.asdict(event) for event in chaos_result.events],
+        }
+        path = write_json(args.json, payload)
+        print(f"report written to {path}")
+    return 0
+
+
 def _cmd_qos(args: argparse.Namespace) -> int:
     setup = TABLE3_SIRIUS if args.app == "sirius" else TABLE3_WEBSEARCH
     rate = args.rate if args.rate is not None else (7.0 if args.app == "sirius" else 8.0)
@@ -394,6 +470,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "headline": _cmd_headline,
         "trace": _cmd_trace,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
     }
     try:

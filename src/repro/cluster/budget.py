@@ -50,15 +50,47 @@ class PowerBudget:
         self.machine = machine
         self.budget_watts = float(budget_watts)
         self._scope: PowerScope = scope if scope is not None else machine
+        self._reserved_watts = 0.0
 
     # ------------------------------------------------------------------
     def draw(self) -> Watts:
         """Current draw of the budgeted scope in watts."""
         return self._scope.total_power()
 
+    @property
+    def reserved_watts(self) -> Watts:
+        """Headroom earmarked (not yet drawn) by :meth:`reserve`."""
+        return Watts(self._reserved_watts)
+
+    def reserve(self, watts: float) -> None:
+        """Earmark headroom so :meth:`fits` stops offering it to callers.
+
+        The health monitor reserves a crashed instance's wattage the
+        instant the crash is seen — otherwise the controller's next
+        adjustment spends the freed power on boosts and the replacement
+        can never be launched.  A reservation only shrinks
+        :meth:`available`; the hard draw invariant is untouched.
+        """
+        if watts < 0.0:
+            raise ClusterError(f"cannot reserve {watts} W")
+        self._reserved_watts += watts
+
+    def release(self, watts: float) -> None:
+        """Return previously reserved headroom to the pool."""
+        if watts < 0.0:
+            raise ClusterError(f"cannot release {watts} W")
+        if watts > self._reserved_watts + _EPSILON_WATTS:
+            raise ClusterError(
+                f"releasing {watts} W but only "
+                f"{self._reserved_watts} W is reserved"
+            )
+        self._reserved_watts = max(0.0, self._reserved_watts - watts)
+
     def available(self) -> Watts:
-        """Unallocated headroom in watts (never negative)."""
-        return Watts(max(0.0, self.budget_watts - self.draw()))
+        """Unallocated, unreserved headroom in watts (never negative)."""
+        return Watts(
+            max(0.0, self.budget_watts - self.draw() - self._reserved_watts)
+        )
 
     def utilization(self) -> float:
         """Fraction of the budget currently drawn."""

@@ -27,6 +27,7 @@ from repro.cluster.machine import Machine
 from repro.obs.metrics import DEFAULT_POWER_BUCKETS_W, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
+from repro.sim.rng import SeededStream
 from repro.units import Joules, SimTime, Watts
 
 __all__ = ["PowerSample", "PowerTelemetry"]
@@ -69,6 +70,11 @@ class PowerTelemetry:
         self.sample_interval_s = float(sample_interval_s)
         self.registry = registry
         self.samples: list[PowerSample] = []
+        self.samples_dropped = 0
+        self._dropout_until = 0.0
+        self._noise_until = 0.0
+        self._noise_fraction = 0.0
+        self._noise_stream: Optional[SeededStream] = None
         self._process = PeriodicProcess(
             sim,
             sample_interval_s,
@@ -85,8 +91,60 @@ class PowerTelemetry:
         """Stop sampling; the collected series stays available."""
         self._process.stop()
 
+    # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def inject_dropout(self, until_s: float) -> None:
+        """Drop every sample until the given simulated time (RAPL dark).
+
+        Dropped samples are counted, never silently elided: the power
+        series simply has a hole, and :meth:`seconds_since_last_sample`
+        grows until sampling resumes — which is what the controller's
+        telemetry-dark guard watches.
+        """
+        self._dropout_until = max(self._dropout_until, float(until_s))
+
+    def inject_noise(
+        self, until_s: float, fraction: float, stream: SeededStream
+    ) -> None:
+        """Perturb sampled watts by ``±fraction`` (uniform) until ``until_s``."""
+        if fraction < 0.0:
+            raise ClusterError(f"noise fraction must be >= 0, got {fraction}")
+        self._noise_until = max(self._noise_until, float(until_s))
+        self._noise_fraction = float(fraction)
+        self._noise_stream = stream
+
+    def last_known_good(self) -> Optional[PowerSample]:
+        """The most recent sample, or ``None`` before the first one.
+
+        During a dropout window this is the conservative stand-in the
+        controller falls back to instead of assuming zero draw.
+        """
+        if not self.samples:
+            return None
+        return self.samples[-1]
+
+    def seconds_since_last_sample(self, now: float) -> Optional[float]:
+        """Age of the freshest sample (``None`` when nothing ever arrived)."""
+        if not self.samples:
+            return None
+        return now - self.samples[-1].time
+
     def _sample(self, now: float) -> None:
+        if now < self._dropout_until:
+            self.samples_dropped += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "repro_power_samples_dropped_total",
+                    "Power samples lost to injected telemetry dropout",
+                ).inc()
+            return
         watts = self.machine.total_power()
+        if now < self._noise_until and self._noise_stream is not None:
+            perturbed = watts * (
+                1.0 + self._noise_fraction * self._noise_stream.uniform(-1.0, 1.0)
+            )
+            watts = Watts(max(0.0, perturbed))
         now = SimTime(now)
         counts = _CounterDict(
             core.level for core in self.machine.cores if core.active
@@ -122,11 +180,17 @@ class PowerTelemetry:
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
-    def average_power(self, since: float = 0.0) -> Watts:
-        """Mean of the sampled draw from ``since`` onward (0 if no samples)."""
+    def average_power(self, since: float = 0.0) -> Optional[Watts]:
+        """Mean of the sampled draw from ``since`` onward.
+
+        Returns ``None`` when the window holds no samples — under
+        telemetry dropout a window can be empty, and a fabricated 0.0 W
+        would read as "the machine is idle, spend freely", the most
+        dangerous possible misreading.  Callers must branch explicitly.
+        """
         values = [s.watts for s in self.samples if s.time >= since]
         if not values:
-            return Watts(0.0)
+            return None
         return Watts(sum(values) / len(values))
 
     def peak_power(self) -> Watts:

@@ -44,17 +44,43 @@ class BottleneckIdentifier:
         """The latency metric of one instance at the current time."""
         return compute_metric(self.command_center, instance, self.metric_kind)
 
-    def ranked(self, application: Application) -> list[RankedInstance]:
+    def is_stale(self, instance: ServiceInstance) -> bool:
+        """Whether an instance's metric inputs are untrustworthy.
+
+        A *stale* instance has served queries before, has work queued
+        right now, yet produced no record inside the statistics window —
+        the signature of a hung or wedged worker whose window drained.
+        Its Equation-1 metric would be computed entirely from fallbacks
+        and grossly understate its delay.  Fresh clones (never served
+        anything) are *not* stale: the fallback chain exists for them.
+        """
+        return (
+            instance.queries_served > 0
+            and instance.queue_length > 0
+            and not self.command_center.has_fresh_records(instance)
+        )
+
+    def ranked(
+        self, application: Application, skip_stale: bool = False
+    ) -> list[RankedInstance]:
         """All running instances sorted fast (smallest metric) to slow.
 
         Ties break on instance id so the ordering — and therefore the
-        recycling victim order — is deterministic.
+        recycling victim order — is deterministic.  With ``skip_stale``
+        (the controller's stale-metric guard) instances failing
+        :meth:`is_stale` are excluded from the ranking; if that would
+        exclude everything, the full pool is ranked anyway — acting on
+        doubtful data beats not acting at all when *no* data is trusted.
         """
         instances = application.running_instances()
         if not instances:
             raise ServiceError(
                 f"application {application.name} has no running instances"
             )
+        if skip_stale:
+            trusted = [inst for inst in instances if not self.is_stale(inst)]
+            if trusted:
+                instances = trusted
         entries = [
             RankedInstance(instance, self.metric_of(instance))
             for instance in instances

@@ -21,6 +21,8 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.cluster.budget import PowerBudget
 from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.telemetry import PowerTelemetry
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.audit import (
     AuditLog,
     BoostEntry,
@@ -67,6 +69,11 @@ class ControllerConfig:
     min_queue_for_instance: int = 2
     withdraw_utilization: float = 0.2
     enable_withdraw: bool = True
+    #: Exclude instances with stale metric inputs (served before, work
+    #: queued, yet silent within the window — a hang signature) from the
+    #: Equation-1 ranking.  Off by default: fault-free behaviour is
+    #: bit-identical, the chaos harness turns it on.
+    stale_metric_guard: bool = False
 
     def __post_init__(self) -> None:
         if self.adjust_interval_s <= 0.0:
@@ -112,6 +119,15 @@ class BaseController(ABC):
         self.actions: list[ActionRecord] = []
         #: Decision audit log; ``None`` (the default) records nothing.
         self.audit: Optional[AuditLog] = None
+        #: Metrics registry; ``None`` (the default) counts nothing.
+        self.metrics: Optional[MetricsRegistry] = None
+        #: Power telemetry watched by the graceful-degradation guard.
+        self.telemetry: Optional[PowerTelemetry] = None
+        self.telemetry_staleness_s = 0.0
+        #: Ticks spent in conservative mode because telemetry was dark.
+        self.degraded_ticks = 0
+        #: Actions refused because their target was not a running instance.
+        self.safety_clamps = 0
         self._process = PeriodicProcess(
             sim,
             self.config.adjust_interval_s,
@@ -129,6 +145,26 @@ class BaseController(ABC):
         unchanged; the runner attaches before :meth:`start`.
         """
         self.audit = audit
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Count degraded ticks and safety clamps into ``registry``."""
+        self.metrics = registry
+
+    def attach_telemetry(
+        self, telemetry: PowerTelemetry, staleness_s: float = 15.0
+    ) -> None:
+        """Arm the telemetry-dark guard: when the freshest power sample is
+        older than ``staleness_s`` at a tick, the controller degrades
+        gracefully — it suspends the boost phase (which spends power on
+        the strength of readings it no longer has) while still allowing
+        withdraws (which only ever reduce draw).
+        """
+        if staleness_s <= 0.0:
+            raise ConfigurationError(
+                f"telemetry staleness must be > 0, got {staleness_s}"
+            )
+        self.telemetry = telemetry
+        self.telemetry_staleness_s = float(staleness_s)
 
     def start(self) -> None:
         """Arm the periodic adjust loop."""
@@ -162,8 +198,33 @@ class BaseController(ABC):
                 SkipEntry(time=self.sim.now, controller=self.name, reason=reason)
             )
 
+    def _clamp(self, instance: ServiceInstance, action: str) -> None:
+        """Refuse an action whose target is no longer a running instance.
+
+        Between ranking and acting, fault injection may crash the target
+        (or a withdraw may start draining it); retuning or cloning a dead
+        core would corrupt the power accounting.  The refusal is counted
+        and audited, never silent.
+        """
+        self.safety_clamps += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_controller_safety_clamps_total",
+                "Controller actions refused because the target was not running",
+            ).inc(controller=self.name)
+        self._skip(
+            f"safety clamp: {action} target {instance.name} is "
+            f"{instance.state.value}"
+        )
+
     def apply_recycle_plan(self, plan: RecyclePlan) -> None:
-        """Execute every planned frequency drop."""
+        """Execute every planned frequency drop (skipping dead victims)."""
+        live_drops = [drop for drop in plan.drops if drop.instance.running]
+        if len(live_drops) != len(plan.drops):
+            for drop in plan.drops:
+                if not drop.instance.running:
+                    self._clamp(drop.instance, "recycle drop")
+            plan = RecyclePlan(needed_watts=plan.needed_watts, drops=live_drops)
         if self.audit is not None and plan.drops:
             self.audit.record(
                 RecycleEntry(
@@ -200,6 +261,9 @@ class BaseController(ABC):
         self, instance: ServiceInstance, level: int, reason: str
     ) -> None:
         """Retune one instance's core, logging the change."""
+        if not instance.running:
+            self._clamp(instance, f"retune ({reason})")
+            return
         old = instance.level
         if level == old:
             return
@@ -248,6 +312,12 @@ class BaseController(ABC):
         """
         if decision.kind is BoostKind.NONE:
             self._skip(decision.reason or "no actionable boost")
+            return
+        if not decision.bottleneck.running:
+            # The bottleneck crashed (or started draining) between ranking
+            # and acting: boosting a dead instance would clone from or
+            # retune a released core.
+            self._clamp(decision.bottleneck, "boost")
             return
         if (
             decision.kind is BoostKind.INSTANCE
@@ -336,7 +406,36 @@ class PowerChiefController(BaseController):
                         )
                     )
 
-        ranked = self.identifier.ranked(self.application)
+        if not self.application.running_instances():
+            # Under crash-heavy fault plans a stage (or the whole pool)
+            # can be momentarily dark while the health monitor respawns.
+            self._skip("no running instances")
+            return
+        if self.telemetry is not None:
+            age = self.telemetry.seconds_since_last_sample(now)
+            if age is None or age > self.telemetry_staleness_s:
+                # Telemetry dark: the last-known-good reading is all we
+                # have, and it says nothing about draw changes since.
+                # Spending power on its strength could breach the budget
+                # invariant, so the boost phase is suspended.  Withdraw
+                # (above) stays active — it only ever reduces draw.
+                self.degraded_ticks += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "repro_controller_degraded_ticks_total",
+                        "Ticks spent in conservative mode (telemetry dark)",
+                    ).inc(controller=self.name)
+                known = self.telemetry.last_known_good()
+                described = (
+                    "no sample ever arrived"
+                    if known is None or age is None
+                    else f"last sample {age:.1f}s old ({known.watts:.2f} W)"
+                )
+                self._skip(f"telemetry dark: {described}; boost suspended")
+                return
+        ranked = self.identifier.ranked(
+            self.application, skip_stale=self.config.stale_metric_guard
+        )
         if not ranked:
             self._skip("no running instances")
             return

@@ -17,7 +17,11 @@ policies, so improvement ratios compare the policies and nothing else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.faults.chaos import ChaosHarness
+    from repro.service.rpc import RpcFabric
 
 from repro.errors import ConfigurationError, ExperimentError
 from repro.cluster.budget import PowerBudget
@@ -155,9 +159,12 @@ def _build_app(
     machine: Machine,
     allocation: Mapping[str, StageAllocation],
     observability: Optional[Observability] = None,
+    fabric: Optional["RpcFabric"] = None,
 ) -> Application:
     profiles = _profiles_for(app)
-    application = Application(app, sim, machine, observability=observability)
+    application = Application(
+        app, sim, machine, fabric=fabric, observability=observability
+    )
     scatter = _SCATTER_GATHER_STAGES.get(app, ())
     for profile in profiles:
         kind = (
@@ -265,13 +272,19 @@ def run_latency_experiment(
     stats_window_s: float = 60.0,
     contention: Optional[ContentionModel] = None,
     observability: Optional[Observability] = None,
+    chaos: Optional["ChaosHarness"] = None,
+    drain_s: float = 0.0,
 ) -> RunResult:
     """Run one (application, policy, load) cell of Figures 2/4/10/11/12.
 
     ``allocation`` overrides the Table-2 one-instance-per-stage deployment
     (Figure 2's static single-stage boosts use this).  ``observability``
     (kept by the caller) collects query spans, registry metrics and the
-    controller's decision audit log for the run.
+    controller's decision audit log for the run.  ``chaos`` (a
+    :class:`~repro.faults.chaos.ChaosHarness`) arms fault injection and
+    the resilience layer; ``drain_s`` extends the run past the last
+    arrival so retried queries can settle — both default off and leave
+    the fault-free path bit-identical.
     """
     if policy not in LATENCY_POLICIES:
         raise ConfigurationError(
@@ -279,12 +292,20 @@ def run_latency_experiment(
         )
     if duration_s <= 0.0:
         raise ConfigurationError(f"duration must be > 0, got {duration_s}")
+    if drain_s < 0.0:
+        raise ConfigurationError(f"drain must be >= 0, got {drain_s}")
     sim = Simulator()
     machine = Machine(sim, n_cores=n_cores, contention=contention)
     initial_level = HASWELL_LADDER.level_of(initial_freq_ghz)
     if allocation is None:
         allocation = _uniform_allocation(app, initial_level, 1)
-    application = _build_app(app, sim, machine, allocation, observability)
+    # Streams are name-derived (creation order never shifts seeds), so
+    # building them early for the chaos fabric is byte-neutral.
+    streams = RandomStreams(seed)
+    fabric = None if chaos is None else chaos.build_fabric(sim, streams)
+    application = _build_app(
+        app, sim, machine, allocation, observability, fabric=fabric
+    )
     budget = PowerBudget(machine, budget_watts)
     budget.assert_within()
     command_center = CommandCenter(sim, application, window_s=stats_window_s)
@@ -300,23 +321,41 @@ def run_latency_experiment(
         sim, application, command_center, budget, dvfs, controller_config
     )
 
-    streams = RandomStreams(seed)
     factory = QueryFactory(_profiles_for(app), streams)
     generator = PoissonLoadGenerator(
         sim, application, factory, trace, streams, duration_s
     )
     sampler = StateSampler(sim, application, sample_interval_s)
-    _, finalize_obs = _attach_observability(
+    telemetry, finalize_obs = _attach_observability(
         sim, machine, controller, observability, sample_interval_s
     )
+    if chaos is not None:
+        chaos.install(
+            sim=sim,
+            machine=machine,
+            application=application,
+            controller=controller,
+            budget=budget,
+            telemetry=telemetry,
+            streams=streams,
+            observability=observability,
+        )
 
     try:
         controller.start()
         sampler.start()
+        if chaos is not None:
+            chaos.start()
         generator.start()
         sim.run(until=duration_s)
         controller.stop()
         sampler.stop()
+        if drain_s > 0.0:
+            # Let in-flight retries/timeouts settle; the generator stopped
+            # at ``duration_s``, the health monitor keeps respawning.
+            sim.run(until=duration_s + drain_s)
+        if chaos is not None:
+            chaos.stop()
     finally:
         finalize_obs()
     budget.assert_within()
@@ -331,7 +370,7 @@ def run_latency_experiment(
         latency=_summarize_completed(
             command_center, f"{app}/{policy} latency run"
         ),
-        average_power_watts=energy / duration_s,
+        average_power_watts=energy / (duration_s + drain_s),
         actions=tuple(controller.actions),
         state_samples=tuple(sampler.samples),
     )

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and the resilience harness.
+
+The package splits cleanly into *breaking things* and *surviving them*:
+
+* :mod:`repro.faults.plan` — declarative, JSON round-trippable fault
+  schedules (crash, hang, degrade, telemetry dropout/noise, RPC
+  delay/loss) with built-in named scenarios;
+* :mod:`repro.faults.injector` — fires a plan off the sim clock with a
+  dedicated seeded stream, logging every event;
+* :mod:`repro.faults.monitor` — behavioural hang detection and
+  power-aware respawn of crashed instances;
+* :mod:`repro.faults.report` — the goodput ledger that proves the
+  zero-orphan invariant;
+* :mod:`repro.faults.chaos` — the harness wiring it all into a runner,
+  and the turnkey :func:`~repro.faults.chaos.run_chaos_experiment`.
+
+Everything is opt-in: a run without a :class:`ChaosHarness` never
+imports this package and stays bit-identical to the pre-fault codebase.
+"""
+
+from repro.faults.chaos import ChaosHarness, ChaosRunResult, run_chaos_experiment
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.monitor import HealthMonitor, ResilienceConfig
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, load_plan, named_plans
+from repro.faults.report import GoodputReport
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosRunResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "GoodputReport",
+    "HealthMonitor",
+    "ResilienceConfig",
+    "load_plan",
+    "named_plans",
+    "run_chaos_experiment",
+]

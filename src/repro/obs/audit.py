@@ -32,6 +32,8 @@ __all__ = [
     "RecycleEntry",
     "WithdrawEntry",
     "SkipEntry",
+    "FaultEntry",
+    "ResilienceEntry",
     "AuditLog",
 ]
 
@@ -143,6 +145,38 @@ class SkipEntry(AuditEntry):
     reason: str
 
     kind = "skip"
+
+
+@dataclass(frozen=True)
+class FaultEntry(AuditEntry):
+    """One fault the injector fired (``controller`` is the injector).
+
+    ``fault`` is the :class:`~repro.faults.plan.FaultKind` value,
+    ``target`` the victim (instance name, stage name, ``telemetry`` or
+    ``fabric``), ``detail`` a human-readable parameter summary.  The
+    determinism acceptance test diffs these across runs.
+    """
+
+    fault: str
+    target: str
+    detail: str
+
+    kind = "fault"
+
+
+@dataclass(frozen=True)
+class ResilienceEntry(AuditEntry):
+    """One recovery action taken by the resilience layer.
+
+    ``action`` names the mechanism (``respawn``, ``hang-detected``,
+    ``repair``, ...), ``target`` the instance or stage acted on.
+    """
+
+    action: str
+    target: str
+    detail: str
+
+    kind = "resilience"
 
 
 _E = TypeVar("_E", bound=AuditEntry)

@@ -31,7 +31,8 @@ from repro.service.profile import (
     TabularSpeedup,
 )
 from repro.service.query import Query
-from repro.service.records import StageRecord
+from repro.service.records import AttemptRecord, StageRecord
+from repro.service.resilience import RetryPolicy, StageResilience
 from repro.service.rpc import RpcFabric
 from repro.service.stage import Stage, StageKind
 from repro.service.window import LatencyWindow
@@ -55,7 +56,10 @@ __all__ = [
     "SpeedupCurve",
     "TabularSpeedup",
     "Query",
+    "AttemptRecord",
     "StageRecord",
+    "RetryPolicy",
+    "StageResilience",
     "RpcFabric",
     "Stage",
     "StageKind",

@@ -24,7 +24,10 @@ from repro.service.dispatch import Dispatcher
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.obs import Observability
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.resilience import RetryPolicy
     from repro.service.rpc import RpcFabric
+    from repro.sim.rng import RandomStreams
 from repro.service.instance import ServiceInstance
 from repro.service.profile import ServiceProfile
 from repro.service.query import Query
@@ -34,6 +37,8 @@ from repro.sim.engine import Simulator
 __all__ = ["Application"]
 
 CompletionListener = Callable[[Query], None]
+FailureListener = Callable[[Query], None]
+CrashListener = Callable[[Stage, ServiceInstance], None]
 
 
 class Application:
@@ -75,8 +80,13 @@ class Application:
         self._stage_by_name: dict[str, Stage] = {}
         self._iid_counter = itertools.count(0)
         self._listeners: list[CompletionListener] = []
+        self._failure_listeners: list[FailureListener] = []
+        self._crash_listeners: list[CrashListener] = []
         self._submitted = 0
         self._completed = 0
+        self._timed_out = 0
+        self._retried_completed = 0
+        self._resilient = False
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -108,7 +118,26 @@ class Application:
         )
         self._stages.append(stage)
         self._stage_by_name[profile.name] = stage
+        stage.add_crash_listener(self._on_instance_crash)
         return stage
+
+    def attach_resilience(
+        self,
+        policy: "RetryPolicy",
+        streams: "RandomStreams",
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        """Attach a timeout/retry layer to every stage of the pipeline.
+
+        Each stage gets its own named stream (``resilience:<stage>``) so
+        backoff jitter never perturbs the workload streams, and adding a
+        stage's retries never shifts another stage's.
+        """
+        self._resilient = True
+        for stage in self._stages:
+            stage.attach_resilience(
+                policy, streams.stream(f"resilience:{stage.name}"), metrics
+            )
 
     @property
     def stages(self) -> tuple[Stage, ...]:
@@ -150,6 +179,14 @@ class Application:
         """Subscribe to query completions (the command center does this)."""
         self._listeners.append(listener)
 
+    def add_failure_listener(self, listener: FailureListener) -> None:
+        """Subscribe to terminal query failures (retry budget exhausted)."""
+        self._failure_listeners.append(listener)
+
+    def add_crash_listener(self, listener: CrashListener) -> None:
+        """Subscribe to instance crashes on any stage (health monitor)."""
+        self._crash_listeners.append(listener)
+
     @property
     def submitted(self) -> int:
         return self._submitted
@@ -159,8 +196,18 @@ class Application:
         return self._completed
 
     @property
+    def timed_out(self) -> int:
+        """Queries that failed terminally after exhausting their retries."""
+        return self._timed_out
+
+    @property
+    def retried_completed(self) -> int:
+        """Completed queries that needed at least one retry on the way."""
+        return self._retried_completed
+
+    @property
     def in_flight(self) -> int:
-        return self._submitted - self._completed
+        return self._submitted - self._completed - self._timed_out
 
     def submit(self, query: Query) -> None:
         """Inject a query into the first stage."""
@@ -185,6 +232,8 @@ class Application:
         if stage_index >= len(self._stages):
             query.completion_time = self.sim.now
             self._completed += 1
+            if query.retried:
+                self._retried_completed += 1
             if self._metrics is not None:
                 self._metrics.counter(
                     "repro_queries_completed_total",
@@ -206,7 +255,30 @@ class Application:
                 self._notify(query)
             return
         stage = self._stages[stage_index]
-        stage.submit(query, lambda done: self._hop(done, stage_index + 1))
+        if self._resilient:
+            stage.submit(
+                query,
+                lambda done: self._hop(done, stage_index + 1),
+                on_stage_failed=self._fail_query,
+            )
+        else:
+            stage.submit(query, lambda done: self._hop(done, stage_index + 1))
+
+    def _fail_query(self, query: Query) -> None:
+        """Terminal failure: the query exhausted a stage's retry budget."""
+        query.failed_time = self.sim.now
+        self._timed_out += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "repro_queries_timed_out_total",
+                "Queries that failed terminally after exhausting retries",
+            ).inc(app=self.name)
+        for listener in tuple(self._failure_listeners):
+            listener(query)
+
+    def _on_instance_crash(self, stage: Stage, instance: ServiceInstance) -> None:
+        for listener in tuple(self._crash_listeners):
+            listener(stage, instance)
 
     def _notify(self, query: Query) -> None:
         for listener in tuple(self._listeners):

@@ -158,6 +158,17 @@ class CommandCenter:
             return 0
         return window.count(self.sim.now)
 
+    def has_fresh_records(self, instance: ServiceInstance) -> bool:
+        """Whether the instance produced any record inside the window.
+
+        The controller's stale-metric guard distinguishes *fresh* clones
+        (no history yet — served by the fallback chain) from *sick*
+        veterans (served queries before, now silent with work queued);
+        both report ``sample_count == 0`` but only the latter should be
+        excluded from Eq-1 ranking.
+        """
+        return self.sample_count(instance) > 0
+
     # ------------------------------------------------------------------
     # End-to-end statistics
     # ------------------------------------------------------------------

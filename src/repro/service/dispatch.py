@@ -45,15 +45,26 @@ class ShortestQueueDispatcher(Dispatcher):
 
 
 class RoundRobinDispatcher(Dispatcher):
-    """Cycle through instances in order, skipping none."""
+    """Cycle through instances in order, skipping none.
+
+    The cursor is kept in ``[0, len(instances))`` at every call rather
+    than growing unbounded: an ever-increasing counter taken modulo the
+    pool size silently re-skews the rotation whenever the pool shrinks
+    (withdraw or crash), because the old count is reinterpreted against
+    the new length.  Clamping resets the rotation to the head of the
+    surviving pool — deterministic, and identical to the unbounded
+    counter whenever the pool size is stable.
+    """
 
     def __init__(self) -> None:
         self._next = 0
 
     def select(self, instances: Sequence[ServiceInstance]) -> ServiceInstance:
         self._require_instances(instances)
-        choice = instances[self._next % len(instances)]
-        self._next += 1
+        if self._next >= len(instances):
+            self._next = 0
+        choice = instances[self._next]
+        self._next = (self._next + 1) % len(instances)
         return choice
 
 

@@ -32,6 +32,7 @@ from typing import Callable, Optional
 from typing import TYPE_CHECKING
 
 from repro.errors import InstanceStateError
+from repro.units import exactly
 from repro.cluster.core import Core
 from repro.service.profile import ServiceProfile
 
@@ -62,6 +63,13 @@ class Job:
     on_done: Callable[[Query], None]
     enqueue_time: Optional[float] = None
     record: Optional[StageRecord] = field(default=None, repr=False)
+    #: Set when the submitting layer abandoned the job (attempt timed out
+    #: or was re-dispatched after a crash); a cancelled job may still sit
+    #: in a queue, but serving it produces no record and fires no
+    #: ``on_done``.
+    cancelled: bool = False
+    #: Back-reference for the resilience layer (opaque to the instance).
+    attempt: Optional[object] = field(default=None, repr=False)
 
 
 class InstanceState(enum.Enum):
@@ -69,7 +77,27 @@ class InstanceState(enum.Enum):
 
     RUNNING = "running"
     DRAINING = "draining"
+    CRASHED = "crashed"
     WITHDRAWN = "withdrawn"
+
+
+#: The only legal lifecycle transitions.  RUNNING instances drain (the
+#: withdraw mechanism) or crash (fault injection); DRAINING instances
+#: finish the drain or crash mid-drain; CRASHED and WITHDRAWN are
+#: terminal.  Every state write funnels through
+#: :meth:`ServiceInstance._transition`, which enforces this table — a
+#: crash during a drain, for example, must never *also* complete the
+#: drain and double-fire ``on_drained``.
+_ALLOWED_TRANSITIONS: dict[InstanceState, frozenset[InstanceState]] = {
+    InstanceState.RUNNING: frozenset(
+        {InstanceState.DRAINING, InstanceState.CRASHED}
+    ),
+    InstanceState.DRAINING: frozenset(
+        {InstanceState.WITHDRAWN, InstanceState.CRASHED}
+    ),
+    InstanceState.CRASHED: frozenset(),
+    InstanceState.WITHDRAWN: frozenset(),
+}
 
 
 class ServiceInstance:
@@ -101,6 +129,9 @@ class ServiceInstance:
         self._segment_start = 0.0
         self._segment_rate = 1.0
         self._completion: Optional[Event] = None
+        self._hung = False
+        self._degrade_factor = 1.0
+        self._crash_level: Optional[int] = None
         self._on_drained: Optional[Callable[["ServiceInstance"], None]] = None
         self._busy_accumulated = 0.0
         self._busy_since: Optional[float] = None
@@ -119,6 +150,26 @@ class ServiceInstance:
     @property
     def running(self) -> bool:
         return self._state is InstanceState.RUNNING
+
+    @property
+    def hung(self) -> bool:
+        """Whether the instance is hung (accepts work, serves nothing)."""
+        return self._hung
+
+    @property
+    def degrade_factor(self) -> float:
+        """Work-rate multiplier applied by fault injection (1.0 = healthy)."""
+        return self._degrade_factor
+
+    @property
+    def crash_level(self) -> Optional[int]:
+        """Ladder level held at crash time (``None`` before any crash).
+
+        Read this instead of :attr:`level` after a crash: releasing the
+        core resets its frequency, so by the time crash listeners run the
+        live level no longer says what the victim was worth.
+        """
+        return self._crash_level
 
     @property
     def busy(self) -> bool:
@@ -163,6 +214,18 @@ class ServiceInstance:
             total += self.sim.now - self._busy_since
         return total
 
+    def current_service_elapsed(self, now: float) -> Optional[float]:
+        """How long the job currently in service has been on the core.
+
+        ``None`` when idle.  The health monitor uses this to spot hung
+        instances: a job that has been "in service" far longer than any
+        plausible serving time means the instance stopped making progress.
+        """
+        job = self._current
+        if job is None or job.record is None or job.record.start_time is None:
+            return None
+        return now - job.record.start_time
+
     # ------------------------------------------------------------------
     # Work submission
     # ------------------------------------------------------------------
@@ -184,7 +247,7 @@ class ServiceInstance:
             queue_at_arrival=self.queue_length,
         )
         self._queue.append(job)
-        if self._current is None:
+        if self._current is None and not self._hung:
             self._start_next()
 
     # ------------------------------------------------------------------
@@ -216,6 +279,19 @@ class ServiceInstance:
         return taken
 
     # ------------------------------------------------------------------
+    # Lifecycle transitions
+    # ------------------------------------------------------------------
+    def _transition(self, target: InstanceState) -> None:
+        """Move to ``target``, enforcing the lifecycle transition table."""
+        allowed = _ALLOWED_TRANSITIONS[self._state]
+        if target not in allowed:
+            raise InstanceStateError(
+                f"instance {self.name}: illegal transition "
+                f"{self._state.value} -> {target.value}"
+            )
+        self._state = target
+
+    # ------------------------------------------------------------------
     # Withdraw lifecycle
     # ------------------------------------------------------------------
     def drain(self, on_drained: Callable[["ServiceInstance"], None]) -> None:
@@ -229,13 +305,13 @@ class ServiceInstance:
             raise InstanceStateError(
                 f"instance {self.name} is {self._state.value}; cannot drain"
             )
-        self._state = InstanceState.DRAINING
+        self._transition(InstanceState.DRAINING)
         self._on_drained = on_drained
         if self._current is None and not self._queue:
             self._finish_drain()
 
     def _finish_drain(self) -> None:
-        self._state = InstanceState.WITHDRAWN
+        self._transition(InstanceState.WITHDRAWN)
         self.core.remove_observer(self._on_frequency_change)
         if self._machine is not None:
             self._machine.remove_occupancy_listener(self._on_occupancy_change)
@@ -245,6 +321,142 @@ class ServiceInstance:
             callback(self)
 
     # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def crash(self) -> list[Job]:
+        """Kill the instance immediately; return every orphaned job.
+
+        The in-flight job (if any) is dropped mid-service and returned
+        first, followed by the waiting queue in FIFO order.  Crashing is
+        legal from RUNNING or DRAINING; a crash during a drain clears the
+        pending ``on_drained`` callback so the drain can never *also*
+        complete — the callback fires at most once per instance, ever.
+        """
+        self._transition(InstanceState.CRASHED)
+        self._crash_level = self.core.level
+        # A crash mid-drain must not later fire the drain callback.
+        self._on_drained = None
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        orphans: list[Job] = []
+        if self._current is not None:
+            job = self._current
+            job.record = None
+            orphans.append(job)
+            self._current = None
+            self._remaining_work = 0.0
+        for job in self._queue:
+            job.record = None
+            orphans.append(job)
+        self._queue.clear()
+        if self._busy_since is not None:
+            self._busy_accumulated += self.sim.now - self._busy_since
+            self._busy_since = None
+        self._hung = False
+        self.core.remove_observer(self._on_frequency_change)
+        if self._machine is not None:
+            self._machine.remove_occupancy_listener(self._on_occupancy_change)
+        return orphans
+
+    def hang(self) -> None:
+        """Stop making progress without dying: serve nothing until repaired.
+
+        The in-flight job's consumed work up to now is banked (the segment
+        closes); new arrivals queue up behind it.  From the outside the
+        instance looks alive — state stays RUNNING, the dispatcher may
+        still route to it — which is exactly what makes hangs nastier
+        than crashes.
+        """
+        if self._state is not InstanceState.RUNNING:
+            raise InstanceStateError(
+                f"instance {self.name} is {self._state.value}; cannot hang"
+            )
+        if self._hung:
+            return
+        self._hung = True
+        if self._current is not None:
+            elapsed = self.sim.now - self._segment_start
+            consumed = elapsed * self._segment_rate
+            self._remaining_work = max(0.0, self._remaining_work - consumed)
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+
+    def repair(self) -> None:
+        """Undo :meth:`hang`: resume serving from the banked progress."""
+        if not self._hung:
+            return
+        self._hung = False
+        if self._state is not InstanceState.RUNNING:
+            return
+        if self._current is not None:
+            self._start_segment()
+        elif self._queue:
+            self._start_next()
+
+    def degrade(self, factor: float) -> None:
+        """Apply a work-rate multiplier (``factor < 1`` slows the instance).
+
+        Models a sick-but-alive worker (thermal throttling, a noisy
+        co-tenant).  ``degrade(1.0)`` restores full speed.  The job in
+        service is rescaled immediately.
+        """
+        if factor <= 0.0:
+            raise InstanceStateError(
+                f"degrade factor must be > 0, got {factor}"
+            )
+        if exactly(factor, self._degrade_factor):
+            return
+        self._degrade_factor = factor
+        if not self._hung:
+            self._rescale()
+
+    # ------------------------------------------------------------------
+    # Attempt cancellation (resilience layer)
+    # ------------------------------------------------------------------
+    def remove_waiting(self, job: Job) -> bool:
+        """Pull a specific waiting job out of the queue (timeout path).
+
+        Returns ``False`` when the job is not waiting here (already in
+        service, already served, or stolen by another instance).
+        """
+        try:
+            self._queue.remove(job)
+        except ValueError:
+            return False
+        job.record = None
+        return True
+
+    def abort_current(self, job: Job) -> bool:
+        """Abandon ``job`` if it is the one in service; free the core.
+
+        Used when an attempt times out mid-service: the work already
+        consumed is wasted, the instance moves on to the next waiting
+        job.  Returns ``False`` when ``job`` is not in service here.
+        """
+        if self._current is not job:
+            return False
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self._current = None
+        self._remaining_work = 0.0
+        job.record = None
+        if self._queue and not self._hung:
+            self._start_next()
+        elif self._busy_since is not None:
+            self._busy_accumulated += self.sim.now - self._busy_since
+            self._busy_since = None
+        if (
+            self._state is InstanceState.DRAINING
+            and self._current is None
+            and not self._queue
+        ):
+            self._finish_drain()
+        return True
+
+    # ------------------------------------------------------------------
     # Serving internals
     # ------------------------------------------------------------------
     def _work_rate(self) -> float:
@@ -252,6 +464,8 @@ class ServiceInstance:
         rate = self.profile.speedup.speedup(self.frequency_ghz)
         if self._machine is not None:
             rate /= self._machine.contention_slowdown()
+        if not exactly(self._degrade_factor, 1.0):
+            rate *= self._degrade_factor
         return rate
 
     def _start_segment(self) -> None:
@@ -276,22 +490,25 @@ class ServiceInstance:
 
     def _complete(self) -> None:
         job = self._current
-        assert job is not None and job.record is not None
-        job.record.finish_time = self.sim.now
-        job.query.append_record(job.record)
-        if self._tracer is not None:
-            self._tracer.emit_record(job.query.qid, job.work, job.record)
+        assert job is not None
+        if not job.cancelled:
+            assert job.record is not None
+            job.record.finish_time = self.sim.now
+            job.query.append_record(job.record)
+            if self._tracer is not None:
+                self._tracer.emit_record(job.query.qid, job.work, job.record)
+            self._queries_served += 1
         self._current = None
         self._completion = None
         self._remaining_work = 0.0
-        self._queries_served += 1
         if self._queue:
             self._start_next()
         else:
             if self._busy_since is not None:
                 self._busy_accumulated += self.sim.now - self._busy_since
                 self._busy_since = None
-        job.on_done(job.query)
+        if not job.cancelled:
+            job.on_done(job.query)
         if (
             self._state is InstanceState.DRAINING
             and self._current is None
@@ -306,7 +523,7 @@ class ServiceInstance:
         a DVFS retune of this core, or (under a contention model) any
         occupancy change on the machine.
         """
-        if self._current is None:
+        if self._current is None or self._hung:
             return
         elapsed = self.sim.now - self._segment_start
         consumed = elapsed * self._segment_rate

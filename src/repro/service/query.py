@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.errors import ServiceError
-from repro.service.records import StageRecord
+from repro.service.records import AttemptRecord, StageRecord
 
 __all__ = ["Query"]
 
@@ -37,6 +37,13 @@ class Query:
     arrival_time: Optional[float] = None
     completion_time: Optional[float] = None
     records: list[StageRecord] = field(default_factory=list)
+    #: Dispatch attempts under the resilience layer; empty on the
+    #: fault-free fast path (no resilience attached).
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    #: Stamped when the query fails terminally (retry budget exhausted).
+    failed_time: Optional[float] = None
+    #: True once any stage re-dispatched the query after a timeout.
+    retried: bool = False
 
     def __post_init__(self) -> None:
         for stage, demand in self.demands.items():
@@ -50,6 +57,30 @@ class Query:
     def completed(self) -> bool:
         """Whether the query has finished the last pipeline stage."""
         return self.completion_time is not None
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the query failed terminally (retry budget exhausted)."""
+        return self.failed_time is not None
+
+    @property
+    def outcome(self) -> str:
+        """Terminal accounting bucket for the goodput report.
+
+        ``completed`` / ``retried-completed`` / ``timed-out`` once the
+        query settles; ``in-flight`` while it is still in the pipeline.
+        Every admitted query must end in one of the first three — the
+        zero-orphan invariant the chaos harness asserts.
+        """
+        if self.completed:
+            return "retried-completed" if self.retried else "completed"
+        if self.timed_out:
+            return "timed-out"
+        return "in-flight"
+
+    def append_attempt(self, record: AttemptRecord) -> None:
+        """Append a dispatch-attempt record (called by the resilience layer)."""
+        self.attempts.append(record)
 
     @property
     def end_to_end_latency(self) -> float:

@@ -15,7 +15,48 @@ from typing import Optional
 
 from repro.errors import ServiceError
 
-__all__ = ["StageRecord"]
+__all__ = ["AttemptRecord", "StageRecord"]
+
+
+#: The ways a dispatch attempt can settle.
+ATTEMPT_OUTCOMES = frozenset(
+    {"completed", "timed-out", "crash-requeue", "no-instance", "abandoned"}
+)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One dispatch attempt of a query (or shard) at a stage.
+
+    The resilience layer appends one of these per attempt so a query's
+    history under faults is fully reconstructable: which instance served
+    (or failed to serve) each try, and how the try settled.
+
+    Outcomes: ``completed`` (the instance finished the work),
+    ``timed-out`` (the attempt exceeded the retry policy's timeout),
+    ``crash-requeue`` (the serving instance crashed; the same attempt was
+    re-dispatched elsewhere), ``no-instance`` (no running instance was
+    available at dispatch time; re-dispatch was scheduled), and
+    ``abandoned`` (a sibling shard failed, so this attempt was cancelled).
+    """
+
+    stage_name: str
+    attempt: int
+    dispatched_time: float
+    instance_name: Optional[str]
+    outcome: str
+    settled_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.outcome not in ATTEMPT_OUTCOMES:
+            raise ServiceError(
+                f"unknown attempt outcome {self.outcome!r}; "
+                f"expected one of {sorted(ATTEMPT_OUTCOMES)}"
+            )
+        if self.attempt < 1:
+            raise ServiceError(
+                f"attempt numbers start at 1, got {self.attempt}"
+            )
 
 
 @dataclass

@@ -48,7 +48,57 @@ class RpcFabric:
         self.jitter_s = float(jitter_s)
         self._rng = rng
         self._messages = 0
+        self._messages_lost = 0
         self._links: Counter[tuple[str, str]] = Counter()
+        self._fault_until = 0.0
+        self._fault_extra_delay_s = 0.0
+        self._fault_loss_probability = 0.0
+        self._fault_stream: Optional[SeededStream] = None
+        self._fault_retransmit_timeout_s = 0.1
+
+    # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def inject_fault(
+        self,
+        until_s: float,
+        extra_delay_s: float = 0.0,
+        loss_probability: float = 0.0,
+        stream: Optional[SeededStream] = None,
+        retransmit_timeout_s: float = 0.1,
+    ) -> None:
+        """Degrade the fabric until ``until_s``: extra latency and/or loss.
+
+        Loss is modelled the way a reliable transport experiences it:
+        each transmission is lost with ``loss_probability`` and costs one
+        ``retransmit_timeout_s`` before the retry, so a lossy window slows
+        hops down (and counts :attr:`messages_lost`) but never drops a
+        message outright — the simulated application, like one on TCP,
+        keeps its delivery guarantee and the zero-orphan invariant holds.
+        """
+        if extra_delay_s < 0.0:
+            raise ConfigurationError(
+                f"extra delay must be >= 0, got {extra_delay_s}"
+            )
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1), got {loss_probability}"
+            )
+        if loss_probability > 0.0 and stream is None:
+            raise ConfigurationError("loss probability requires an rng stream")
+        if retransmit_timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"retransmit timeout must be > 0, got {retransmit_timeout_s}"
+            )
+        self._fault_until = max(self._fault_until, float(until_s))
+        self._fault_extra_delay_s = float(extra_delay_s)
+        self._fault_loss_probability = float(loss_probability)
+        self._fault_stream = stream
+        self._fault_retransmit_timeout_s = float(retransmit_timeout_s)
+
+    def clear_fault(self) -> None:
+        """End any active fault window immediately."""
+        self._fault_until = 0.0
 
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, deliver: Callable[[], None]) -> None:
@@ -61,6 +111,20 @@ class RpcFabric:
         if self.jitter_s > 0.0:
             assert self._rng is not None
             delay += self._rng.uniform(0.0, self.jitter_s)
+        if self.sim.now < self._fault_until:
+            delay += self._fault_extra_delay_s
+            if self._fault_loss_probability > 0.0:
+                assert self._fault_stream is not None
+                # Geometric retransmission, capped so a pathological draw
+                # sequence cannot wedge the simulation.
+                for _ in range(20):
+                    if (
+                        self._fault_stream.random()
+                        >= self._fault_loss_probability
+                    ):
+                        break
+                    self._messages_lost += 1
+                    delay += self._fault_retransmit_timeout_s
         if exactly(delay, 0.0):
             deliver()
         else:
@@ -71,6 +135,11 @@ class RpcFabric:
     def messages_sent(self) -> int:
         """Total messages carried by the fabric."""
         return self._messages
+
+    @property
+    def messages_lost(self) -> int:
+        """Transmissions lost to injected RPC loss (all were retransmitted)."""
+        return self._messages_lost
 
     def link_count(self, src: str, dst: str) -> int:
         """Messages sent over one directed link."""

@@ -23,15 +23,20 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.errors import StageError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import TraceBuffer
+    from repro.sim.rng import SeededStream
 from repro.cluster.machine import Machine
 from repro.service.dispatch import Dispatcher, ShortestQueueDispatcher
-from repro.service.instance import Job, ServiceInstance
+from repro.service.instance import InstanceState, Job, ServiceInstance
 from repro.service.profile import ServiceProfile
 from repro.service.query import Query
+from repro.service.resilience import RetryPolicy, StageResilience
 from repro.sim.engine import Simulator
 
 __all__ = ["Stage", "StageKind"]
+
+CrashListener = Callable[["Stage", ServiceInstance], None]
 
 
 class StageKind(enum.Enum):
@@ -69,6 +74,10 @@ class Stage:
         self._instances: list[ServiceInstance] = []
         self._launches = 0
         self._withdrawals = 0
+        self._crashes = 0
+        self._orphaned_jobs = 0
+        self._resilience: Optional[StageResilience] = None
+        self._crash_listeners: list[CrashListener] = []
 
     # ------------------------------------------------------------------
     # Pool introspection
@@ -94,6 +103,25 @@ class Stage:
     def withdrawals(self) -> int:
         """Total instances withdrawn from this stage over the run."""
         return self._withdrawals
+
+    @property
+    def crashes(self) -> int:
+        """Total instances killed by fault injection over the run."""
+        return self._crashes
+
+    @property
+    def orphaned_jobs(self) -> int:
+        """Jobs lost to crashes with no surviving instance and no resilience.
+
+        Must stay zero whenever a :class:`StageResilience` is attached —
+        the zero-orphan invariant the chaos harness asserts.
+        """
+        return self._orphaned_jobs
+
+    @property
+    def resilience(self) -> Optional[StageResilience]:
+        """The attached retry layer, if any."""
+        return self._resilience
 
     def total_power(self) -> float:
         return sum(inst.power_watts for inst in self._instances)
@@ -170,10 +198,88 @@ class Stage:
         self._instances.remove(instance)
 
     # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def add_crash_listener(self, listener: CrashListener) -> None:
+        """Subscribe to instance crashes (the health monitor does this)."""
+        self._crash_listeners.append(listener)
+
+    def crash_instance(self, instance: ServiceInstance) -> int:
+        """Kill an instance; requeue its orphaned jobs; return orphan count.
+
+        Orphans are re-dispatched through the resilience layer when one
+        is attached (preserving each attempt's live timeout), otherwise
+        directly onto surviving running instances.  Only when the stage
+        has neither resilience nor survivors are jobs truly lost — the
+        loss is counted in :attr:`orphaned_jobs` rather than silently
+        dropped.
+        """
+        if instance not in self._instances:
+            raise StageError(f"{instance.name} is not in stage {self.name}")
+        if instance.state not in (InstanceState.RUNNING, InstanceState.DRAINING):
+            raise StageError(
+                f"{instance.name} is already {instance.state.value}; cannot crash"
+            )
+        orphans = instance.crash()
+        self._crashes += 1
+        self._instances.remove(instance)
+        self.machine.release_core(instance.core)
+        if self._resilience is not None:
+            unowned = self._resilience.requeue_orphans(orphans)
+        else:
+            unowned = orphans
+        survivors = self.running_instances()
+        lost = 0
+        for job in unowned:
+            if job.cancelled:
+                continue
+            if survivors:
+                self.dispatcher.select(survivors).enqueue(job)
+            else:
+                lost += 1
+        self._orphaned_jobs += lost
+        for listener in tuple(self._crash_listeners):
+            listener(self, instance)
+        return len(orphans)
+
+    def attach_resilience(
+        self,
+        policy: RetryPolicy,
+        stream: "SeededStream",
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> StageResilience:
+        """Route every future submit through the timeout/retry discipline."""
+        if self._resilience is not None:
+            raise StageError(f"stage {self.name} already has a resilience layer")
+        self._resilience = StageResilience(self, policy, stream, metrics)
+        return self._resilience
+
+    # ------------------------------------------------------------------
     # Query flow
     # ------------------------------------------------------------------
-    def submit(self, query: Query, on_stage_done: Callable[[Query], None]) -> None:
-        """Route a query into the stage; ``on_stage_done`` fires on completion."""
+    def submit(
+        self,
+        query: Query,
+        on_stage_done: Callable[[Query], None],
+        on_stage_failed: Optional[Callable[[Query], None]] = None,
+    ) -> None:
+        """Route a query into the stage; ``on_stage_done`` fires on completion.
+
+        With a resilience layer attached, ``on_stage_failed`` fires
+        instead when the retry budget is exhausted; an empty instance
+        pool is then tolerated (the layer re-probes until an instance
+        respawns or the attempt times out).  Without one, the legacy
+        contract holds: the pool must be non-empty and the stage never
+        gives up on a query.
+        """
+        if self._resilience is not None:
+            if on_stage_failed is None:
+                raise StageError(
+                    f"stage {self.name} has a resilience layer; submit needs "
+                    f"an on_stage_failed callback"
+                )
+            self._submit_resilient(query, on_stage_done, on_stage_failed)
+            return
         running = self.running_instances()
         if not running:
             raise StageError(f"stage {self.name} has no running instances")
@@ -210,6 +316,51 @@ class Stage:
 
         for instance in running:
             instance.enqueue(Job(query=query, work=shard_work, on_done=shard_done))
+
+    def _submit_resilient(
+        self,
+        query: Query,
+        on_stage_done: Callable[[Query], None],
+        on_stage_failed: Callable[[Query], None],
+    ) -> None:
+        resilience = self._resilience
+        assert resilience is not None
+        work = query.demand_for(self.name)
+        if self.kind is StageKind.PIPELINE:
+            resilience.submit(query, work, on_stage_done, on_stage_failed)
+            return
+        # Scatter-gather: shard over the pool as seen at submit time; each
+        # shard retries independently.  One shard exhausting its budget
+        # fails the whole query and abandons the surviving siblings.  With
+        # the pool momentarily empty, degrade to a single full-work shard —
+        # a retry will find the respawned pool.
+        shard_count = max(1, len(self.running_instances()))
+        shard_work = work / shard_count
+        outstanding = shard_count
+        failed = False
+        attempts = []
+
+        def shard_done(done_query: Query) -> None:
+            nonlocal outstanding
+            if failed:
+                return
+            outstanding -= 1
+            if outstanding == 0:
+                on_stage_done(done_query)
+
+        def shard_failed(failed_query: Query) -> None:
+            nonlocal failed
+            if failed:
+                return
+            failed = True
+            for sibling in attempts:
+                resilience.cancel(sibling)
+            on_stage_failed(failed_query)
+
+        for _ in range(shard_count):
+            attempts.append(
+                resilience.submit(query, shard_work, shard_done, shard_failed)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -149,6 +149,8 @@ class TestTelemetry:
         from repro.cluster.telemetry import PowerTelemetry
 
         telemetry = PowerTelemetry(sim, machine)
-        assert telemetry.average_power() == 0.0
+        assert telemetry.average_power() is None
+        assert telemetry.last_known_good() is None
+        assert telemetry.seconds_since_last_sample(0.0) is None
         assert telemetry.peak_power() == 0.0
         assert telemetry.energy_joules() == 0.0

@@ -1,0 +1,146 @@
+"""Fault plan validation, JSON round-tripping and the built-in catalog."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, load_plan, named_plans
+
+
+class TestFaultSpecValidation:
+    def test_crash_needs_no_duration(self):
+        spec = FaultSpec(kind=FaultKind.INSTANCE_CRASH, at_s=10.0)
+        assert spec.duration_s == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=FaultKind.INSTANCE_CRASH, at_s=-1.0)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            FaultKind.INSTANCE_HANG,
+            FaultKind.TELEMETRY_DROPOUT,
+            FaultKind.RPC_DELAY,
+        ],
+    )
+    def test_windowed_kinds_need_duration(self, kind):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=kind, at_s=1.0, magnitude=0.5)
+
+    def test_stage_only_for_instance_faults(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(
+                kind=FaultKind.TELEMETRY_DROPOUT,
+                at_s=1.0,
+                duration_s=5.0,
+                stage="ASR",
+            )
+
+    @pytest.mark.parametrize("magnitude", [0.0, 1.5, -0.5])
+    def test_degrade_magnitude_bounds(self, magnitude):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(
+                kind=FaultKind.INSTANCE_DEGRADE,
+                at_s=1.0,
+                duration_s=5.0,
+                magnitude=magnitude,
+            )
+
+    @pytest.mark.parametrize("magnitude", [0.0, 1.0])
+    def test_loss_probability_bounds(self, magnitude):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(
+                kind=FaultKind.RPC_LOSS,
+                at_s=1.0,
+                duration_s=5.0,
+                magnitude=magnitude,
+            )
+
+
+class TestPlanSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            name="mine",
+            specs=(
+                FaultSpec(kind=FaultKind.INSTANCE_CRASH, at_s=5.0, stage="ASR"),
+                FaultSpec(
+                    kind=FaultKind.RPC_LOSS,
+                    at_s=10.0,
+                    duration_s=20.0,
+                    magnitude=0.3,
+                ),
+            ),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            name="json",
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.TELEMETRY_NOISE,
+                    at_s=1.0,
+                    duration_s=2.0,
+                    magnitude=0.1,
+                ),
+            ),
+        )
+        assert FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict()))) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.from_dict({"kind": "meteor-strike", "at_s": 1.0})
+
+    def test_touches_rpc(self):
+        crash_only = FaultPlan(
+            name="c", specs=(FaultSpec(kind=FaultKind.INSTANCE_CRASH, at_s=1.0),)
+        )
+        lossy = FaultPlan(
+            name="l",
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.RPC_LOSS, at_s=1.0, duration_s=2.0, magnitude=0.1
+                ),
+            ),
+        )
+        assert not crash_only.touches_rpc
+        assert lossy.touches_rpc
+
+
+class TestBuiltinPlans:
+    def test_catalog(self):
+        assert named_plans() == (
+            "all-faults",
+            "crash-heavy",
+            "slow-instances",
+            "telemetry-dark",
+        )
+
+    @pytest.mark.parametrize("name", named_plans())
+    def test_builders_scale_with_duration(self, name):
+        short = load_plan(name, 100.0)
+        long = load_plan(name, 1000.0)
+        assert short.name == name
+        assert len(short.specs) == len(long.specs)
+        for a, b in zip(short.specs, long.specs):
+            assert b.at_s == pytest.approx(10.0 * a.at_s)
+
+    def test_all_faults_covers_every_kind(self):
+        assert load_plan("all-faults", 100.0).kinds() == set(FaultKind)
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_plan("no-such-plan", 100.0)
+
+    def test_load_from_json_file(self, tmp_path):
+        plan = FaultPlan(
+            name="file",
+            specs=(FaultSpec(kind=FaultKind.INSTANCE_CRASH, at_s=3.0),),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert load_plan(path, 100.0) == plan

@@ -1,0 +1,175 @@
+"""Retry/backoff/timeout unit tests for the stage resilience layer."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError, StageError
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.service.instance import Job
+from repro.service.query import Query
+from repro.service.resilience import RetryPolicy
+from repro.service.stage import Stage
+from repro.sim.rng import RandomStreams
+
+from tests.conftest import make_profile
+
+LEVEL = HASWELL_LADDER.min_level
+
+#: Jitter off and integer-friendly delays, so timings assert exactly.
+POLICY = RetryPolicy(
+    timeout_s=1.0,
+    max_attempts=3,
+    backoff_base_s=0.5,
+    backoff_factor=2.0,
+    backoff_max_s=2.0,
+    jitter_fraction=0.0,
+    redispatch_delay_s=0.25,
+)
+
+
+@pytest.fixture
+def stage(sim, machine) -> Stage:
+    stage = Stage(
+        name="SVC",
+        profile=make_profile("SVC", mean=1.0),
+        machine=machine,
+        sim=sim,
+        iid_counter=itertools.count(0),
+    )
+    stage.attach_resilience(POLICY, RandomStreams(7).stream("resilience:SVC"))
+    return stage
+
+
+def submit(stage, qid, work, done, failed):
+    query = Query(qid=qid, demands={stage.name: work})
+    stage.submit(query, done.append, on_stage_failed=failed.append)
+    return query
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_without_jitter(self):
+        stream = RandomStreams(1).stream("x")
+        assert POLICY.backoff_delay(2, stream) == pytest.approx(0.5)
+        assert POLICY.backoff_delay(3, stream) == pytest.approx(1.0)
+        assert POLICY.backoff_delay(4, stream) == pytest.approx(2.0)  # capped
+        assert POLICY.backoff_delay(9, stream) == pytest.approx(2.0)
+
+    def test_backoff_jitter_is_seeded(self):
+        jittery = RetryPolicy(jitter_fraction=0.5)
+        one = [
+            jittery.backoff_delay(2, RandomStreams(3).stream("j"))
+            for _ in range(1)
+        ]
+        two = [
+            jittery.backoff_delay(2, RandomStreams(3).stream("j"))
+            for _ in range(1)
+        ]
+        assert one == two
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_s=2.0, backoff_max_s=1.0)
+
+
+class TestRetryFlow:
+    def test_fast_path_completes_without_retry(self, sim, stage):
+        stage.launch_instance(LEVEL)
+        done, failed = [], []
+        query = submit(stage, 1, 0.5, done, failed)
+        sim.run()
+        assert done == [query]
+        assert failed == []
+        assert not query.retried
+        assert [a.outcome for a in query.attempts] == ["completed"]
+        assert stage.resilience.retries == 0
+
+    def test_timeout_then_retry_completes(self, sim, stage):
+        instance = stage.launch_instance(LEVEL)
+        # A foreign 1.5 s job blocks the core past the 1 s attempt timeout.
+        instance.enqueue(Job(Query(99, {"SVC": 1.5}), 1.5, lambda q: None))
+        done, failed = [], []
+        query = submit(stage, 1, 0.5, done, failed)
+        sim.run()
+        assert done == [query]
+        assert query.retried
+        assert [a.outcome for a in query.attempts] == ["timed-out", "completed"]
+        # Attempt 1 timed out at t=1, backoff 0.5 s, attempt 2 at t=1.5
+        # starts when the foreign job frees the core, completing at t=2.
+        assert query.attempts[1].settled_time == pytest.approx(2.0)
+        assert stage.resilience.retries == 1
+        assert stage.resilience.completed_after_retry == 1
+
+    def test_budget_exhaustion_fails_terminally(self, sim, stage):
+        instance = stage.launch_instance(LEVEL)
+        instance.hang()  # nothing ever completes
+        done, failed = [], []
+        query = submit(stage, 1, 0.5, done, failed)
+        sim.run()
+        assert done == []
+        assert failed == [query]
+        assert [a.outcome for a in query.attempts] == ["timed-out"] * 3
+        assert stage.resilience.failures == 1
+        assert stage.resilience.timeouts == 3
+        # 3 attempts x 1 s timeout + backoffs of 0.5 s and 1.0 s.
+        assert query.attempts[-1].settled_time == pytest.approx(4.5)
+
+    def test_timed_out_attempt_is_removed_from_queue(self, sim, stage):
+        instance = stage.launch_instance(LEVEL)
+        instance.enqueue(Job(Query(99, {"SVC": 10.0}), 10.0, lambda q: None))
+        done, failed = [], []
+        submit(stage, 1, 0.5, done, failed)
+        sim.run(until=1.0)
+        # The waiting attempt timed out and must not still occupy the queue.
+        assert instance.waiting_count == 0
+
+    def test_empty_pool_reprobes_until_instance_appears(self, sim, stage):
+        done, failed = [], []
+        query = submit(stage, 1, 0.5, done, failed)
+        assert query.attempts[0].outcome == "no-instance"
+        sim.schedule(0.4, lambda: stage.launch_instance(LEVEL))
+        sim.run()
+        assert done == [query]
+        outcomes = [a.outcome for a in query.attempts]
+        assert outcomes[-1] == "completed"
+        assert outcomes[:-1] == ["no-instance"] * (len(outcomes) - 1)
+
+    def test_empty_pool_forever_times_out_honestly(self, sim, stage):
+        done, failed = [], []
+        query = submit(stage, 1, 0.5, done, failed)
+        sim.run()
+        assert failed == [query]
+        assert [a.outcome for a in query.attempts].count("timed-out") == 3
+
+
+class TestCrashRequeue:
+    def test_crash_requeues_to_survivor_keeping_timeout(self, sim, stage):
+        victim = stage.launch_instance(LEVEL)
+        survivor = stage.launch_instance(LEVEL)
+        done, failed = [], []
+        # Shortest-queue dispatch: give the survivor a longer queue so the
+        # resilient attempt lands on the victim.
+        survivor.enqueue(Job(Query(99, {"SVC": 0.2}), 0.2, lambda q: None))
+        query = submit(stage, 1, 0.5, done, failed)
+        sim.run(until=0.1)
+        stage.crash_instance(victim)
+        sim.run()
+        assert done == [query]
+        outcomes = [a.outcome for a in query.attempts]
+        assert outcomes[0] == "crash-requeue"
+        assert outcomes[-1] == "completed"
+        assert stage.resilience.crash_requeues == 1
+        assert stage.orphaned_jobs == 0
+
+    def test_requires_failure_callback(self, stage):
+        stage.launch_instance(LEVEL)
+        with pytest.raises(StageError):
+            stage.submit(Query(1, {"SVC": 1.0}), lambda q: None)

@@ -62,6 +62,23 @@ class TestDispatchers:
         picks = [dispatcher.select([a, b, c]) for _ in range(6)]
         assert picks == [a, b, c, a, b, c]
 
+    def test_round_robin_survives_pool_shrink(self, stage):
+        # Regression: with the cursor past the end of a shrunken pool the
+        # dispatcher used to index out of range (or skew the rotation).
+        a, b, c = self.make_instances(stage, 3)
+        dispatcher = RoundRobinDispatcher()
+        for _ in range(5):  # cursor now sits at 2 (pointing at c)
+            dispatcher.select([a, b, c])
+        picks = [dispatcher.select([a, b]) for _ in range(4)]
+        assert picks == [a, b, a, b]
+
+    def test_round_robin_stable_sequence_unchanged(self, stage):
+        # The clamp must not perturb the sequence on a stable pool.
+        pool = self.make_instances(stage, 4)
+        dispatcher = RoundRobinDispatcher()
+        picks = [dispatcher.select(pool) for _ in range(8)]
+        assert picks == pool + pool
+
     def test_random_dispatcher_is_seeded(self, stage):
         instances = self.make_instances(stage, 4)
         first = RandomDispatcher(RandomStreams(9).stream("d"))
