@@ -33,6 +33,16 @@ or use the pre-wired experiment harness::
         ConstantLoad(sirius_load_levels().high_qps), duration_s=600.0,
     )
     print(result.latency)
+
+or describe the whole run declaratively and let the scenario layer
+assemble it (the experiment harness itself goes through this path)::
+
+    from repro import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec.latency(
+        "sirius", "powerchief", ("constant", 1.5), 600.0, shards=2,
+    )
+    print(run_scenario(spec).latency)
 """
 
 from repro.analysis import (
@@ -71,6 +81,12 @@ from repro.core import (
 from repro.cluster.calibration import fit_cubic_model, reference_power_table
 from repro.errors import ReproError
 from repro.scale import LeastInFlightSplitter, RoundRobinSplitter, Shard, ShardedDeployment
+from repro.scenario import (
+    ScenarioSpec,
+    ShardedRunResult,
+    StackBuilder,
+    run_scenario,
+)
 from repro.service import (
     Application,
     CommandCenter,
@@ -114,6 +130,11 @@ __all__ = [
     "ShardedDeployment",
     "RoundRobinSplitter",
     "LeastInFlightSplitter",
+    # scenario
+    "ScenarioSpec",
+    "StackBuilder",
+    "run_scenario",
+    "ShardedRunResult",
     # sim
     "Simulator",
     "PeriodicProcess",

@@ -19,6 +19,12 @@ Commands:
 * ``chaos`` — one latency run under a fault plan (built-in name or a
   plan JSON file), with the resilience stack armed; prints the goodput
   report and the P99/QPS/power deltas against the fault-free baseline.
+* ``run`` — execute one scenario spec file (``--scenario spec.json``)
+  through the staged stack builder: latency, QoS, sharded and
+  chaos-armed runs all drive off the same declarative JSON, with an
+  optional content-addressed cache keyed on the scenario digest.
+* ``scenario`` — spec tooling: ``validate`` checks spec files and prints
+  their digests; ``dump`` prints a spec's canonical JSON form.
 * ``lint`` — the domain-aware static-analysis pass (:mod:`repro.lint`)
   over source trees; exits 0 when clean, 1 on findings, 2 on a crash in
   the tool itself.
@@ -56,6 +62,39 @@ from repro.workloads.nlp import nlp_load_levels
 from repro.workloads.sirius import sirius_load_levels
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """Argparse type: a float >= 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value < 0.0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
 
 
 def _named_plan_names() -> tuple[str, ...]:
@@ -117,7 +156,53 @@ def build_parser() -> argparse.ArgumentParser:
     latency.add_argument("--rate", type=float, help="explicit arrival rate (qps)")
     latency.add_argument("--duration", type=float, default=600.0)
     latency.add_argument("--seed", type=int, default=3)
+    latency.add_argument(
+        "--budget-watts",
+        type=_positive_float,
+        help="power budget ceiling (default: the Table-2 13.56 W)",
+    )
+    latency.add_argument(
+        "--cores",
+        type=_positive_int,
+        help="CMP core count (default: 16)",
+    )
+    latency.add_argument(
+        "--drain",
+        type=_nonnegative_float,
+        default=0.0,
+        help="extra simulated seconds past the last arrival for in-flight "
+        "queries to settle (default: 0)",
+    )
     latency.add_argument("--json", help="write the full result to this path")
+
+    run = commands.add_parser(
+        "run",
+        help="execute one scenario spec file through the stack builder",
+    )
+    run.add_argument(
+        "--scenario",
+        required=True,
+        help="path to a ScenarioSpec .json (see docs/scenarios.md)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        help="content-addressed result cache keyed on the scenario digest; "
+        "a warm hit skips the simulation entirely",
+    )
+    run.add_argument("--json", help="write the full result to this path")
+
+    scenario = commands.add_parser(
+        "scenario", help="scenario spec tooling (validate, dump)"
+    )
+    scenario_actions = scenario.add_subparsers(dest="action", required=True)
+    validate = scenario_actions.add_parser(
+        "validate", help="check spec files and print their digests"
+    )
+    validate.add_argument("paths", nargs="+", help="spec .json files")
+    dump = scenario_actions.add_parser(
+        "dump", help="print a spec's canonical JSON form"
+    )
+    dump.add_argument("paths", nargs="+", help="spec .json files")
 
     campaign = commands.add_parser(
         "campaign", help="run the whole evaluation and archive the renders"
@@ -268,12 +353,19 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     else:
         levels = sirius_load_levels() if args.app == "sirius" else nlp_load_levels()
         rate = levels.rate(LoadLevel(args.load))
+    kwargs = {}
+    if args.budget_watts is not None:
+        kwargs["budget_watts"] = args.budget_watts
+    if args.cores is not None:
+        kwargs["n_cores"] = args.cores
     result = run_latency_experiment(
         args.app,
         args.policy,
         ConstantLoad(rate),
         args.duration,
         seed=args.seed,
+        drain_s=args.drain,
+        **kwargs,
     )
     print(
         f"{result.app}/{result.policy}: {result.queries_completed} queries, "
@@ -284,6 +376,101 @@ def _cmd_latency(args: argparse.Namespace) -> int:
         path = write_json(args.json, run_result_to_dict(result))
         print(f"result written to {path}")
     return 0
+
+
+def _load_scenario(path: str) -> "ScenarioSpec":
+    from repro.scenario import ScenarioSpec
+
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read scenario {path}: {error}") from error
+    return ScenarioSpec.from_json(text)
+
+
+def _describe_scenario_result(result: object) -> str:
+    from repro.scenario import QosRunResult, RunResult, ShardedRunResult
+
+    if isinstance(result, ShardedRunResult):
+        per_shard = ", ".join(
+            f"shard{shard.index}={shard.queries_completed}"
+            for shard in result.shards
+        )
+        return (
+            f"{result.app}/{result.policy} x{result.n_shards} "
+            f"({result.splitter}): {result.queries_completed} queries "
+            f"({per_shard}), pooled mean {result.latency.mean:.3f}s, "
+            f"p99 {result.latency.p99:.3f}s, "
+            f"avg power {result.average_power_watts:.2f} W"
+        )
+    if isinstance(result, QosRunResult):
+        return (
+            f"{result.app}/{result.policy}: latency {result.latency.mean:.3f}s "
+            f"({result.latency.mean / result.qos_target_s:.2f}x QoS), "
+            f"power {result.average_power_fraction:.3f} of peak, "
+            f"violations {result.violation_fraction * 100:.1f}%"
+        )
+    assert isinstance(result, RunResult)
+    return (
+        f"{result.app}/{result.policy}: {result.queries_completed} queries, "
+        f"mean {result.latency.mean:.3f}s, p99 {result.latency.p99:.3f}s, "
+        f"avg power {result.average_power_watts:.2f} W"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time
+
+    from repro.experiments.export import scenario_result_from_payload
+    from repro.experiments.parallel import ResultCache
+    from repro.scenario import run_scenario
+
+    spec = _load_scenario(args.scenario)
+    digest = spec.digest()
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    payload = None
+    source = "computed"
+    if cache is not None:
+        record = cache.get(digest)
+        if record is not None:
+            payload = record["payload"]
+            source = "cache"
+    if payload is None:
+        from repro.experiments.export import scenario_payload
+
+        started = time.perf_counter()
+        result = run_scenario(spec)
+        elapsed = time.perf_counter() - started
+        # The JSON round trip normalises the payload so a computed run
+        # and a cached one compare byte-identical.
+        payload = json_module.loads(json_module.dumps(scenario_payload(result)))
+        if cache is not None:
+            cache.put(spec, digest, {"payload": payload, "elapsed_s": elapsed})
+    print(f"scenario {spec.label}")
+    print(f"digest={digest[:16]} source={source}")
+    print(_describe_scenario_result(scenario_result_from_payload(payload)))
+    if args.json:
+        path = write_json(args.json, payload)
+        print(f"result written to {path}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.paths:
+        if args.action == "validate":
+            try:
+                spec = _load_scenario(path)
+            except ReproError as error:
+                print(f"invalid {path}: {error}")
+                failures += 1
+                continue
+            print(f"ok {path}: {spec.label} digest={spec.digest()[:16]}")
+        else:
+            spec = _load_scenario(path)
+            print(spec.to_json(indent=2))
+    return 1 if failures else 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -471,6 +658,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "headline": _cmd_headline,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
+        "run": _cmd_run,
+        "scenario": _cmd_scenario,
         "lint": _cmd_lint,
     }
     try:

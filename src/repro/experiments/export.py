@@ -21,8 +21,13 @@ from repro.core.actions import (
     SkipAction,
 )
 from repro.errors import ExperimentError
-from repro.experiments.runner import QosRunResult, RunResult
-from repro.experiments.sampling import QosSample, StageSnapshot, StateSample
+from repro.scenario.results import (
+    QosRunResult,
+    RunResult,
+    ShardResult,
+    ShardedRunResult,
+)
+from repro.scenario.sampling import QosSample, StageSnapshot, StateSample
 from repro.util.percentile import LatencySummary
 
 __all__ = [
@@ -30,6 +35,10 @@ __all__ = [
     "run_result_from_dict",
     "qos_result_to_dict",
     "qos_result_from_dict",
+    "sharded_result_to_dict",
+    "sharded_result_from_dict",
+    "scenario_payload",
+    "scenario_result_from_payload",
     "write_json",
 ]
 
@@ -166,6 +175,96 @@ def qos_result_from_dict(payload: dict[str, Any]) -> QosRunResult:
             for sample in payload["qos_samples"]
         ),
     )
+
+
+def sharded_result_to_dict(result: ShardedRunResult) -> dict[str, Any]:
+    """A sharded latency run as a JSON-serialisable dict."""
+    return {
+        "app": result.app,
+        "policy": result.policy,
+        "duration_s": result.duration_s,
+        "n_shards": result.n_shards,
+        "splitter": result.splitter,
+        "queries_submitted": result.queries_submitted,
+        "queries_completed": result.queries_completed,
+        "latency": dataclasses.asdict(result.latency),
+        "average_power_watts": result.average_power_watts,
+        "shards": [
+            {
+                "index": shard.index,
+                "queries_completed": shard.queries_completed,
+                "latency": (
+                    None
+                    if shard.latency is None
+                    else dataclasses.asdict(shard.latency)
+                ),
+                "average_power_watts": shard.average_power_watts,
+                "actions": [_action_to_dict(action) for action in shard.actions],
+            }
+            for shard in result.shards
+        ],
+    }
+
+
+def sharded_result_from_dict(payload: dict[str, Any]) -> ShardedRunResult:
+    """Rebuild a :class:`ShardedRunResult` from its dict form."""
+    return ShardedRunResult(
+        app=payload["app"],
+        policy=payload["policy"],
+        duration_s=payload["duration_s"],
+        n_shards=payload["n_shards"],
+        splitter=payload["splitter"],
+        queries_submitted=payload["queries_submitted"],
+        queries_completed=payload["queries_completed"],
+        latency=LatencySummary(**payload["latency"]),
+        average_power_watts=payload["average_power_watts"],
+        shards=tuple(
+            ShardResult(
+                index=shard["index"],
+                queries_completed=shard["queries_completed"],
+                latency=(
+                    None
+                    if shard["latency"] is None
+                    else LatencySummary(**shard["latency"])
+                ),
+                average_power_watts=shard["average_power_watts"],
+                actions=tuple(
+                    _action_from_dict(action) for action in shard["actions"]
+                ),
+            )
+            for shard in payload["shards"]
+        ),
+    )
+
+
+def scenario_payload(
+    result: RunResult | QosRunResult | ShardedRunResult,
+) -> dict[str, Any]:
+    """A kind-tagged payload for whatever a scenario run returned.
+
+    The shape matches the parallel engine's cell payloads, so a scenario
+    run's cache entry and a campaign cell's cache entry decode the same
+    way.
+    """
+    if isinstance(result, ShardedRunResult):
+        return {"kind": "sharded", "result": sharded_result_to_dict(result)}
+    if isinstance(result, QosRunResult):
+        return {"kind": "qos", "result": qos_result_to_dict(result)}
+    return {"kind": "latency", "result": run_result_to_dict(result)}
+
+
+def scenario_result_from_payload(
+    payload: dict[str, Any],
+) -> RunResult | QosRunResult | ShardedRunResult:
+    """Rebuild the result object a :func:`scenario_payload` dict encodes."""
+    kind = payload.get("kind")
+    if kind == "latency":
+        return run_result_from_dict(payload["result"])
+    if kind == "qos":
+        return qos_result_from_dict(payload["result"])
+    if kind == "sharded":
+        return sharded_result_from_dict(payload["result"])
+    raise ExperimentError(f"unknown scenario payload kind {kind!r}")
 
 
 def write_json(path: str | Path, payload: Any) -> Path:

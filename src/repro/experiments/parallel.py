@@ -40,7 +40,6 @@ from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError, ExperimentError
 from repro.obs.metrics import MetricsRegistry
-from repro.experiments.config import TABLE3_SIRIUS, TABLE3_WEBSEARCH
 from repro.experiments.export import (
     qos_result_from_dict,
     qos_result_to_dict,
@@ -48,19 +47,15 @@ from repro.experiments.export import (
     run_result_to_dict,
 )
 from repro.experiments.report import format_heading, format_table
-from repro.experiments.runner import (
-    QosRunResult,
-    RunResult,
+from repro.scenario.config import TABLE3_SETUPS
+from repro.scenario.results import QosRunResult, RunResult
+from repro.scenario.spec import (
+    ScenarioSpec,
     StageAllocation,
-    run_latency_experiment,
-    run_qos_experiment,
+    build_trace,
+    trace_to_spec,
 )
-from repro.workloads.loadgen import (
-    ConstantLoad,
-    DiurnalLoad,
-    LoadTrace,
-    PiecewiseLoad,
-)
+from repro.workloads.loadgen import LoadTrace
 
 __all__ = [
     "CACHE_VERSION",
@@ -70,6 +65,7 @@ __all__ = [
     "ResultCache",
     "trace_to_spec",
     "build_trace",
+    "cell_to_scenario",
     "spec_digest",
     "execute_cell",
     "run_cells",
@@ -78,58 +74,13 @@ __all__ = [
 
 #: Bumped whenever the payload layout or cell semantics change; part of
 #: every digest, so stale cache entries can never be mistaken for fresh.
-CACHE_VERSION = 1
-
-#: Table-3 deployments resolvable by app name inside a worker process
-#: (the setup objects themselves hold a mappingproxy and cannot cross a
-#: pickle boundary).
-_TABLE3_SETUPS = {"sirius": TABLE3_SIRIUS, "websearch": TABLE3_WEBSEARCH}
+#: Version 2: latency/qos cells digest through the scenario layer's
+#: canonical :meth:`~repro.scenario.spec.ScenarioSpec.digest`.
+CACHE_VERSION = 2
 
 _CELL_KINDS = ("latency", "qos", "artefact")
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
-
-
-# ----------------------------------------------------------------------
-# Trace specs: load traces as primitive tuples
-# ----------------------------------------------------------------------
-def trace_to_spec(trace: LoadTrace) -> tuple:
-    """A load trace as a hashable tuple of primitives.
-
-    Only the built-in trace families are supported; a custom trace class
-    has no stable content address and must run through the serial
-    :mod:`repro.experiments.runner` API directly.
-    """
-    if isinstance(trace, ConstantLoad):
-        return ("constant", trace.rate_qps)
-    if isinstance(trace, PiecewiseLoad):
-        return ("piecewise", trace.segments)
-    if isinstance(trace, DiurnalLoad):
-        return (
-            "diurnal",
-            trace.base_qps,
-            trace.amplitude,
-            trace.period_s,
-            trace.phase_rad,
-        )
-    raise ConfigurationError(
-        f"cannot describe trace {trace!r} as a cell spec; use a constant, "
-        f"piecewise or diurnal trace"
-    )
-
-
-def build_trace(spec: Sequence) -> LoadTrace:
-    """Rebuild the load trace a :func:`trace_to_spec` tuple describes."""
-    if not spec:
-        raise ConfigurationError("empty trace spec")
-    kind = spec[0]
-    if kind == "constant":
-        return ConstantLoad(spec[1])
-    if kind == "piecewise":
-        return PiecewiseLoad(tuple((start, rate) for start, rate in spec[1]))
-    if kind == "diurnal":
-        return DiurnalLoad(*spec[1:])
-    raise ConfigurationError(f"unknown trace spec kind {kind!r}")
 
 
 # ----------------------------------------------------------------------
@@ -225,8 +176,8 @@ class CellSpec:
         **options: Any,
     ) -> "CellSpec":
         """A Table-3 QoS-mode cell; ``app`` names the Table-3 deployment."""
-        if app not in _TABLE3_SETUPS:
-            known = ", ".join(sorted(_TABLE3_SETUPS))
+        if app not in TABLE3_SETUPS:
+            known = ", ".join(sorted(TABLE3_SETUPS))
             raise ConfigurationError(
                 f"unknown QoS deployment {app!r} (known: {known})"
             )
@@ -246,13 +197,84 @@ class CellSpec:
         return cls(kind="artefact", app=name)
 
 
+#: Latency cell options that map onto first-class scenario fields.
+_LATENCY_FIELD_OPTIONS = (
+    "n_cores",
+    "sample_interval_s",
+    "stats_window_s",
+    "drain_s",
+    "initial_freq_ghz",
+)
+
+#: QoS cell options that map onto first-class scenario fields; the rest
+#: (conserve fractions, window override) ride in the scenario's options.
+_QOS_FIELD_OPTIONS = ("n_cores", "sample_interval_s")
+
+
+def cell_to_scenario(spec: CellSpec) -> ScenarioSpec:
+    """The :class:`~repro.scenario.spec.ScenarioSpec` a cell describes.
+
+    This is the one translation between the engine's historical cell
+    vocabulary and the scenario layer: the scenario's canonical digest is
+    the cache key, and the scenario builder is the execution path, so a
+    cell and a hand-written spec describing the same run share both.
+    Artefact cells have no scenario form (they render figures, not runs).
+    """
+    if spec.kind == "latency":
+        fields: dict[str, Any] = {}
+        for key, value in spec.options:
+            if key not in _LATENCY_FIELD_OPTIONS:
+                known = ", ".join(_LATENCY_FIELD_OPTIONS)
+                raise ConfigurationError(
+                    f"unknown latency cell option {key!r} (known: {known})"
+                )
+            fields[key] = value
+        return ScenarioSpec(
+            kind="latency",
+            app=spec.app,
+            policy=spec.policy,
+            duration_s=spec.duration_s,
+            seed=spec.seed,
+            trace=spec.trace,
+            budget_watts=spec.budget_watts,
+            allocation=spec.allocation,
+            **fields,
+        )
+    if spec.kind == "qos":
+        fields = {}
+        extras: list[tuple[str, Any]] = []
+        for key, value in spec.options:
+            if key in _QOS_FIELD_OPTIONS:
+                fields[key] = value
+            else:
+                extras.append((key, value))
+        return ScenarioSpec(
+            kind="qos",
+            app=spec.app,
+            policy=spec.policy,
+            duration_s=spec.duration_s,
+            seed=spec.seed,
+            rate_qps=spec.rate_qps,
+            options=tuple(extras),
+            **fields,
+        )
+    raise ConfigurationError(
+        f"{spec.kind!r} cells have no scenario form"
+    )
+
+
 def spec_digest(spec: CellSpec) -> str:
     """Stable SHA-256 content address of a cell spec.
 
     Two specs share a digest exactly when they describe the same cell
     under the same :data:`CACHE_VERSION`; the digest is the cache key and
-    the cache file name.
+    the cache file name.  Latency and QoS cells digest through the
+    scenario layer's canonical form, so a cell and the equivalent
+    ``repro run --scenario`` spec hit the same cache entry; artefact
+    cells (no scenario form) keep the engine's own scheme.
     """
+    if spec.kind in ("latency", "qos"):
+        return cell_to_scenario(spec).digest()
     canonical = json.dumps(
         {"version": CACHE_VERSION, "spec": dataclasses.asdict(spec)},
         sort_keys=True,
@@ -266,34 +288,16 @@ def spec_digest(spec: CellSpec) -> str:
 # ----------------------------------------------------------------------
 def execute_cell(spec: CellSpec) -> dict[str, Any]:
     """Run one cell and return its JSON-serialisable payload."""
+    from repro.scenario.builder import run_scenario
+
     if spec.kind == "latency":
-        kwargs: dict[str, Any] = dict(spec.options)
-        if spec.budget_watts is not None:
-            kwargs["budget_watts"] = spec.budget_watts
-        if spec.allocation is not None:
-            kwargs["allocation"] = {
-                name: StageAllocation(count=count, level=level)
-                for name, count, level in spec.allocation
-            }
-        result = run_latency_experiment(
-            spec.app,
-            spec.policy,
-            build_trace(spec.trace),
-            spec.duration_s,
-            seed=spec.seed,
-            **kwargs,
-        )
+        result = run_scenario(cell_to_scenario(spec))
+        assert isinstance(result, RunResult)
         return {"kind": "latency", "result": run_result_to_dict(result)}
     if spec.kind == "qos":
-        result = run_qos_experiment(
-            _TABLE3_SETUPS[spec.app],
-            spec.policy,
-            rate_qps=spec.rate_qps,
-            duration_s=spec.duration_s,
-            seed=spec.seed,
-            **dict(spec.options),
-        )
-        return {"kind": "qos", "result": qos_result_to_dict(result)}
+        qos_result = run_scenario(cell_to_scenario(spec))
+        assert isinstance(qos_result, QosRunResult)
+        return {"kind": "qos", "result": qos_result_to_dict(qos_result)}
     # Artefact cells resolve the campaign registry lazily so the campaign
     # module can itself be built on this engine without an import cycle.
     from repro.experiments.campaign import default_registry
@@ -382,13 +386,28 @@ class ResultCache:
         return record
 
     def put(
-        self, spec: CellSpec, digest: str, record: dict[str, Any]
+        self,
+        spec: Union[CellSpec, "ScenarioSpec", dict[str, Any]],
+        digest: str,
+        record: dict[str, Any],
     ) -> None:
-        """Store a computed cell; written atomically via a temp file."""
+        """Store a computed cell; written atomically via a temp file.
+
+        ``spec`` may be a :class:`CellSpec`, a scenario spec, or an
+        already-serialised dict — whatever described the run the payload
+        came from; it is stored verbatim for provenance only (the digest
+        is the lookup key).
+        """
+        if isinstance(spec, ScenarioSpec):
+            spec_payload: dict[str, Any] = spec.to_dict()
+        elif dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+            spec_payload = dataclasses.asdict(spec)
+        else:
+            spec_payload = dict(spec)
         entry = {
             "version": CACHE_VERSION,
             "digest": digest,
-            "spec": dataclasses.asdict(spec),
+            "spec": spec_payload,
             "elapsed_s": record.get("elapsed_s", 0.0),
             "payload": record["payload"],
         }

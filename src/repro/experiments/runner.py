@@ -10,59 +10,43 @@ Two entry points drive every figure of the evaluation:
   while meeting a latency QoS on a Table-3 over-provisioned deployment
   (no-control baseline, Pegasus, or PowerChief-conserve).
 
-Runs with the same seed replay byte-identical arrivals and demands across
-policies, so improvement ratios compare the policies and nothing else.
+Both are thin wrappers now: each keyword signature folds into a
+:class:`~repro.scenario.spec.ScenarioSpec` and the stack is assembled and
+driven by the one :class:`~repro.scenario.builder.StackBuilder` lifecycle
+— no component is wired here.  Runs with the same seed replay
+byte-identical arrivals and demands across policies, so improvement
+ratios compare the policies and nothing else.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.faults.chaos import ChaosHarness
-    from repro.service.rpc import RpcFabric
 
-from repro.errors import ConfigurationError, ExperimentError
-from repro.cluster.budget import PowerBudget
 from repro.cluster.contention import ContentionModel
-from repro.cluster.dvfs import DvfsActuator
-from repro.cluster.frequency import HASWELL_LADDER
-from repro.cluster.machine import Machine
-from repro.cluster.telemetry import PowerTelemetry
-from repro.obs import Observability, bind_simulator, unbind_simulator
-from repro.core.actions import ActionRecord
-from repro.core.baselines import (
-    FreqBoostController,
-    InstBoostController,
-    StaticController,
-)
-from repro.core.conserve import PowerChiefConserveController
-from repro.core.controller import BaseController, ControllerConfig, PowerChiefController
-from repro.core.pegasus import PegasusController
-from repro.experiments.config import (
+from repro.obs import Observability
+from repro.core.controller import ControllerConfig
+from repro.scenario.config import (
     TABLE2_CONTROLLER_CONFIG,
     TABLE2_INITIAL_FREQ_GHZ,
     TABLE2_POWER_BUDGET_WATTS,
     Table3Setup,
 )
-from repro.experiments.sampling import QosSampler, StateSampler, StateSample, QosSample
-from repro.service.application import Application
-from repro.service.command_center import CommandCenter
-from repro.service.profile import ServiceProfile
-from repro.service.stage import StageKind
-from repro.sim.engine import Simulator
-from repro.sim.rng import RandomStreams
-from repro.util.percentile import LatencySummary, summarize
-from repro.workloads.loadgen import (
-    ConstantLoad,
-    LoadTrace,
-    PoissonLoadGenerator,
-    QueryFactory,
+from repro.scenario.builder import StackBuilder, _profiles_for  # noqa: F401
+from repro.scenario.results import (
+    QosRunResult,
+    RunResult,
+    ShardedRunResult,  # noqa: F401  (re-export for result consumers)
 )
-from repro.workloads.nlp import nlp_profiles
-from repro.workloads.sirius import sirius_profiles
-from repro.workloads.websearch import websearch_profiles
+from repro.scenario.spec import (
+    LATENCY_POLICIES,
+    QOS_POLICIES,
+    ScenarioSpec,
+    StageAllocation,
+)
+from repro.workloads.loadgen import LoadTrace
 
 __all__ = [
     "LATENCY_POLICIES",
@@ -73,185 +57,6 @@ __all__ = [
     "run_latency_experiment",
     "run_qos_experiment",
 ]
-
-#: Latency-mitigation policies by name (Sections 8.2/8.3).
-LATENCY_POLICIES = ("static", "freq-boost", "inst-boost", "powerchief")
-
-#: QoS-mode policies by name (Section 8.4).
-QOS_POLICIES = ("baseline", "pegasus", "powerchief")
-
-_PROFILE_BUILDERS = {
-    "sirius": sirius_profiles,
-    "nlp": nlp_profiles,
-    "websearch": websearch_profiles,
-}
-
-_SCATTER_GATHER_STAGES = {"websearch": ("LEAF",)}
-
-
-@dataclass(frozen=True)
-class StageAllocation:
-    """A fixed (instance count, ladder level) deployment for one stage."""
-
-    count: int
-    level: int
-
-    def __post_init__(self) -> None:
-        if self.count < 1:
-            raise ConfigurationError(f"count must be >= 1, got {self.count}")
-
-
-@dataclass
-class RunResult:
-    """Everything a latency-mitigation run produced."""
-
-    app: str
-    policy: str
-    duration_s: float
-    queries_submitted: int
-    queries_completed: int
-    latency: LatencySummary
-    average_power_watts: float
-    actions: tuple[ActionRecord, ...]
-    state_samples: tuple[StateSample, ...]
-
-    @property
-    def completion_fraction(self) -> float:
-        if self.queries_submitted == 0:
-            return 0.0
-        return self.queries_completed / self.queries_submitted
-
-
-@dataclass
-class QosRunResult:
-    """Everything a QoS-mode run produced."""
-
-    app: str
-    policy: str
-    duration_s: float
-    qos_target_s: float
-    reference_power_watts: float
-    queries_submitted: int
-    queries_completed: int
-    latency: LatencySummary
-    average_power_fraction: float
-    violation_fraction: float
-    actions: tuple[ActionRecord, ...]
-    qos_samples: tuple[QosSample, ...]
-
-    @property
-    def power_saving_fraction(self) -> float:
-        """1 - average power fraction: the Figure-13/14 headline number."""
-        return 1.0 - self.average_power_fraction
-
-
-def _profiles_for(app: str) -> list[ServiceProfile]:
-    try:
-        return _PROFILE_BUILDERS[app]()
-    except KeyError:
-        known = ", ".join(sorted(_PROFILE_BUILDERS))
-        raise ConfigurationError(f"unknown app {app!r} (known: {known})") from None
-
-
-def _build_app(
-    app: str,
-    sim: Simulator,
-    machine: Machine,
-    allocation: Mapping[str, StageAllocation],
-    observability: Optional[Observability] = None,
-    fabric: Optional["RpcFabric"] = None,
-) -> Application:
-    profiles = _profiles_for(app)
-    application = Application(
-        app, sim, machine, fabric=fabric, observability=observability
-    )
-    scatter = _SCATTER_GATHER_STAGES.get(app, ())
-    for profile in profiles:
-        kind = (
-            StageKind.SCATTER_GATHER
-            if profile.name in scatter
-            else StageKind.PIPELINE
-        )
-        stage = application.add_stage(profile, kind=kind)
-        stage_alloc = allocation.get(profile.name)
-        if stage_alloc is None:
-            raise ConfigurationError(
-                f"no allocation given for stage {profile.name!r}"
-            )
-        for _ in range(stage_alloc.count):
-            stage.launch_instance(stage_alloc.level)
-    return application
-
-
-def _uniform_allocation(
-    app: str,
-    level: int,
-    instances_per_stage: Mapping[str, int] | int,
-) -> dict[str, StageAllocation]:
-    allocation: dict[str, StageAllocation] = {}
-    for profile in _profiles_for(app):
-        if isinstance(instances_per_stage, int):
-            count = instances_per_stage
-        else:
-            count = instances_per_stage.get(profile.name, 1)
-        allocation[profile.name] = StageAllocation(count=count, level=level)
-    return allocation
-
-
-def _attach_observability(
-    sim: Simulator,
-    machine: Machine,
-    controller: Optional[BaseController],
-    observability: Optional[Observability],
-    telemetry_interval_s: float,
-) -> "tuple[Optional[PowerTelemetry], Callable[[], None]]":
-    """Arm every observability hook a run needs; returns a finalizer.
-
-    With ``observability=None`` this is a no-op returning a no-op — the
-    standard benchmark path stays exactly as fast as before.
-    """
-    if observability is None:
-        return None, lambda: None
-    bind_simulator(lambda: sim.now)
-    telemetry: Optional[PowerTelemetry] = None
-    hook = None
-    if observability.metrics is not None:
-        events = observability.metrics.counter(
-            "repro_sim_events_total", "Simulation events fired"
-        )
-
-        def hook(event) -> None:
-            events.inc()
-
-        sim.add_event_hook(hook)
-        telemetry = PowerTelemetry(
-            sim,
-            machine,
-            sample_interval_s=telemetry_interval_s,
-            registry=observability.metrics,
-        )
-        telemetry.start()
-    if controller is not None and observability.audit is not None:
-        controller.attach_audit(observability.audit)
-
-    def finalize() -> None:
-        if telemetry is not None:
-            telemetry.stop()
-        if hook is not None:
-            sim.remove_event_hook(hook)
-        unbind_simulator()
-
-    return telemetry, finalize
-
-
-def _summarize_completed(command_center: CommandCenter, context: str) -> LatencySummary:
-    latencies = command_center.all_latencies
-    if not latencies:
-        raise ExperimentError(
-            f"{context}: no queries completed; extend the duration or raise "
-            f"the arrival rate"
-        )
-    return summarize(latencies)
 
 
 # ----------------------------------------------------------------------
@@ -286,94 +91,31 @@ def run_latency_experiment(
     arrival so retried queries can settle — both default off and leave
     the fault-free path bit-identical.
     """
-    if policy not in LATENCY_POLICIES:
-        raise ConfigurationError(
-            f"unknown policy {policy!r} (known: {', '.join(LATENCY_POLICIES)})"
-        )
-    if duration_s <= 0.0:
-        raise ConfigurationError(f"duration must be > 0, got {duration_s}")
-    if drain_s < 0.0:
-        raise ConfigurationError(f"drain must be >= 0, got {drain_s}")
-    sim = Simulator()
-    machine = Machine(sim, n_cores=n_cores, contention=contention)
-    initial_level = HASWELL_LADDER.level_of(initial_freq_ghz)
-    if allocation is None:
-        allocation = _uniform_allocation(app, initial_level, 1)
-    # Streams are name-derived (creation order never shifts seeds), so
-    # building them early for the chaos fabric is byte-neutral.
-    streams = RandomStreams(seed)
-    fabric = None if chaos is None else chaos.build_fabric(sim, streams)
-    application = _build_app(
-        app, sim, machine, allocation, observability, fabric=fabric
+    spec = ScenarioSpec.latency(
+        app,
+        policy,
+        trace,
+        duration_s,
+        seed=seed,
+        budget_watts=budget_watts,
+        initial_freq_ghz=initial_freq_ghz,
+        controller=controller_config,
+        allocation=allocation,
+        contention=contention,
+        n_cores=n_cores,
+        sample_interval_s=sample_interval_s,
+        stats_window_s=stats_window_s,
+        drain_s=drain_s,
     )
-    budget = PowerBudget(machine, budget_watts)
-    budget.assert_within()
-    command_center = CommandCenter(sim, application, window_s=stats_window_s)
-    dvfs = DvfsActuator(sim)
-
-    controller_types: dict[str, type[BaseController]] = {
-        "static": StaticController,
-        "freq-boost": FreqBoostController,
-        "inst-boost": InstBoostController,
-        "powerchief": PowerChiefController,
-    }
-    controller = controller_types[policy](
-        sim, application, command_center, budget, dvfs, controller_config
-    )
-
-    factory = QueryFactory(_profiles_for(app), streams)
-    generator = PoissonLoadGenerator(
-        sim, application, factory, trace, streams, duration_s
-    )
-    sampler = StateSampler(sim, application, sample_interval_s)
-    telemetry, finalize_obs = _attach_observability(
-        sim, machine, controller, observability, sample_interval_s
-    )
-    if chaos is not None:
-        chaos.install(
-            sim=sim,
-            machine=machine,
-            application=application,
-            controller=controller,
-            budget=budget,
-            telemetry=telemetry,
-            streams=streams,
-            observability=observability,
-        )
-
-    try:
-        controller.start()
-        sampler.start()
-        if chaos is not None:
-            chaos.start()
-        generator.start()
-        sim.run(until=duration_s)
-        controller.stop()
-        sampler.stop()
-        if drain_s > 0.0:
-            # Let in-flight retries/timeouts settle; the generator stopped
-            # at ``duration_s``, the health monitor keeps respawning.
-            sim.run(until=duration_s + drain_s)
-        if chaos is not None:
-            chaos.stop()
-    finally:
-        finalize_obs()
-    budget.assert_within()
-
-    energy = machine.total_energy()
-    return RunResult(
-        app=app,
-        policy=policy,
-        duration_s=duration_s,
-        queries_submitted=generator.queries_submitted,
-        queries_completed=application.completed,
-        latency=_summarize_completed(
-            command_center, f"{app}/{policy} latency run"
-        ),
-        average_power_watts=energy / (duration_s + drain_s),
-        actions=tuple(controller.actions),
-        state_samples=tuple(sampler.samples),
-    )
+    result = StackBuilder(
+        spec,
+        trace=trace,
+        contention=contention,
+        observability=observability,
+        chaos=chaos,
+    ).execute()
+    assert isinstance(result, RunResult)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -399,102 +141,27 @@ def run_qos_experiment(
     over-provisioned deployment's draw at the maximum frequency — the
     baseline's constant consumption, which Figures 13/14 normalise to.
     """
-    if policy not in QOS_POLICIES:
-        raise ConfigurationError(
-            f"unknown policy {policy!r} (known: {', '.join(QOS_POLICIES)})"
-        )
-    if rate_qps <= 0.0:
-        raise ConfigurationError(f"rate must be > 0, got {rate_qps}")
-    if duration_s <= 0.0:
-        raise ConfigurationError(f"duration must be > 0, got {duration_s}")
-    sim = Simulator()
-    machine = Machine(sim, n_cores=n_cores)
-    initial_level = HASWELL_LADDER.level_of(setup.initial_freq_ghz)
-    allocation = _uniform_allocation(
-        setup.app, initial_level, dict(setup.instances_per_stage)
-    )
-    application = _build_app(setup.app, sim, machine, allocation, observability)
-    reference_power = application.total_power()
-    # QoS mode has no budget ceiling: the machine's peak is the cap.
-    budget = PowerBudget(machine, machine.peak_power())
-    window = (
-        e2e_window_s
-        if e2e_window_s is not None
-        else max(3.0 * setup.adjust_interval_s, 10.0)
-    )
-    command_center = CommandCenter(
-        sim, application, window_s=window, e2e_window_s=window
-    )
-    dvfs = DvfsActuator(sim)
-
-    controller: Optional[BaseController] = None
-    config = setup.controller_config()
-    if policy == "pegasus":
-        controller = PegasusController(
-            sim,
-            application,
-            command_center,
-            budget,
-            dvfs,
-            qos_target_s=setup.qos_target_s,
-            config=config,
-            hold_fraction=hold_fraction,
-        )
-    elif policy == "powerchief":
-        controller = PowerChiefConserveController(
-            sim,
-            application,
-            command_center,
-            budget,
-            dvfs,
-            qos_target_s=setup.qos_target_s,
-            config=config,
-            conserve_fraction=conserve_fraction,
-            guard_fraction=guard_fraction,
-        )
-
-    streams = RandomStreams(seed)
-    factory = QueryFactory(_profiles_for(setup.app), streams)
-    generator = PoissonLoadGenerator(
-        sim, application, factory, ConstantLoad(rate_qps), streams, duration_s
-    )
-    sampler = QosSampler(
-        sim,
-        application,
-        command_center,
-        qos_target_s=setup.qos_target_s,
-        reference_power_watts=reference_power,
+    options: dict[str, float] = {
+        "hold_fraction": hold_fraction,
+        "conserve_fraction": conserve_fraction,
+        "guard_fraction": guard_fraction,
+    }
+    if e2e_window_s is not None:
+        options["e2e_window_s"] = e2e_window_s
+    spec = ScenarioSpec.qos(
+        setup.app,
+        policy,
+        rate_qps,
+        duration_s,
+        seed=seed,
+        n_cores=n_cores,
         sample_interval_s=sample_interval_s,
+        **options,
     )
-
-    _, finalize_obs = _attach_observability(
-        sim, machine, controller, observability, sample_interval_s
-    )
-    try:
-        if controller is not None:
-            controller.start()
-        sampler.start()
-        generator.start()
-        sim.run(until=duration_s)
-        if controller is not None:
-            controller.stop()
-        sampler.stop()
-    finally:
-        finalize_obs()
-
-    return QosRunResult(
-        app=setup.app,
-        policy=policy,
-        duration_s=duration_s,
-        qos_target_s=setup.qos_target_s,
-        reference_power_watts=reference_power,
-        queries_submitted=generator.queries_submitted,
-        queries_completed=application.completed,
-        latency=_summarize_completed(
-            command_center, f"{setup.app}/{policy} QoS run"
-        ),
-        average_power_fraction=sampler.average_power_fraction(),
-        violation_fraction=sampler.violation_fraction(),
-        actions=tuple(controller.actions) if controller is not None else (),
-        qos_samples=tuple(sampler.samples),
-    )
+    result = StackBuilder(
+        spec,
+        observability=observability,
+        table3_setup=setup,
+    ).execute()
+    assert isinstance(result, QosRunResult)
+    return result

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Mapping, Optional
 from repro.errors import ExperimentError
 from repro.obs import Observability
 from repro.core.controller import ControllerConfig
-from repro.experiments.config import (
+from repro.scenario.config import (
     TABLE2_CONTROLLER_CONFIG,
     TABLE2_INITIAL_FREQ_GHZ,
     TABLE2_POWER_BUDGET_WATTS,
@@ -180,7 +180,8 @@ def run_chaos_experiment(
     chaos) goes through the untouched fault-free path, so its numbers are
     bit-identical to a normal :func:`run_latency_experiment` call.
     """
-    from repro.experiments.runner import _profiles_for, run_latency_experiment
+    from repro.experiments.runner import run_latency_experiment
+    from repro.scenario.builder import _profiles_for
 
     config = resilience if resilience is not None else ResilienceConfig()
     harness = ChaosHarness(plan, config)

@@ -7,6 +7,7 @@ from repro.lint.checkers import (  # noqa: F401  (imports register rules)
     floatcmp,
     metrics,
     picklability,
+    scenario,
     units,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "floatcmp",
     "metrics",
     "picklability",
+    "scenario",
     "units",
 ]

@@ -1,0 +1,910 @@
+"""The staged stack builder: the only place an experiment is assembled.
+
+:class:`StackBuilder` turns a :class:`~repro.scenario.spec.ScenarioSpec`
+into a running stack through an explicit lifecycle::
+
+    build -> arm -> start -> run -> drain -> collect
+
+``build`` constructs the simulator, machine(s), application(s), budget,
+command center, controller and load generator; ``arm`` attaches
+observability and installs chaos; ``start`` schedules the initial
+events; ``run`` advances the simulation through the arrival window;
+``drain`` lets retries settle past the last arrival; ``collect``
+finalises observability, re-asserts the power budget and returns the
+result record.  :meth:`StackBuilder.execute` walks all six phases, and
+:func:`run_scenario` is the one-call convenience around it.
+
+Anything a spec cannot content-address (a custom load trace, a custom
+contention model, a pre-armed chaos harness, an observability bundle the
+caller wants to keep) is handed to the builder as a live override.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.faults.chaos import ChaosHarness
+    from repro.service.rpc import RpcFabric
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.cluster.budget import PowerBudget
+from repro.cluster.contention import ContentionModel
+from repro.cluster.dvfs import DvfsActuator
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.cluster.machine import Machine
+from repro.cluster.telemetry import PowerTelemetry
+from repro.obs import Observability, bind_simulator, unbind_simulator
+from repro.core.baselines import (
+    FreqBoostController,
+    InstBoostController,
+    StaticController,
+)
+from repro.core.conserve import PowerChiefConserveController
+from repro.core.controller import BaseController, ControllerConfig, PowerChiefController
+from repro.core.pegasus import PegasusController
+from repro.scenario.config import (
+    TABLE2_CONTROLLER_CONFIG,
+    TABLE2_INITIAL_FREQ_GHZ,
+    TABLE2_POWER_BUDGET_WATTS,
+    TABLE3_SETUPS,
+    Table3Setup,
+)
+from repro.scenario.sampling import QosSampler, StateSampler
+from repro.scale.sharding import (
+    LeastInFlightSplitter,
+    QuerySplitter,
+    RoundRobinSplitter,
+    Shard,
+    ShardedDeployment,
+)
+from repro.scenario.results import (
+    QosRunResult,
+    RunResult,
+    ShardResult,
+    ShardedRunResult,
+)
+from repro.scenario.spec import (
+    ScenarioSpec,
+    StageAllocation,
+    build_trace,
+    contention_from_spec,
+)
+from repro.service.application import Application
+from repro.service.command_center import CommandCenter
+from repro.service.profile import ServiceProfile
+from repro.service.stage import StageKind
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.util.percentile import LatencySummary, summarize
+from repro.workloads.loadgen import (
+    ConstantLoad,
+    LoadTrace,
+    PoissonLoadGenerator,
+    QueryFactory,
+)
+from repro.workloads.nlp import nlp_profiles
+from repro.workloads.sirius import sirius_profiles
+from repro.workloads.websearch import websearch_profiles
+
+__all__ = [
+    "StackBuilder",
+    "run_scenario",
+    "LATENCY_CONTROLLERS",
+    "SPLITTERS",
+]
+
+_PROFILE_BUILDERS = {
+    "sirius": sirius_profiles,
+    "nlp": nlp_profiles,
+    "websearch": websearch_profiles,
+}
+
+_SCATTER_GATHER_STAGES = {"websearch": ("LEAF",)}
+
+#: Latency-policy name -> controller class; the single policy dispatch.
+LATENCY_CONTROLLERS: dict[str, type[BaseController]] = {
+    "static": StaticController,
+    "freq-boost": FreqBoostController,
+    "inst-boost": InstBoostController,
+    "powerchief": PowerChiefController,
+}
+
+#: Splitter name -> factory, for sharded scenarios.
+SPLITTERS: dict[str, Callable[[], QuerySplitter]] = {
+    "round-robin": RoundRobinSplitter,
+    "least-in-flight": LeastInFlightSplitter,
+}
+
+_PHASES = ("new", "built", "armed", "started", "ran", "drained", "collected")
+
+
+def _profiles_for(app: str) -> list[ServiceProfile]:
+    try:
+        return _PROFILE_BUILDERS[app]()
+    except KeyError:
+        known = ", ".join(sorted(_PROFILE_BUILDERS))
+        raise ConfigurationError(f"unknown app {app!r} (known: {known})") from None
+
+
+def _build_app(
+    app: str,
+    sim: Simulator,
+    machine: Machine,
+    allocation: Mapping[str, StageAllocation],
+    observability: Optional[Observability] = None,
+    fabric: Optional["RpcFabric"] = None,
+    name: Optional[str] = None,
+) -> Application:
+    profiles = _profiles_for(app)
+    application = Application(
+        name if name is not None else app,
+        sim,
+        machine,
+        fabric=fabric,
+        observability=observability,
+    )
+    scatter = _SCATTER_GATHER_STAGES.get(app, ())
+    for profile in profiles:
+        kind = (
+            StageKind.SCATTER_GATHER
+            if profile.name in scatter
+            else StageKind.PIPELINE
+        )
+        stage = application.add_stage(profile, kind=kind)
+        stage_alloc = allocation.get(profile.name)
+        if stage_alloc is None:
+            raise ConfigurationError(
+                f"no allocation given for stage {profile.name!r}"
+            )
+        for _ in range(stage_alloc.count):
+            stage.launch_instance(stage_alloc.level)
+    return application
+
+
+def _uniform_allocation(
+    app: str,
+    level: int,
+    instances_per_stage: Mapping[str, int] | int,
+) -> dict[str, StageAllocation]:
+    allocation: dict[str, StageAllocation] = {}
+    for profile in _profiles_for(app):
+        if isinstance(instances_per_stage, int):
+            count = instances_per_stage
+        else:
+            count = instances_per_stage.get(profile.name, 1)
+        allocation[profile.name] = StageAllocation(count=count, level=level)
+    return allocation
+
+
+def _attach_observability(
+    sim: Simulator,
+    machine: Machine,
+    controller: Optional[BaseController],
+    observability: Optional[Observability],
+    telemetry_interval_s: float,
+) -> "tuple[Optional[PowerTelemetry], Callable[[], None]]":
+    """Arm every observability hook a run needs; returns a finalizer.
+
+    With ``observability=None`` this is a no-op returning a no-op — the
+    standard benchmark path stays exactly as fast as before.
+    """
+    if observability is None:
+        return None, lambda: None
+    bind_simulator(lambda: sim.now)
+    telemetry: Optional[PowerTelemetry] = None
+    hook = None
+    if observability.metrics is not None:
+        events = observability.metrics.counter(
+            "repro_sim_events_total", "Simulation events fired"
+        )
+
+        def hook(event) -> None:
+            events.inc()
+
+        sim.add_event_hook(hook)
+        telemetry = PowerTelemetry(
+            sim,
+            machine,
+            sample_interval_s=telemetry_interval_s,
+            registry=observability.metrics,
+        )
+        telemetry.start()
+    if controller is not None and observability.audit is not None:
+        controller.attach_audit(observability.audit)
+
+    def finalize() -> None:
+        if telemetry is not None:
+            telemetry.stop()
+        if hook is not None:
+            sim.remove_event_hook(hook)
+        unbind_simulator()
+
+    return telemetry, finalize
+
+
+def _observability_from_spec(spec: ScenarioSpec) -> Optional[Observability]:
+    """An observability bundle with exactly the pillars the spec arms."""
+    if not spec.observe:
+        return None
+    full = Observability.enabled()
+    return Observability(
+        tracer=full.tracer if "trace" in spec.observe else None,
+        metrics=full.metrics if "metrics" in spec.observe else None,
+        audit=full.audit if "audit" in spec.observe else None,
+    )
+
+
+class _ShardStack:
+    """Everything one shard owns beyond its :class:`Shard` record."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        harness: Optional["ChaosHarness"],
+        streams: RandomStreams,
+    ) -> None:
+        self.machine = machine
+        self.harness = harness
+        self.streams = streams
+
+
+class StackBuilder:
+    """Assemble and drive the stack one scenario describes.
+
+    The phases must be walked in order; calling one out of order raises
+    :class:`~repro.errors.ExperimentError`.  :meth:`execute` walks the
+    whole lifecycle with the same try/finally discipline the old runners
+    had, so observability hooks unwind even when the run raises.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        trace: Optional[LoadTrace] = None,
+        contention: Optional[ContentionModel] = None,
+        observability: Optional[Observability] = None,
+        chaos: Optional["ChaosHarness"] = None,
+        table3_setup: Optional[Table3Setup] = None,
+    ) -> None:
+        self.spec = spec
+        self._trace_override = trace
+        self._contention_override = contention
+        self._observability = (
+            observability
+            if observability is not None
+            else _observability_from_spec(spec)
+        )
+        self._chaos_override = chaos
+        self._table3_override = table3_setup
+        self._phase = "new"
+        if spec.kind == "qos" and (trace is not None or chaos is not None):
+            raise ConfigurationError(
+                "qos scenarios take no trace/chaos overrides"
+            )
+        if chaos is not None and spec.shards > 1:
+            raise ConfigurationError(
+                "a live chaos harness cannot be shared across shards; "
+                "put the plan in the spec's 'chaos' field instead"
+            )
+        if chaos is not None and spec.chaos is not None:
+            raise ConfigurationError(
+                "give the chaos plan either in the spec or as a live "
+                "harness, not both"
+            )
+        # Populated by build()/arm():
+        self.sim: Optional[Simulator] = None
+        self.machine: Optional[Machine] = None
+        self.application: Optional[Application] = None
+        self.budget: Optional[PowerBudget] = None
+        self.command_center: Optional[CommandCenter] = None
+        self.controller: Optional[BaseController] = None
+        self.generator: Optional[PoissonLoadGenerator] = None
+        self.deployment: Optional[ShardedDeployment] = None
+        self.chaos: Optional["ChaosHarness"] = None
+        self.telemetry: Optional[PowerTelemetry] = None
+        self._sampler: Optional[StateSampler] = None
+        self._qos_sampler: Optional[QosSampler] = None
+        self._setup: Optional[Table3Setup] = None
+        self._reference_power = 0.0
+        self._streams: Optional[RandomStreams] = None
+        self._shard_stacks: list[_ShardStack] = []
+        self._finalize_obs: Callable[[], None] = lambda: None
+
+    # ------------------------------------------------------------------
+    # Phase bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    def _advance(self, expected: str, to: str) -> None:
+        if self._phase != expected:
+            raise ExperimentError(
+                f"cannot {to} from phase {self._phase!r}; the lifecycle is "
+                f"{' -> '.join(_PHASES[1:])}"
+            )
+        self._phase = to
+
+    # ------------------------------------------------------------------
+    # Phase 1: build
+    # ------------------------------------------------------------------
+    def build(self) -> "StackBuilder":
+        """Construct every component the scenario names (no events yet)."""
+        self._advance("new", "built")
+        if self.spec.kind == "qos":
+            self._build_qos()
+        elif self.spec.shards > 1:
+            self._build_sharded()
+        else:
+            self._build_latency()
+        return self
+
+    def _resolve_trace(self) -> LoadTrace:
+        if self._trace_override is not None:
+            return self._trace_override
+        return build_trace(self.spec.trace)
+
+    def _resolve_contention(self) -> Optional[ContentionModel]:
+        if self._contention_override is not None:
+            return self._contention_override
+        return contention_from_spec(self.spec.contention)
+
+    def _resolve_controller_config(self) -> ControllerConfig:
+        config = self.spec.controller_config()
+        return config if config is not None else TABLE2_CONTROLLER_CONFIG
+
+    def _build_latency(self) -> None:
+        spec = self.spec
+        trace = self._resolve_trace()
+        contention = self._resolve_contention()
+        budget_watts = (
+            spec.budget_watts
+            if spec.budget_watts is not None
+            else TABLE2_POWER_BUDGET_WATTS
+        )
+        freq = (
+            spec.initial_freq_ghz
+            if spec.initial_freq_ghz is not None
+            else TABLE2_INITIAL_FREQ_GHZ
+        )
+        sim = Simulator()
+        machine = Machine(sim, n_cores=spec.n_cores, contention=contention)
+        initial_level = HASWELL_LADDER.level_of(freq)
+        allocation = spec.allocation_mapping()
+        if allocation is None:
+            allocation = _uniform_allocation(spec.app, initial_level, 1)
+        # Streams are name-derived (creation order never shifts seeds), so
+        # building them early for the chaos fabric is byte-neutral.
+        streams = RandomStreams(spec.seed)
+        chaos = self._chaos_override
+        if chaos is None and spec.chaos is not None:
+            from repro.faults.chaos import ChaosHarness
+
+            chaos = ChaosHarness(spec.chaos_plan())
+        fabric = None if chaos is None else chaos.build_fabric(sim, streams)
+        application = _build_app(
+            spec.app,
+            sim,
+            machine,
+            allocation,
+            self._observability,
+            fabric=fabric,
+        )
+        budget = PowerBudget(machine, budget_watts)
+        budget.assert_within()
+        command_center = CommandCenter(
+            sim, application, window_s=spec.stats_window_s
+        )
+        dvfs = DvfsActuator(sim)
+        controller = LATENCY_CONTROLLERS[spec.policy](
+            sim,
+            application,
+            command_center,
+            budget,
+            dvfs,
+            self._resolve_controller_config(),
+        )
+        factory = QueryFactory(_profiles_for(spec.app), streams)
+        generator = PoissonLoadGenerator(
+            sim, application, factory, trace, streams, spec.duration_s
+        )
+        sampler = StateSampler(sim, application, spec.sample_interval_s)
+        self.sim = sim
+        self.machine = machine
+        self.application = application
+        self.budget = budget
+        self.command_center = command_center
+        self.controller = controller
+        self.generator = generator
+        self.chaos = chaos
+        self._sampler = sampler
+        self._streams = streams
+
+    def _build_sharded(self) -> None:
+        spec = self.spec
+        trace = self._resolve_trace()
+        budget_watts = (
+            spec.budget_watts
+            if spec.budget_watts is not None
+            else TABLE2_POWER_BUDGET_WATTS
+        )
+        freq = (
+            spec.initial_freq_ghz
+            if spec.initial_freq_ghz is not None
+            else TABLE2_INITIAL_FREQ_GHZ
+        )
+        sim = Simulator()
+        streams = RandomStreams(spec.seed)
+        initial_level = HASWELL_LADDER.level_of(freq)
+        allocation = spec.allocation_mapping()
+        if allocation is None:
+            allocation = _uniform_allocation(spec.app, initial_level, 1)
+        config = self._resolve_controller_config()
+        observability = self._observability
+
+        def shard_factory(sim: Simulator, index: int) -> Shard:
+            # Each shard forks its own stream universe, so shard count
+            # never perturbs the shared arrival/demand streams and every
+            # shard's faults draw from an independent seeded source.
+            shard_streams = streams.fork(f"shard{index}")
+            harness: Optional["ChaosHarness"] = None
+            if spec.chaos is not None:
+                from repro.faults.chaos import ChaosHarness
+
+                harness = ChaosHarness(spec.chaos_plan())
+            contention = self._resolve_contention()
+            machine = Machine(sim, n_cores=spec.n_cores, contention=contention)
+            fabric = (
+                None
+                if harness is None
+                else harness.build_fabric(sim, shard_streams)
+            )
+            application = _build_app(
+                spec.app,
+                sim,
+                machine,
+                allocation,
+                observability,
+                fabric=fabric,
+                name=f"{spec.app}[{index}]",
+            )
+            budget = PowerBudget(machine, budget_watts)
+            budget.assert_within()
+            command_center = CommandCenter(
+                sim, application, window_s=spec.stats_window_s
+            )
+            dvfs = DvfsActuator(sim)
+            controller = LATENCY_CONTROLLERS[spec.policy](
+                sim, application, command_center, budget, dvfs, config
+            )
+            self._shard_stacks.append(
+                _ShardStack(machine, harness, shard_streams)
+            )
+            return Shard(
+                index=index,
+                application=application,
+                command_center=command_center,
+                budget=budget,
+                controller=controller,
+            )
+
+        deployment = ShardedDeployment(
+            sim, spec.shards, shard_factory, splitter=SPLITTERS[spec.splitter]()
+        )
+        # One shared workload: arrivals and demands are byte-identical
+        # regardless of shard count — only the routing differs.
+        factory = QueryFactory(_profiles_for(spec.app), streams)
+        generator = PoissonLoadGenerator(
+            sim, deployment, factory, trace, streams, spec.duration_s
+        )
+        self.sim = sim
+        self.deployment = deployment
+        self.generator = generator
+        self._streams = streams
+
+    def _build_qos(self) -> None:
+        spec = self.spec
+        setup = self._table3_override
+        if setup is None:
+            try:
+                setup = TABLE3_SETUPS[spec.app]
+            except KeyError:
+                known = ", ".join(sorted(TABLE3_SETUPS))
+                raise ConfigurationError(
+                    f"unknown QoS deployment {spec.app!r} (known: {known})"
+                ) from None
+        options = dict(spec.options)
+        unknown = sorted(
+            set(options)
+            - {"hold_fraction", "conserve_fraction", "guard_fraction", "e2e_window_s"}
+        )
+        if unknown:
+            raise ConfigurationError(
+                f"unknown qos options: {', '.join(unknown)}"
+            )
+        hold_fraction = float(options.get("hold_fraction", 0.85))
+        conserve_fraction = float(options.get("conserve_fraction", 0.75))
+        guard_fraction = float(options.get("guard_fraction", 0.92))
+        e2e_window_s = options.get("e2e_window_s")
+        sim = Simulator()
+        machine = Machine(sim, n_cores=spec.n_cores)
+        initial_level = HASWELL_LADDER.level_of(setup.initial_freq_ghz)
+        allocation = _uniform_allocation(
+            setup.app, initial_level, dict(setup.instances_per_stage)
+        )
+        application = _build_app(
+            setup.app, sim, machine, allocation, self._observability
+        )
+        reference_power = application.total_power()
+        # QoS mode has no budget ceiling: the machine's peak is the cap.
+        budget = PowerBudget(machine, machine.peak_power())
+        window = (
+            float(e2e_window_s)
+            if e2e_window_s is not None
+            else max(3.0 * setup.adjust_interval_s, 10.0)
+        )
+        command_center = CommandCenter(
+            sim, application, window_s=window, e2e_window_s=window
+        )
+        dvfs = DvfsActuator(sim)
+        controller: Optional[BaseController] = None
+        config = setup.controller_config()
+        if spec.policy == "pegasus":
+            controller = PegasusController(
+                sim,
+                application,
+                command_center,
+                budget,
+                dvfs,
+                qos_target_s=setup.qos_target_s,
+                config=config,
+                hold_fraction=hold_fraction,
+            )
+        elif spec.policy == "powerchief":
+            controller = PowerChiefConserveController(
+                sim,
+                application,
+                command_center,
+                budget,
+                dvfs,
+                qos_target_s=setup.qos_target_s,
+                config=config,
+                conserve_fraction=conserve_fraction,
+                guard_fraction=guard_fraction,
+            )
+        streams = RandomStreams(spec.seed)
+        factory = QueryFactory(_profiles_for(setup.app), streams)
+        generator = PoissonLoadGenerator(
+            sim,
+            application,
+            factory,
+            ConstantLoad(spec.rate_qps),
+            streams,
+            spec.duration_s,
+        )
+        sampler = QosSampler(
+            sim,
+            application,
+            command_center,
+            qos_target_s=setup.qos_target_s,
+            reference_power_watts=reference_power,
+            sample_interval_s=spec.sample_interval_s,
+        )
+        self.sim = sim
+        self.machine = machine
+        self.application = application
+        self.budget = budget
+        self.command_center = command_center
+        self.controller = controller
+        self.generator = generator
+        self._qos_sampler = sampler
+        self._setup = setup
+        self._reference_power = reference_power
+        self._streams = streams
+
+    # ------------------------------------------------------------------
+    # Phase 2: arm
+    # ------------------------------------------------------------------
+    def arm(self) -> "StackBuilder":
+        """Attach observability hooks and install the chaos subsystem."""
+        self._advance("built", "armed")
+        assert self.sim is not None
+        if self.deployment is not None:
+            self._arm_sharded()
+            return self
+        assert self.machine is not None
+        self.telemetry, self._finalize_obs = _attach_observability(
+            self.sim,
+            self.machine,
+            self.controller,
+            self._observability,
+            self.spec.sample_interval_s,
+        )
+        if self.chaos is not None:
+            assert (
+                self.application is not None
+                and self.controller is not None
+                and self.budget is not None
+                and self._streams is not None
+            )
+            self.chaos.install(
+                sim=self.sim,
+                machine=self.machine,
+                application=self.application,
+                controller=self.controller,
+                budget=self.budget,
+                telemetry=self.telemetry,
+                streams=self._streams,
+                observability=self._observability,
+            )
+        return self
+
+    def _arm_sharded(self) -> None:
+        assert self.sim is not None and self.deployment is not None
+        observability = self._observability
+        finalize: Callable[[], None] = lambda: None
+        if observability is not None:
+            sim = self.sim
+            bind_simulator(lambda: sim.now)
+            hook = None
+            if observability.metrics is not None:
+                events = observability.metrics.counter(
+                    "repro_sim_events_total", "Simulation events fired"
+                )
+
+                def hook(event) -> None:
+                    events.inc()
+
+                sim.add_event_hook(hook)
+            if observability.audit is not None:
+                for shard in self.deployment.shards:
+                    if shard.controller is not None:
+                        shard.controller.attach_audit(observability.audit)
+
+            def finalize() -> None:
+                if hook is not None:
+                    sim.remove_event_hook(hook)
+                unbind_simulator()
+
+        self._finalize_obs = finalize
+        for shard, stack in zip(self.deployment.shards, self._shard_stacks):
+            if stack.harness is None:
+                continue
+            assert shard.controller is not None
+            stack.harness.install(
+                sim=self.sim,
+                machine=stack.machine,
+                application=shard.application,
+                controller=shard.controller,
+                budget=shard.budget,
+                telemetry=None,
+                streams=stack.streams,
+                observability=observability,
+            )
+
+    # ------------------------------------------------------------------
+    # Phase 3: start
+    # ------------------------------------------------------------------
+    def start(self) -> "StackBuilder":
+        """Schedule the initial events (controllers, samplers, arrivals)."""
+        self._advance("armed", "started")
+        assert self.generator is not None
+        if self.deployment is not None:
+            self.deployment.start()
+            for stack in self._shard_stacks:
+                if stack.harness is not None:
+                    stack.harness.start()
+        else:
+            if self.controller is not None:
+                self.controller.start()
+            if self._sampler is not None:
+                self._sampler.start()
+            if self._qos_sampler is not None:
+                self._qos_sampler.start()
+            if self.chaos is not None:
+                self.chaos.start()
+        self.generator.start()
+        return self
+
+    # ------------------------------------------------------------------
+    # Phase 4: run
+    # ------------------------------------------------------------------
+    def run(self) -> "StackBuilder":
+        """Advance the simulation through the arrival window, then stop
+        the controller and samplers (arrivals cease; retries may linger)."""
+        self._advance("started", "ran")
+        assert self.sim is not None
+        self.sim.run(until=self.spec.duration_s)
+        if self.deployment is not None:
+            self.deployment.stop()
+        else:
+            if self.controller is not None:
+                self.controller.stop()
+            if self._sampler is not None:
+                self._sampler.stop()
+            if self._qos_sampler is not None:
+                self._qos_sampler.stop()
+        return self
+
+    # ------------------------------------------------------------------
+    # Phase 5: drain
+    # ------------------------------------------------------------------
+    def drain(self) -> "StackBuilder":
+        """Let in-flight retries/timeouts settle past the last arrival.
+
+        A no-op when the spec has no drain window, but the phase is still
+        walked so chaos teardown has one well-defined home.
+        """
+        self._advance("ran", "drained")
+        assert self.sim is not None
+        if self.spec.drain_s > 0.0:
+            # The generator stopped at ``duration_s``; the health monitor
+            # keeps respawning while retries settle.
+            self.sim.run(until=self.spec.duration_s + self.spec.drain_s)
+        if self.deployment is not None:
+            for stack in self._shard_stacks:
+                if stack.harness is not None:
+                    stack.harness.stop()
+        elif self.chaos is not None:
+            self.chaos.stop()
+        return self
+
+    # ------------------------------------------------------------------
+    # Phase 6: collect
+    # ------------------------------------------------------------------
+    def collect(self) -> Union[RunResult, QosRunResult, ShardedRunResult]:
+        """Finalise observability, re-check budgets, return the result."""
+        self._advance("drained", "collected")
+        self._finalize_obs()
+        if self.spec.kind == "qos":
+            return self._collect_qos()
+        if self.deployment is not None:
+            return self._collect_sharded()
+        return self._collect_latency()
+
+    def _summarize_completed(
+        self, latencies: list[float], context: str
+    ) -> LatencySummary:
+        if not latencies:
+            raise ExperimentError(
+                f"{context}: no queries completed; extend the duration or "
+                f"raise the arrival rate"
+            )
+        return summarize(latencies)
+
+    def _collect_latency(self) -> RunResult:
+        spec = self.spec
+        assert (
+            self.machine is not None
+            and self.budget is not None
+            and self.command_center is not None
+            and self.generator is not None
+            and self.application is not None
+            and self.controller is not None
+            and self._sampler is not None
+        )
+        self.budget.assert_within()
+        energy = self.machine.total_energy()
+        return RunResult(
+            app=spec.app,
+            policy=spec.policy,
+            duration_s=spec.duration_s,
+            queries_submitted=self.generator.queries_submitted,
+            queries_completed=self.application.completed,
+            latency=self._summarize_completed(
+                self.command_center.all_latencies,
+                f"{spec.app}/{spec.policy} latency run",
+            ),
+            average_power_watts=energy / (spec.duration_s + spec.drain_s),
+            actions=tuple(self.controller.actions),
+            state_samples=tuple(self._sampler.samples),
+        )
+
+    def _collect_sharded(self) -> ShardedRunResult:
+        spec = self.spec
+        assert self.deployment is not None and self.generator is not None
+        self.deployment.assert_budgets()
+        total_s = spec.duration_s + spec.drain_s
+        shard_results = []
+        for shard, stack in zip(self.deployment.shards, self._shard_stacks):
+            latencies = shard.command_center.all_latencies
+            assert shard.controller is not None
+            shard_results.append(
+                ShardResult(
+                    index=shard.index,
+                    queries_completed=shard.application.completed,
+                    latency=summarize(latencies) if latencies else None,
+                    average_power_watts=stack.machine.total_energy() / total_s,
+                    actions=tuple(shard.controller.actions),
+                )
+            )
+        return ShardedRunResult(
+            app=spec.app,
+            policy=spec.policy,
+            duration_s=spec.duration_s,
+            n_shards=spec.shards,
+            splitter=spec.splitter,
+            queries_submitted=self.generator.queries_submitted,
+            queries_completed=self.deployment.completed,
+            latency=self._summarize_completed(
+                self.deployment.all_latencies(),
+                f"{spec.app}/{spec.policy} x{spec.shards} sharded run",
+            ),
+            average_power_watts=sum(
+                result.average_power_watts for result in shard_results
+            ),
+            shards=tuple(shard_results),
+        )
+
+    def _collect_qos(self) -> QosRunResult:
+        spec = self.spec
+        assert (
+            self._setup is not None
+            and self.command_center is not None
+            and self.generator is not None
+            and self.application is not None
+            and self._qos_sampler is not None
+        )
+        setup = self._setup
+        sampler = self._qos_sampler
+        return QosRunResult(
+            app=setup.app,
+            policy=spec.policy,
+            duration_s=spec.duration_s,
+            qos_target_s=setup.qos_target_s,
+            reference_power_watts=self._reference_power,
+            queries_submitted=self.generator.queries_submitted,
+            queries_completed=self.application.completed,
+            latency=self._summarize_completed(
+                self.command_center.all_latencies,
+                f"{setup.app}/{spec.policy} QoS run",
+            ),
+            average_power_fraction=sampler.average_power_fraction(),
+            violation_fraction=sampler.violation_fraction(),
+            actions=(
+                tuple(self.controller.actions)
+                if self.controller is not None
+                else ()
+            ),
+            qos_samples=tuple(sampler.samples),
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self) -> Union[RunResult, QosRunResult, ShardedRunResult]:
+        """Walk the whole lifecycle: build, arm, start, run, drain, collect.
+
+        Observability hooks unwind even when the run raises, exactly as
+        the pre-scenario runners guaranteed.
+        """
+        self.build()
+        self.arm()
+        try:
+            self.start()
+            self.run()
+            self.drain()
+        except BaseException:
+            self._finalize_obs()
+            raise
+        return self.collect()
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    trace: Optional[LoadTrace] = None,
+    contention: Optional[ContentionModel] = None,
+    observability: Optional[Observability] = None,
+    chaos: Optional["ChaosHarness"] = None,
+    table3_setup: Optional[Table3Setup] = None,
+) -> Union[RunResult, QosRunResult, ShardedRunResult]:
+    """Build and run the stack one scenario describes, end to end."""
+    return StackBuilder(
+        spec,
+        trace=trace,
+        contention=contention,
+        observability=observability,
+        chaos=chaos,
+        table3_setup=table3_setup,
+    ).execute()

@@ -1,0 +1,648 @@
+"""The declarative scenario layer: one spec for every way a stack runs.
+
+A :class:`ScenarioSpec` is the single description of one experiment —
+application, policy, load trace, duration/drain, seed, budget and
+frequency, allocation, controller configuration, contention, chaos plan,
+shard count and splitter, observability switches.  It is frozen,
+hashable, built from primitives only, and JSON round-trippable, so the
+same value serves three masters at once:
+
+* the experiment runners (:mod:`repro.experiments.runner`), which build
+  a spec from their keyword arguments and hand it to the
+  :class:`~repro.scenario.builder.StackBuilder`;
+* the parallel cell engine, whose content-addressed cache keys on
+  :meth:`ScenarioSpec.digest`;
+* the CLI (``repro run --scenario spec.json``), which loads a spec
+  straight from a file and runs it — sharded, chaos-armed, cached.
+
+Everything non-primitive (a live :class:`~repro.workloads.loadgen.LoadTrace`
+subclass, a custom contention model, an :class:`~repro.obs.Observability`
+bundle) stays out of the spec and travels as a builder override instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.cluster.contention import (
+    ContentionModel,
+    LinearContention,
+    NoContention,
+)
+from repro.core.controller import ControllerConfig
+from repro.core.metrics import MetricKind
+from repro.faults.plan import FaultPlan
+from repro.workloads.loadgen import (
+    ConstantLoad,
+    DiurnalLoad,
+    LoadTrace,
+    PiecewiseLoad,
+)
+
+__all__ = [
+    "SCENARIO_FORMAT_VERSION",
+    "LATENCY_POLICIES",
+    "QOS_POLICIES",
+    "StageAllocation",
+    "ScenarioSpec",
+    "trace_to_spec",
+    "build_trace",
+    "contention_to_spec",
+    "contention_from_spec",
+    "controller_to_spec",
+    "controller_from_spec",
+    "chaos_to_spec",
+]
+
+#: Bumped whenever the spec's canonical dict layout changes; part of the
+#: digest, so a format change can never alias an old cache entry.
+SCENARIO_FORMAT_VERSION = 1
+
+#: Latency-mitigation policies by name (Sections 8.2/8.3).
+LATENCY_POLICIES = ("static", "freq-boost", "inst-boost", "powerchief")
+
+#: QoS-mode policies by name (Section 8.4).
+QOS_POLICIES = ("baseline", "pegasus", "powerchief")
+
+_KINDS = ("latency", "qos")
+
+_TRACE_KINDS = ("constant", "piecewise", "diurnal", "custom")
+
+_CONTENTION_KINDS = ("none", "linear", "custom")
+
+_SPLITTERS = ("round-robin", "least-in-flight")
+
+_OBSERVE_PILLARS = ("trace", "metrics", "audit")
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+_CONTROLLER_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(ControllerConfig)
+)
+
+
+@dataclass(frozen=True)
+class StageAllocation:
+    """A fixed (instance count, ladder level) deployment for one stage."""
+
+    count: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {self.count}")
+
+
+# ----------------------------------------------------------------------
+# Trace specs: load traces as primitive tuples
+# ----------------------------------------------------------------------
+def trace_to_spec(trace: LoadTrace) -> tuple:
+    """A load trace as a hashable tuple of primitives.
+
+    Only the built-in trace families are supported; a custom trace class
+    has no stable content address and must travel as a live builder
+    override instead.
+    """
+    if isinstance(trace, ConstantLoad):
+        return ("constant", trace.rate_qps)
+    if isinstance(trace, PiecewiseLoad):
+        return ("piecewise", trace.segments)
+    if isinstance(trace, DiurnalLoad):
+        return (
+            "diurnal",
+            trace.base_qps,
+            trace.amplitude,
+            trace.period_s,
+            trace.phase_rad,
+        )
+    raise ConfigurationError(
+        f"cannot describe trace {trace!r} as a scenario spec; use a "
+        f"constant, piecewise or diurnal trace"
+    )
+
+
+def build_trace(spec: Sequence) -> LoadTrace:
+    """Rebuild the load trace a :func:`trace_to_spec` tuple describes."""
+    if not spec:
+        raise ConfigurationError("empty trace spec")
+    kind = spec[0]
+    if kind == "constant":
+        return ConstantLoad(spec[1])
+    if kind == "piecewise":
+        return PiecewiseLoad(tuple((start, rate) for start, rate in spec[1]))
+    if kind == "diurnal":
+        return DiurnalLoad(*spec[1:])
+    if kind == "custom":
+        raise ConfigurationError(
+            "a 'custom' trace spec carries no parameters; pass the live "
+            "trace object to the StackBuilder instead"
+        )
+    raise ConfigurationError(f"unknown trace spec kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Contention specs
+# ----------------------------------------------------------------------
+def contention_to_spec(model: Optional[ContentionModel]) -> tuple:
+    """A contention model as a primitive tuple (``()`` = no model)."""
+    if model is None:
+        return ()
+    if isinstance(model, NoContention):
+        return ("none",)
+    if isinstance(model, LinearContention):
+        return ("linear", model.intensity)
+    return ("custom", type(model).__name__)
+
+
+def contention_from_spec(spec: Sequence) -> Optional[ContentionModel]:
+    """Rebuild the contention model a spec tuple describes."""
+    if not spec:
+        return None
+    kind = spec[0]
+    if kind == "none":
+        return NoContention()
+    if kind == "linear":
+        return LinearContention(spec[1])
+    if kind == "custom":
+        raise ConfigurationError(
+            "a 'custom' contention spec carries no parameters; pass the "
+            "live model to the StackBuilder instead"
+        )
+    raise ConfigurationError(f"unknown contention spec kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Controller specs
+# ----------------------------------------------------------------------
+def controller_to_spec(config: ControllerConfig) -> tuple[tuple[str, Any], ...]:
+    """A controller config as a sorted tuple of primitive items."""
+    payload = dataclasses.asdict(config)
+    payload["metric_kind"] = config.metric_kind.value
+    return tuple(sorted(payload.items()))
+
+
+def controller_from_spec(
+    spec: Sequence[tuple[str, Any]],
+) -> ControllerConfig:
+    """Rebuild the :class:`ControllerConfig` a spec tuple describes."""
+    payload = dict(spec)
+    if "metric_kind" in payload:
+        try:
+            payload["metric_kind"] = MetricKind(payload["metric_kind"])
+        except ValueError:
+            known = ", ".join(kind.value for kind in MetricKind)
+            raise ConfigurationError(
+                f"unknown metric kind {payload['metric_kind']!r} "
+                f"(known: {known})"
+            ) from None
+    return ControllerConfig(**payload)
+
+
+# ----------------------------------------------------------------------
+# Chaos plan references
+# ----------------------------------------------------------------------
+def chaos_to_spec(
+    plan: Union[None, str, FaultPlan, Mapping[str, Any]],
+) -> Optional[str]:
+    """Canonicalise a chaos reference: a built-in plan name, or a plan.
+
+    Inline plans (a :class:`~repro.faults.plan.FaultPlan` or its dict
+    form) are validated and stored as canonical JSON so two specs with
+    the same plan always share a digest; built-in names stay names
+    because their fault times scale with the scenario duration.
+    """
+    if plan is None:
+        return None
+    if isinstance(plan, FaultPlan):
+        return _canonical(plan.to_dict())
+    if isinstance(plan, Mapping):
+        return _canonical(FaultPlan.from_dict(plan).to_dict())
+    text = str(plan)
+    if text.lstrip().startswith("{"):
+        return _canonical(FaultPlan.from_dict(json.loads(text)).to_dict())
+    from repro.faults.plan import named_plans
+
+    if text not in named_plans():
+        known = ", ".join(named_plans())
+        raise ConfigurationError(
+            f"unknown chaos plan {text!r} (built-ins: {known}; or give an "
+            f"inline plan object)"
+        )
+    return text
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _deep_tuple(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_tuple(item) for item in value)
+    return value
+
+
+def _deep_list(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_deep_list(item) for item in value]
+    return value
+
+
+def _sorted_items(
+    mapping: Union[Mapping[str, Any], Sequence[tuple[str, Any]]],
+) -> tuple[tuple[str, Any], ...]:
+    items = mapping.items() if isinstance(mapping, Mapping) else mapping
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment scenario, described entirely by primitives.
+
+    Use the :meth:`latency` and :meth:`qos` constructors for the friendly
+    API (live traces, allocation mappings, config objects); the raw
+    fields hold only hashable primitives so the spec can be a dict key,
+    cross a pickle boundary, and digest canonically.
+    """
+
+    kind: str
+    app: str
+    policy: str
+    duration_s: float
+    seed: int = 1
+    #: Trace spec tuple (latency scenarios; ``("custom", ...)`` means a
+    #: live trace override is required at build time).
+    trace: tuple = ()
+    #: Arrival rate (QoS scenarios only).
+    rate_qps: float = 0.0
+    #: Power budget; ``None`` keeps the Table-2 default.
+    budget_watts: Optional[float] = None
+    #: Initial DVFS frequency; ``None`` keeps the Table-2 default.
+    initial_freq_ghz: Optional[float] = None
+    #: ``((stage, count, level), ...)`` or ``None`` for one-per-stage.
+    allocation: Optional[tuple[tuple[str, int, int], ...]] = None
+    #: Controller-config overrides; ``()`` keeps the Table-2 config.
+    controller: tuple[tuple[str, Any], ...] = ()
+    #: Contention spec tuple (``()`` = perfect isolation).
+    contention: tuple = ()
+    n_cores: int = 16
+    sample_interval_s: float = 5.0
+    stats_window_s: float = 60.0
+    #: Extra simulated time past the last arrival for retries to settle.
+    drain_s: float = 0.0
+    #: Chaos plan reference: a built-in name or canonical plan JSON.
+    chaos: Optional[str] = None
+    #: Replica count; > 1 builds a :class:`~repro.scale.ShardedDeployment`.
+    shards: int = 1
+    splitter: str = "least-in-flight"
+    #: Observability pillars to arm (subset of trace/metrics/audit).
+    observe: tuple[str, ...] = ()
+    #: Extra scalar keyword options (QoS conserve fractions and the like).
+    options: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown scenario kind {self.kind!r} "
+                f"(known: {', '.join(_KINDS)})"
+            )
+        if not self.app:
+            raise ConfigurationError("scenario needs a non-empty app")
+        policies = LATENCY_POLICIES if self.kind == "latency" else QOS_POLICIES
+        if self.policy not in policies:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r} (known: {', '.join(policies)})"
+            )
+        if self.duration_s <= 0.0:
+            raise ConfigurationError(
+                f"duration must be > 0, got {self.duration_s}"
+            )
+        if self.drain_s < 0.0:
+            raise ConfigurationError(f"drain must be >= 0, got {self.drain_s}")
+        if self.n_cores < 1:
+            raise ConfigurationError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.sample_interval_s <= 0.0:
+            raise ConfigurationError(
+                f"sample interval must be > 0, got {self.sample_interval_s}"
+            )
+        if self.stats_window_s <= 0.0:
+            raise ConfigurationError(
+                f"stats window must be > 0, got {self.stats_window_s}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.splitter not in _SPLITTERS:
+            raise ConfigurationError(
+                f"unknown splitter {self.splitter!r} "
+                f"(known: {', '.join(_SPLITTERS)})"
+            )
+        for pillar in self.observe:
+            if pillar not in _OBSERVE_PILLARS:
+                raise ConfigurationError(
+                    f"unknown observability pillar {pillar!r} "
+                    f"(known: {', '.join(_OBSERVE_PILLARS)})"
+                )
+        if self.kind == "latency":
+            if not self.trace:
+                raise ConfigurationError("latency scenario needs a load trace")
+            if self.trace[0] not in _TRACE_KINDS:
+                raise ConfigurationError(
+                    f"unknown trace spec kind {self.trace[0]!r} "
+                    f"(known: {', '.join(_TRACE_KINDS)})"
+                )
+        else:
+            if self.rate_qps <= 0.0:
+                raise ConfigurationError(
+                    f"rate must be > 0, got {self.rate_qps}"
+                )
+            for name, value in (
+                ("trace", self.trace),
+                ("budget_watts", self.budget_watts),
+                ("initial_freq_ghz", self.initial_freq_ghz),
+                ("allocation", self.allocation),
+                ("controller", self.controller),
+                ("contention", self.contention),
+                ("chaos", self.chaos),
+            ):
+                if value not in ((), None):
+                    raise ConfigurationError(
+                        f"qos scenarios do not accept {name!r}"
+                    )
+            if self.shards != 1:
+                raise ConfigurationError("qos scenarios cannot be sharded")
+            if self.drain_s > 0.0:
+                raise ConfigurationError("qos scenarios have no drain window")
+        if self.contention and self.contention[0] not in _CONTENTION_KINDS:
+            raise ConfigurationError(
+                f"unknown contention spec kind {self.contention[0]!r} "
+                f"(known: {', '.join(_CONTENTION_KINDS)})"
+            )
+        if self.allocation is not None:
+            for entry in self.allocation:
+                if len(entry) != 3:
+                    raise ConfigurationError(
+                        f"allocation entries are (stage, count, level), "
+                        f"got {entry!r}"
+                    )
+                StageAllocation(count=entry[1], level=entry[2])
+        for key, _ in self.controller:
+            if key not in _CONTROLLER_FIELDS:
+                known = ", ".join(sorted(_CONTROLLER_FIELDS))
+                raise ConfigurationError(
+                    f"unknown controller option {key!r} (known: {known})"
+                )
+        for label, items in (("controller", self.controller), ("options", self.options)):
+            for key, value in items:
+                if not isinstance(value, _SCALAR_TYPES):
+                    raise ConfigurationError(
+                        f"{label} value {key!r} must be a scalar, got "
+                        f"{type(value).__name__}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Friendly constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def latency(
+        cls,
+        app: str,
+        policy: str,
+        trace: Union[LoadTrace, tuple],
+        duration_s: float,
+        seed: int = 1,
+        budget_watts: Optional[float] = None,
+        initial_freq_ghz: Optional[float] = None,
+        controller: Union[ControllerConfig, Sequence, None] = None,
+        allocation: Optional[Mapping[str, StageAllocation]] = None,
+        contention: Union[ContentionModel, tuple, None] = None,
+        chaos: Union[None, str, FaultPlan, Mapping[str, Any]] = None,
+        shards: int = 1,
+        splitter: str = "least-in-flight",
+        observe: Sequence[str] = (),
+        n_cores: int = 16,
+        sample_interval_s: float = 5.0,
+        stats_window_s: float = 60.0,
+        drain_s: float = 0.0,
+        **options: Any,
+    ) -> "ScenarioSpec":
+        """A latency-mitigation scenario (Sections 8.2/8.3)."""
+        if isinstance(trace, tuple):
+            trace_spec = trace
+        else:
+            try:
+                trace_spec = trace_to_spec(trace)
+            except ConfigurationError:
+                trace_spec = ("custom", type(trace).__name__)
+        if isinstance(contention, tuple) or contention is None:
+            contention_spec = contention if contention else ()
+        else:
+            contention_spec = contention_to_spec(contention)
+        if controller is None:
+            controller_spec: tuple[tuple[str, Any], ...] = ()
+        elif isinstance(controller, ControllerConfig):
+            controller_spec = controller_to_spec(controller)
+        else:
+            controller_spec = _sorted_items(controller)
+        allocation_spec = None
+        if allocation is not None:
+            allocation_spec = tuple(
+                (name, alloc.count, alloc.level)
+                for name, alloc in sorted(allocation.items())
+            )
+        return cls(
+            kind="latency",
+            app=app,
+            policy=policy,
+            duration_s=float(duration_s),
+            seed=int(seed),
+            trace=_deep_tuple(trace_spec),
+            budget_watts=None if budget_watts is None else float(budget_watts),
+            initial_freq_ghz=(
+                None if initial_freq_ghz is None else float(initial_freq_ghz)
+            ),
+            allocation=allocation_spec,
+            controller=controller_spec,
+            contention=_deep_tuple(contention_spec),
+            n_cores=int(n_cores),
+            sample_interval_s=float(sample_interval_s),
+            stats_window_s=float(stats_window_s),
+            drain_s=float(drain_s),
+            chaos=chaos_to_spec(chaos),
+            shards=int(shards),
+            splitter=splitter,
+            observe=tuple(observe),
+            options=_sorted_items(options),
+        )
+
+    @classmethod
+    def qos(
+        cls,
+        app: str,
+        policy: str,
+        rate_qps: float,
+        duration_s: float,
+        seed: int = 1,
+        observe: Sequence[str] = (),
+        n_cores: int = 16,
+        sample_interval_s: float = 5.0,
+        **options: Any,
+    ) -> "ScenarioSpec":
+        """A QoS-mode scenario; ``app`` names a Table-3 deployment."""
+        return cls(
+            kind="qos",
+            app=app,
+            policy=policy,
+            duration_s=float(duration_s),
+            seed=int(seed),
+            rate_qps=float(rate_qps),
+            n_cores=int(n_cores),
+            sample_interval_s=float(sample_interval_s),
+            observe=tuple(observe),
+            options=_sorted_items(options),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress and reports."""
+        sharding = f" x{self.shards}" if self.shards > 1 else ""
+        return f"{self.kind}:{self.app}/{self.policy}{sharding} seed={self.seed}"
+
+    def allocation_mapping(self) -> Optional[dict[str, StageAllocation]]:
+        """The allocation as the mapping the builder consumes."""
+        if self.allocation is None:
+            return None
+        return {
+            name: StageAllocation(count=count, level=level)
+            for name, count, level in self.allocation
+        }
+
+    def controller_config(self) -> Optional[ControllerConfig]:
+        """The controller config, or ``None`` when the default applies."""
+        if not self.controller:
+            return None
+        return controller_from_spec(self.controller)
+
+    def chaos_plan(self) -> Optional[FaultPlan]:
+        """Materialise the chaos plan (built-in names scale to duration)."""
+        if self.chaos is None:
+            return None
+        if self.chaos.lstrip().startswith("{"):
+            return FaultPlan.from_dict(json.loads(self.chaos))
+        from repro.faults.plan import load_plan
+
+        return load_plan(self.chaos, self.duration_s)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The spec as a JSON-serialisable dict (the canonical form)."""
+        chaos: Union[None, str, dict[str, Any]] = self.chaos
+        if isinstance(chaos, str) and chaos.lstrip().startswith("{"):
+            chaos = json.loads(chaos)
+        return {
+            "version": SCENARIO_FORMAT_VERSION,
+            "kind": self.kind,
+            "app": self.app,
+            "policy": self.policy,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "trace": _deep_list(self.trace),
+            "rate_qps": self.rate_qps,
+            "budget_watts": self.budget_watts,
+            "initial_freq_ghz": self.initial_freq_ghz,
+            "allocation": _deep_list(self.allocation),
+            "controller": dict(self.controller),
+            "contention": _deep_list(self.contention),
+            "n_cores": self.n_cores,
+            "sample_interval_s": self.sample_interval_s,
+            "stats_window_s": self.stats_window_s,
+            "drain_s": self.drain_s,
+            "chaos": chaos,
+            "shards": self.shards,
+            "splitter": self.splitter,
+            "observe": list(self.observe),
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build and validate a spec from its dict form.
+
+        Unknown keys are an error (a typoed knob must not silently fall
+        back to a default); missing keys take their defaults.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"scenario spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        payload = dict(data)
+        version = payload.pop("version", SCENARIO_FORMAT_VERSION)
+        if version != SCENARIO_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario format version {version!r} "
+                f"(this build speaks {SCENARIO_FORMAT_VERSION})"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        kwargs: dict[str, Any] = {}
+        for key, value in payload.items():
+            if key in ("trace", "contention"):
+                kwargs[key] = _deep_tuple(value or ())
+            elif key == "allocation":
+                kwargs[key] = None if value is None else _deep_tuple(value)
+            elif key in ("controller", "options"):
+                kwargs[key] = _sorted_items(value or {})
+            elif key == "observe":
+                kwargs[key] = tuple(value or ())
+            elif key == "chaos":
+                kwargs[key] = chaos_to_spec(value)
+            else:
+                kwargs[key] = value
+        for required in ("kind", "app", "policy", "duration_s"):
+            if required not in kwargs:
+                raise ConfigurationError(
+                    f"scenario spec needs a {required!r} key"
+                )
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The spec as JSON; canonical (sorted, compact) when unindented."""
+        if indent is None:
+            return _canonical(self.to_dict())
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"scenario spec is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(data)
+
+    def digest(self) -> str:
+        """Stable SHA-256 content address of this scenario.
+
+        Two specs share a digest exactly when their canonical dict forms
+        match under the same :data:`SCENARIO_FORMAT_VERSION`; this is the
+        key the content-addressed result cache files cells under.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()

@@ -543,3 +543,81 @@ class TestSuppressionWildcard:
         report = lint_paths([tmp_path], select=["unit-mismatch"])
         assert report.clean
         assert report.suppressed == 1
+
+
+class TestScenarioBypass:
+    def test_fires_on_direct_stack_assembly(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "experiments/adhoc.py": """\
+                from repro.cluster import Machine, PowerBudget
+                from repro.service import CommandCenter
+                from repro.sim import Simulator
+
+
+                def assemble():
+                    sim = Simulator()
+                    machine = Machine(sim, n_cores=16)
+                    budget = PowerBudget(machine, 40.0)
+                    return CommandCenter(sim, None), budget
+                """
+            },
+        )
+        report = lint_paths([tmp_path], select=["scenario-bypass"])
+        assert fired(report) == [
+            ("scenario-bypass", 8),
+            ("scenario-bypass", 9),
+            ("scenario-bypass", 10),
+        ]
+        assert "bypasses the scenario layer" in report.findings[0].message
+
+    def test_scenario_package_and_tests_are_exempt(self, tmp_path):
+        snippet = """\
+        from repro.cluster import Machine
+        from repro.sim import Simulator
+
+
+        def assemble():
+            return Machine(Simulator(), n_cores=4)
+        """
+        write_tree(
+            tmp_path,
+            {"scenario/builder.py": snippet, "tests/test_machine.py": snippet},
+        )
+        report = lint_paths([tmp_path], select=["scenario-bypass"])
+        assert report.clean
+
+    def test_foreign_machine_is_not_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "experiments/other.py": """\
+                import sklearn.machine as skm
+
+
+                def foreign():
+                    return skm.Machine()
+                """
+            },
+        )
+        report = lint_paths([tmp_path], select=["scenario-bypass"])
+        assert report.clean
+
+    def test_line_suppression(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "experiments/escape.py": """\
+                from repro.cluster import Machine
+                from repro.sim import Simulator
+
+
+                def assemble():
+                    return Machine(Simulator())  # repro-lint: disable=scenario-bypass
+                """
+            },
+        )
+        report = lint_paths([tmp_path], select=["scenario-bypass"])
+        assert report.clean
+        assert report.suppressed == 1

@@ -1,0 +1,184 @@
+"""StackBuilder: seed-equivalence goldens, lifecycle and sharded runs.
+
+The golden values pin the pre-refactor behaviour of the experiment
+runners: the scenario layer must reproduce them bit for bit, because the
+content-addressed result cache and every published figure depend on the
+runs being byte-identical for a pinned seed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.config import TABLE3_SIRIUS
+from repro.experiments.runner import run_latency_experiment, run_qos_experiment
+from repro.scenario import (
+    QosRunResult,
+    RunResult,
+    ScenarioSpec,
+    ShardedRunResult,
+    StackBuilder,
+    run_scenario,
+)
+from repro.workloads.loadgen import ConstantLoad
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+
+#: Pre-refactor runner output for sirius/powerchief, ConstantLoad(1.5),
+#: 180 s, seed=7 — captured on the commit before the scenario layer
+#: existed.  Exact equality on purpose: this is a determinism contract.
+LATENCY_GOLDEN = {
+    "queries_submitted": 270,
+    "queries_completed": 267,
+    "mean": 2.3966547044476405,
+    "p50": 2.148881283990278,
+    "p99": 6.1821776108917845,
+    "average_power_watts": 13.316664380429811,
+    "n_actions": 16,
+    "n_samples": 37,
+}
+
+#: Pre-refactor QoS runner output for TABLE3_SIRIUS/powerchief,
+#: 4.0 qps, 120 s, seed=5.
+QOS_GOLDEN = {
+    "queries_submitted": 490,
+    "queries_completed": 483,
+    "mean": 1.2072467627154604,
+    "average_power_fraction": 0.6139641298127894,
+    "violation_fraction": 0.0,
+    "n_actions": 32,
+}
+
+
+@pytest.fixture(scope="module")
+def latency_spec():
+    return ScenarioSpec.latency(
+        "sirius", "powerchief", ("constant", 1.5), 180.0, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def latency_result(latency_spec):
+    return run_scenario(latency_spec)
+
+
+class TestSeedEquivalence:
+    def test_scenario_run_matches_pre_refactor_golden(self, latency_result):
+        result = latency_result
+        assert result.queries_submitted == LATENCY_GOLDEN["queries_submitted"]
+        assert result.queries_completed == LATENCY_GOLDEN["queries_completed"]
+        assert result.latency.mean == LATENCY_GOLDEN["mean"]
+        assert result.latency.p50 == LATENCY_GOLDEN["p50"]
+        assert result.latency.p99 == LATENCY_GOLDEN["p99"]
+        assert (
+            result.average_power_watts == LATENCY_GOLDEN["average_power_watts"]
+        )
+        assert len(result.actions) == LATENCY_GOLDEN["n_actions"]
+        assert len(result.state_samples) == LATENCY_GOLDEN["n_samples"]
+
+    def test_wrapper_and_scenario_agree(self, latency_result):
+        via_wrapper = run_latency_experiment(
+            "sirius", "powerchief", ConstantLoad(1.5), 180.0, seed=7
+        )
+        assert via_wrapper.queries_submitted == latency_result.queries_submitted
+        assert via_wrapper.latency.mean == latency_result.latency.mean
+        assert via_wrapper.latency.p99 == latency_result.latency.p99
+        assert (
+            via_wrapper.average_power_watts
+            == latency_result.average_power_watts
+        )
+
+    def test_qos_run_matches_pre_refactor_golden(self):
+        spec = ScenarioSpec.qos(
+            "sirius",
+            "powerchief",
+            4.0,
+            120.0,
+            seed=5,
+        )
+        result = run_scenario(spec)
+        assert isinstance(result, QosRunResult)
+        assert result.queries_submitted == QOS_GOLDEN["queries_submitted"]
+        assert result.queries_completed == QOS_GOLDEN["queries_completed"]
+        assert result.latency.mean == QOS_GOLDEN["mean"]
+        assert (
+            result.average_power_fraction
+            == QOS_GOLDEN["average_power_fraction"]
+        )
+        assert result.violation_fraction == QOS_GOLDEN["violation_fraction"]
+        assert len(result.actions) == QOS_GOLDEN["n_actions"]
+        via_wrapper = run_qos_experiment(
+            TABLE3_SIRIUS, "powerchief", rate_qps=4.0, duration_s=120.0, seed=5
+        )
+        assert via_wrapper.latency.mean == result.latency.mean
+        assert (
+            via_wrapper.average_power_fraction == result.average_power_fraction
+        )
+
+
+class TestLifecycle:
+    def test_phases_must_run_in_order(self, latency_spec):
+        builder = StackBuilder(latency_spec)
+        with pytest.raises(ExperimentError):
+            builder.start()
+        with pytest.raises(ExperimentError):
+            builder.collect()
+        builder.build()
+        with pytest.raises(ExperimentError):
+            builder.build()
+        with pytest.raises(ExperimentError):
+            builder.run()
+
+    def test_execute_walks_every_phase(self, latency_result):
+        assert isinstance(latency_result, RunResult)
+
+    def test_qos_rejects_latency_overrides(self):
+        spec = ScenarioSpec.qos("sirius", "powerchief", 4.0, 60.0)
+        with pytest.raises(ConfigurationError):
+            StackBuilder(spec, trace=ConstantLoad(1.0))
+
+
+class TestShardedFromJson:
+    @pytest.fixture(scope="class")
+    def sharded_result(self):
+        spec = ScenarioSpec.from_json(
+            (EXAMPLES / "sharded_chaos.json").read_text(encoding="utf-8")
+        )
+        return spec, run_scenario(spec)
+
+    def test_example_spec_runs_end_to_end(self, sharded_result):
+        spec, result = sharded_result
+        assert isinstance(result, ShardedRunResult)
+        assert result.n_shards == 2
+        assert result.splitter == "least-in-flight"
+        assert result.queries_completed == sum(
+            shard.queries_completed for shard in result.shards
+        )
+        assert result.queries_completed > 0
+        assert result.latency is not None and result.latency.mean > 0.0
+        assert result.average_power_watts > 0.0
+
+    def test_chaos_actually_fired(self, sharded_result):
+        spec, _ = sharded_result
+        plan = spec.chaos_plan()
+        assert plan is not None and plan.specs
+
+    def test_sharded_run_is_deterministic(self, sharded_result):
+        spec, first = sharded_result
+        second = run_scenario(ScenarioSpec.from_json(spec.to_json()))
+        assert second.queries_completed == first.queries_completed
+        assert second.latency.mean == first.latency.mean
+        assert second.average_power_watts == first.average_power_watts
+        assert [s.queries_completed for s in second.shards] == [
+            s.queries_completed for s in first.shards
+        ]
+
+    def test_example_specs_validate(self):
+        for path in sorted(EXAMPLES.glob("*.json")):
+            spec = ScenarioSpec.from_json(path.read_text(encoding="utf-8"))
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert spec.to_dict()["kind"] == payload["kind"]

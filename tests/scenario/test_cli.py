@@ -1,0 +1,126 @@
+"""CLI surface of the scenario layer and the new latency flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.scenario import ScenarioSpec
+
+
+@pytest.fixture
+def tiny_scenario(tmp_path):
+    spec = ScenarioSpec.latency(
+        "sirius", "powerchief", ("constant", 1.0), 40.0, seed=2
+    )
+    path = tmp_path / "tiny.json"
+    path.write_text(spec.to_json(indent=2), encoding="utf-8")
+    return spec, path
+
+
+class TestLatencyFlags:
+    def test_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "latency",
+                "sirius",
+                "powerchief",
+                "--budget-watts",
+                "30.5",
+                "--cores",
+                "12",
+                "--drain",
+                "15",
+            ]
+        )
+        assert args.budget_watts == 30.5
+        assert args.cores == 12
+        assert args.drain == 15.0
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--budget-watts", "0"),
+            ("--budget-watts", "-3"),
+            ("--budget-watts", "lots"),
+            ("--cores", "0"),
+            ("--cores", "2.5"),
+            ("--drain", "-1"),
+        ],
+    )
+    def test_bad_values_rejected_at_parse_time(self, flag, value, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(
+                ["latency", "sirius", "static", flag, value]
+            )
+        assert excinfo.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_drain_defaults_to_zero(self):
+        args = build_parser().parse_args(
+            ["latency", "sirius", "static"]
+        )
+        assert args.drain == 0.0
+        assert args.budget_watts is None
+        assert args.cores is None
+
+
+class TestScenarioCommand:
+    def test_validate_ok(self, tiny_scenario, capsys):
+        spec, path = tiny_scenario
+        assert main(["scenario", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert spec.digest()[:16] in out
+
+    def test_validate_rejects_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "latency"}', encoding="utf-8")
+        assert main(["scenario", "validate", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["scenario", "validate", str(missing)]) != 0
+
+    def test_dump_emits_canonical_json(self, tiny_scenario, capsys):
+        spec, path = tiny_scenario
+        assert main(["scenario", "dump", str(path)]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert ScenarioSpec.from_dict(dumped) == spec
+
+
+class TestRunCommand:
+    def test_run_computes_then_hits_cache(self, tiny_scenario, tmp_path, capsys):
+        spec, path = tiny_scenario
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                ["run", "--scenario", str(path), "--cache-dir", str(cache)]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert "source=computed" in first
+        assert spec.digest()[:16] in first
+        assert (
+            main(
+                ["run", "--scenario", str(path), "--cache-dir", str(cache)]
+            )
+            == 0
+        )
+        assert "source=cache" in capsys.readouterr().out
+
+    def test_run_writes_json(self, tiny_scenario, tmp_path, capsys):
+        _, path = tiny_scenario
+        out_path = tmp_path / "result.json"
+        assert (
+            main(["run", "--scenario", str(path), "--json", str(out_path)]) == 0
+        )
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["kind"] == "latency"
+        assert payload["result"]["queries_completed"] > 0

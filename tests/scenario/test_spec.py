@@ -1,0 +1,193 @@
+"""ScenarioSpec: validation, JSON round-trips and digest stability."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.controller import ControllerConfig
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.scenario import (
+    SCENARIO_FORMAT_VERSION,
+    ScenarioSpec,
+    StageAllocation,
+)
+from repro.workloads.loadgen import ConstantLoad, PiecewiseLoad
+
+
+def latency_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        kind="latency",
+        app="sirius",
+        policy="powerchief",
+        trace=("constant", 1.5),
+        duration_s=180.0,
+        seed=7,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_spec(kind="batch")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_spec(policy="psychic")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.qos("sirius", "freq-boost", 4.0, 60.0)
+
+    def test_qos_forbids_latency_only_fields(self):
+        for field, value in [
+            ("trace", ("constant", 1.0)),
+            ("budget_watts", 30.0),
+            ("shards", 2),
+            ("drain_s", 10.0),
+            ("chaos", "crash-heavy"),
+        ]:
+            with pytest.raises(ConfigurationError):
+                ScenarioSpec(
+                    kind="qos",
+                    app="sirius",
+                    policy="powerchief",
+                    rate_qps=4.0,
+                    duration_s=60.0,
+                    **{field: value},
+                )
+
+    def test_controller_keys_must_be_config_fields(self):
+        with pytest.raises(ConfigurationError):
+            latency_spec(controller=(("warp_factor", 9.0),))
+        fields = {f.name for f in dataclasses.fields(ControllerConfig)}
+        assert "adjust_interval_s" in fields
+        latency_spec(controller=(("adjust_interval_s", 25.0),))
+
+    def test_allocation_counts_positive(self):
+        with pytest.raises(ConfigurationError):
+            StageAllocation(count=0, level=1.8)
+
+    def test_unknown_splitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_spec(shards=2, splitter="coin-flip")
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = latency_spec(
+            shards=2,
+            drain_s=30.0,
+            chaos="crash-heavy",
+            controller=(("adjust_interval_s", 25.0), ("stale_metric_guard", True)),
+            options=(("n_cores", 16),),
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+
+    def test_qos_round_trip(self):
+        spec = ScenarioSpec.qos(
+            "sirius",
+            "powerchief",
+            4.0,
+            120.0,
+            seed=5,
+            conserve_fraction=0.75,
+            guard_fraction=0.92,
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_version_stamped_and_checked(self):
+        payload = latency_spec().to_dict()
+        assert payload["version"] == SCENARIO_FORMAT_VERSION
+        payload["version"] = SCENARIO_FORMAT_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_keys_rejected(self):
+        payload = latency_spec().to_dict()
+        payload["warp"] = True
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict(payload)
+
+    def test_trace_variants_round_trip(self):
+        constant = latency_spec(trace=("constant", 2.5))
+        piecewise = latency_spec(
+            trace=("piecewise", ((0.0, 1.0), (60.0, 3.0), (120.0, 1.5)))
+        )
+        diurnal = latency_spec(trace=("diurnal", 2.0, 1.0, 600.0, 0.0))
+        for spec in (constant, piecewise, diurnal):
+            restored = ScenarioSpec.from_json(spec.to_json())
+            assert restored == spec
+
+    def test_inline_chaos_plan_round_trips(self):
+        plan = FaultPlan(
+            name="one-crash",
+            specs=(
+                FaultSpec(
+                    kind=FaultKind.INSTANCE_CRASH,
+                    at_s=30.0,
+                    stage="asr",
+                ),
+            ),
+        )
+        spec = ScenarioSpec.latency(
+            "sirius", "powerchief", ("constant", 1.5), 180.0, seed=7, chaos=plan
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.digest() == spec.digest()
+        rebuilt = restored.chaos_plan()
+        assert rebuilt is not None
+        assert len(rebuilt.specs) == 1
+        assert rebuilt.specs[0].kind is FaultKind.INSTANCE_CRASH
+
+
+class TestDigest:
+    def test_digest_stable_across_key_order(self):
+        spec = latency_spec(
+            controller=(("balance_threshold_s", 0.25), ("adjust_interval_s", 25.0)),
+        )
+        payload = spec.to_dict()
+        shuffled = json.dumps(dict(reversed(list(payload.items()))))
+        restored = ScenarioSpec.from_json(shuffled)
+        assert restored.digest() == spec.digest()
+
+    def test_digest_changes_with_seed(self):
+        assert latency_spec(seed=7).digest() != latency_spec(seed=8).digest()
+
+    def test_digest_is_hex_sha256(self):
+        digest = latency_spec().digest()
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestHelpers:
+    def test_latency_classmethod_accepts_load_objects(self):
+        from_tuple = ScenarioSpec.latency(
+            "sirius", "powerchief", ("constant", 1.5), 180.0, seed=7
+        )
+        from_load = ScenarioSpec.latency(
+            "sirius", "powerchief", ConstantLoad(1.5), 180.0, seed=7
+        )
+        assert from_tuple == from_load
+
+    def test_piecewise_load_object_converts(self):
+        load = PiecewiseLoad(((0.0, 1.0), (60.0, 2.0)))
+        spec = ScenarioSpec.latency("sirius", "powerchief", load, 120.0)
+        assert spec.trace[0] == "piecewise"
+
+    def test_label_identifies_the_run(self):
+        assert "x2" in latency_spec(shards=2).label
+        qos_label = ScenarioSpec.qos("sirius", "baseline", 2.0, 60.0, seed=9).label
+        assert qos_label.startswith("qos:sirius/baseline")
+        assert "seed=9" in qos_label
+
+    def test_controller_config_materialises(self):
+        spec = latency_spec(controller=(("adjust_interval_s", 25.0),))
+        config = spec.controller_config()
+        assert config is not None and config.adjust_interval_s == 25.0
+        assert latency_spec().controller_config() is None
