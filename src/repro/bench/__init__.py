@@ -1,0 +1,39 @@
+"""The performance-measurement layer: microbenchmarks and speed gates.
+
+ROADMAP's first open item: the simulator had never been profiled or
+speed-gated — "as fast as the hardware allows" was unmeasured.  This
+package is the instrument: a set of pinned benchmark scenarios
+(:mod:`repro.bench.scenarios`), a harness that times them and computes
+throughput metrics (:mod:`repro.bench.harness`), and a regression gate
+that compares a fresh run against a committed baseline
+(:func:`repro.bench.harness.compare_reports`).
+
+``repro bench`` emits the canonical ``BENCH_v6.json`` artifact; CI runs
+``repro bench --quick --check benchmarks/micro/baseline_quick.json`` and
+fails on a >15% wall-clock regression.  See the "Performance" section of
+``docs/architecture.md`` for the artifact schema and how to read a gate
+failure.
+"""
+
+from repro.bench.harness import (
+    BENCH_FORMAT,
+    BENCH_VERSION,
+    BenchReport,
+    ScenarioMeasurement,
+    compare_reports,
+    load_report,
+    run_bench,
+)
+from repro.bench.scenarios import BenchScenario, bench_scenarios
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_VERSION",
+    "BenchReport",
+    "BenchScenario",
+    "ScenarioMeasurement",
+    "bench_scenarios",
+    "compare_reports",
+    "load_report",
+    "run_bench",
+]

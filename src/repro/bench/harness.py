@@ -1,0 +1,344 @@
+"""The microbenchmark harness: time the pinned cells, gate regressions.
+
+One measurement runs one :class:`~repro.bench.scenarios.BenchScenario`
+through the ordinary :class:`~repro.scenario.builder.StackBuilder`
+lifecycle — the benchmark exercises exactly the code a campaign cell
+does — and reports four throughput views of the same run:
+
+* ``wall_s`` — wall-clock seconds for the whole cell (build to collect);
+* ``sim_seconds_per_wall_s`` — simulated seconds advanced per wall
+  second ("how much faster than real time the simulator runs");
+* ``events_per_wall_s`` — simulator events fired per wall second (the
+  per-event overhead view);
+* ``queries_per_wall_s`` — completed queries per wall second (the
+  campaign-throughput view).
+
+With ``repeats > 1`` the fastest repetition wins: scheduler noise only
+ever slows a run down, so the minimum is the best estimate of the code's
+true cost.  Event and query counts are asserted identical across
+repetitions — a discrepancy means nondeterminism, which is a bug worth
+crashing on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError, ReproError
+from repro.bench.scenarios import (
+    HEADLINE_SCENARIO,
+    BenchScenario,
+    bench_scenarios,
+)
+from repro.scenario.builder import StackBuilder
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_VERSION",
+    "ScenarioMeasurement",
+    "BenchReport",
+    "Regression",
+    "run_bench",
+    "compare_reports",
+    "load_report",
+]
+
+#: Artifact format marker; consumers key on this before parsing.
+BENCH_FORMAT = "repro-bench"
+
+#: Bumped when the artifact's layout changes; the ``v6`` in
+#: ``BENCH_v6.json``.
+BENCH_VERSION = 6
+
+
+@dataclass(frozen=True)
+class ScenarioMeasurement:
+    """The timing of one benchmark cell (fastest of ``repeats`` runs)."""
+
+    name: str
+    spec_digest: str
+    repeats: int
+    wall_s: float
+    simulated_s: float
+    events: int
+    queries_completed: int
+
+    @property
+    def sim_seconds_per_wall_s(self) -> float:
+        return self.simulated_s / self.wall_s
+
+    @property
+    def events_per_wall_s(self) -> float:
+        return self.events / self.wall_s
+
+    @property
+    def queries_per_wall_s(self) -> float:
+        return self.queries_completed / self.wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "spec_digest": self.spec_digest,
+            "repeats": self.repeats,
+            "wall_s": self.wall_s,
+            "simulated_s": self.simulated_s,
+            "events": self.events,
+            "queries_completed": self.queries_completed,
+            "sim_seconds_per_wall_s": self.sim_seconds_per_wall_s,
+            "events_per_wall_s": self.events_per_wall_s,
+            "queries_per_wall_s": self.queries_per_wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioMeasurement":
+        return cls(
+            name=data["name"],
+            spec_digest=data["spec_digest"],
+            repeats=data["repeats"],
+            wall_s=data["wall_s"],
+            simulated_s=data["simulated_s"],
+            events=data["events"],
+            queries_completed=data["queries_completed"],
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One full harness run: every measured cell, plus the run's mode."""
+
+    quick: bool
+    measurements: tuple[ScenarioMeasurement, ...]
+
+    def measurement(self, name: str) -> ScenarioMeasurement:
+        for entry in self.measurements:
+            if entry.name == name:
+                return entry
+        known = ", ".join(entry.name for entry in self.measurements)
+        raise ConfigurationError(
+            f"report has no scenario {name!r} (has: {known})"
+        )
+
+    def has(self, name: str) -> bool:
+        return any(entry.name == name for entry in self.measurements)
+
+    def to_dict(self, baseline: Optional["BenchReport"] = None) -> dict:
+        """The artifact payload; ``baseline`` embeds the pre-PR numbers.
+
+        With a baseline, the payload also carries per-cell wall-clock
+        speedups and the headline-cell speedup — the trajectory a future
+        reader needs to see whether an optimisation PR actually paid.
+        """
+        payload: dict = {
+            "format": BENCH_FORMAT,
+            "version": BENCH_VERSION,
+            "quick": self.quick,
+            "scenarios": {m.name: m.to_dict() for m in self.measurements},
+        }
+        if baseline is not None:
+            speedups = {}
+            for entry in self.measurements:
+                if not baseline.has(entry.name):
+                    continue
+                before = baseline.measurement(entry.name)
+                speedups[entry.name] = {
+                    "wall_clock": before.wall_s / entry.wall_s,
+                    "events_per_wall_s": (
+                        entry.events_per_wall_s / before.events_per_wall_s
+                    ),
+                }
+            payload["pre_pr_baseline"] = {
+                "quick": baseline.quick,
+                "scenarios": {
+                    m.name: m.to_dict() for m in baseline.measurements
+                },
+            }
+            payload["speedup_vs_pre_pr"] = speedups
+            if HEADLINE_SCENARIO in speedups:
+                payload["headline_speedup"] = speedups[HEADLINE_SCENARIO][
+                    "wall_clock"
+                ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        if data.get("format") != BENCH_FORMAT:
+            raise ConfigurationError(
+                f"not a {BENCH_FORMAT} artifact: format="
+                f"{data.get('format')!r}"
+            )
+        if data.get("version") != BENCH_VERSION:
+            raise ConfigurationError(
+                f"unsupported bench artifact version {data.get('version')!r} "
+                f"(this build speaks {BENCH_VERSION})"
+            )
+        return cls(
+            quick=bool(data["quick"]),
+            measurements=tuple(
+                ScenarioMeasurement.from_dict(entry)
+                for entry in data["scenarios"].values()
+            ),
+        )
+
+    def write(
+        self, path: Union[str, Path], baseline: Optional["BenchReport"] = None
+    ) -> Path:
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_dict(baseline), indent=2, sort_keys=True) + "\n"
+        )
+        return target
+
+
+def load_report(path: Union[str, Path]) -> BenchReport:
+    """Read a ``BENCH_*.json`` artifact back into a report."""
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read bench report {path}: {error}") from error
+    try:
+        return BenchReport.from_dict(json.loads(text))
+    except (ValueError, KeyError, TypeError) as error:
+        raise ConfigurationError(
+            f"malformed bench report {path}: {error!r}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def _measure_once(scenario: BenchScenario, quick: bool) -> tuple[float, float, int, int]:
+    spec = scenario.quick_spec if quick else scenario.spec
+    started = time.perf_counter()
+    builder = StackBuilder(spec)
+    result = builder.execute()
+    wall = time.perf_counter() - started
+    sim = builder.sim
+    assert sim is not None
+    return wall, spec.duration_s + spec.drain_s, sim.events_processed, result.queries_completed
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 1,
+    names: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Measure the pinned cells; the fastest of ``repeats`` runs wins."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    chosen = bench_scenarios()
+    if names is not None:
+        wanted = set(names)
+        known = {scenario.name for scenario in chosen}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown bench scenarios: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        chosen = tuple(s for s in chosen if s.name in wanted)
+    measurements = []
+    for scenario in chosen:
+        spec = scenario.quick_spec if quick else scenario.spec
+        best_wall: Optional[float] = None
+        counts: Optional[tuple[int, int]] = None
+        simulated = 0.0
+        for repeat in range(repeats):
+            if progress is not None:
+                suffix = f" (repeat {repeat + 1}/{repeats})" if repeats > 1 else ""
+                progress(f"running {scenario.name}{suffix} ...")
+            wall, simulated, events, queries = _measure_once(scenario, quick)
+            if counts is None:
+                counts = (events, queries)
+            elif counts != (events, queries):
+                raise ReproError(
+                    f"bench cell {scenario.name} is nondeterministic: "
+                    f"repeat {repeat + 1} fired {events} events / "
+                    f"{queries} queries, first run {counts[0]} / {counts[1]}"
+                )
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        assert best_wall is not None and counts is not None
+        measurements.append(
+            ScenarioMeasurement(
+                name=scenario.name,
+                spec_digest=spec.digest(),
+                repeats=repeats,
+                wall_s=best_wall,
+                simulated_s=simulated,
+                events=counts[0],
+                queries_completed=counts[1],
+            )
+        )
+        if progress is not None:
+            entry = measurements[-1]
+            progress(
+                f"{scenario.name}: {entry.wall_s:.2f}s wall, "
+                f"{entry.sim_seconds_per_wall_s:.0f} sim-s/s, "
+                f"{entry.events_per_wall_s:.0f} events/s, "
+                f"{entry.queries_per_wall_s:.0f} queries/s"
+            )
+    return BenchReport(quick=quick, measurements=tuple(measurements))
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Regression:
+    """One cell that got slower than the gate allows."""
+
+    name: str
+    baseline_wall_s: float
+    current_wall_s: float
+    threshold: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.current_wall_s / self.baseline_wall_s
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.current_wall_s:.2f}s vs baseline "
+            f"{self.baseline_wall_s:.2f}s ({self.slowdown:.2f}x, gate "
+            f"allows {1.0 + self.threshold:.2f}x)"
+        )
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    threshold: float = 0.15,
+) -> list[Regression]:
+    """Cells of ``current`` that are >``threshold`` slower than baseline.
+
+    Comparing a quick run against a full baseline (or vice versa) is an
+    error, not a pass: the durations differ, so every number would.
+    """
+    if threshold <= 0.0:
+        raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+    if current.quick != baseline.quick:
+        raise ConfigurationError(
+            f"mode mismatch: current run quick={current.quick} but "
+            f"baseline quick={baseline.quick}; gate runs must match the "
+            f"baseline's mode"
+        )
+    regressions = []
+    for entry in current.measurements:
+        if not baseline.has(entry.name):
+            continue
+        before = baseline.measurement(entry.name)
+        if entry.wall_s > before.wall_s * (1.0 + threshold):
+            regressions.append(
+                Regression(
+                    name=entry.name,
+                    baseline_wall_s=before.wall_s,
+                    current_wall_s=entry.wall_s,
+                    threshold=threshold,
+                )
+            )
+    return regressions

@@ -1,0 +1,118 @@
+"""The pinned benchmark scenarios.
+
+Three cells, chosen to bound every campaign the parallel engine fans
+out:
+
+* ``headline-large`` — the stress cell: 64 service instances (22/21/21
+  across Sirius's three stages) on a 64-core machine with an effectively
+  unlimited budget, driven at 40 qps for 2500 simulated seconds — about
+  10^5 completed queries.  This is the cell the >=3x speedup claim is
+  measured on.
+* ``table2-standard`` — the paper's own Table-2 deployment (one instance
+  per stage, 16 cores, the 13.56 W budget) under high load: what one
+  ordinary campaign cell costs.
+* ``websearch-qos`` — a Table-3 QoS-mode run over the scatter-gather
+  Web-Search deployment: exercises the conserve controller, the
+  per-shard fan-out serving path and the QoS sampling loop.
+
+Every scenario is a frozen :class:`~repro.scenario.spec.ScenarioSpec`
+value, so the benchmark's identity is content-addressed exactly like a
+campaign cell's; ``--quick`` only scales the duration, never the shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import ScenarioSpec, StageAllocation
+
+__all__ = ["BenchScenario", "bench_scenarios", "HEADLINE_SCENARIO"]
+
+#: The cell the headline speedup number is measured on.
+HEADLINE_SCENARIO = "headline-large"
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One pinned benchmark cell: a name plus its full/quick specs."""
+
+    name: str
+    description: str
+    spec: ScenarioSpec
+    quick_spec: ScenarioSpec
+
+
+def _headline_large(duration_s: float) -> ScenarioSpec:
+    return ScenarioSpec.latency(
+        "sirius",
+        "powerchief",
+        ("constant", 40.0),
+        duration_s,
+        seed=3,
+        budget_watts=1000.0,
+        allocation={
+            "ASR": StageAllocation(count=22, level=1),
+            "IMM": StageAllocation(count=21, level=1),
+            "QA": StageAllocation(count=21, level=1),
+        },
+        n_cores=64,
+    )
+
+
+def _table2_standard(duration_s: float) -> ScenarioSpec:
+    return ScenarioSpec.latency(
+        "sirius",
+        "powerchief",
+        ("constant", 1.95),
+        duration_s,
+        seed=3,
+    )
+
+
+def _websearch_qos(duration_s: float) -> ScenarioSpec:
+    return ScenarioSpec.qos("websearch", "powerchief", 8.0, duration_s, seed=3)
+
+
+def bench_scenarios() -> tuple[BenchScenario, ...]:
+    """The pinned benchmark cells, in reporting order."""
+    return (
+        BenchScenario(
+            name=HEADLINE_SCENARIO,
+            description=(
+                "64 instances / 64 cores, 40 qps x 2500 s (~1e5 queries): "
+                "the hot-path stress cell"
+            ),
+            spec=_headline_large(2500.0),
+            quick_spec=_headline_large(150.0),
+        ),
+        BenchScenario(
+            name="table2-standard",
+            description=(
+                "Table-2 deployment (one instance per stage, 16 cores, "
+                "13.56 W) at high load: one ordinary campaign cell"
+            ),
+            spec=_table2_standard(600.0),
+            quick_spec=_table2_standard(150.0),
+        ),
+        BenchScenario(
+            name="websearch-qos",
+            description=(
+                "Table-3 Web-Search QoS run (scatter-gather leaves, "
+                "conserve controller) at 8 qps"
+            ),
+            spec=_websearch_qos(400.0),
+            quick_spec=_websearch_qos(120.0),
+        ),
+    )
+
+
+def scenario_by_name(name: str) -> BenchScenario:
+    """Look up one pinned scenario; raises on an unknown name."""
+    for scenario in bench_scenarios():
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in bench_scenarios())
+    raise ConfigurationError(
+        f"unknown bench scenario {name!r} (known: {known})"
+    )

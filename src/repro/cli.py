@@ -28,6 +28,11 @@ Commands:
 * ``lint`` — the domain-aware static-analysis pass (:mod:`repro.lint`)
   over source trees; exits 0 when clean, 1 on findings, 2 on a crash in
   the tool itself.
+* ``bench`` — the microbenchmark harness (:mod:`repro.bench`): times the
+  pinned cells, emits the canonical ``BENCH_v6.json`` artifact, embeds
+  the committed pre-PR baseline's speedup trajectory, and with
+  ``--check`` gates against a committed baseline (exit 1 on a >15%
+  wall-clock regression).
 
 Both single-run commands can archive their full result with ``--json``.
 The global ``--log-level`` flag configures one shared structured-logging
@@ -295,6 +300,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="time the pinned microbenchmark cells and emit BENCH_v6.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="short durations for CI (same cell shapes, scaled down)",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        help="repetitions per cell; the fastest wins (default: 1)",
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="run only the named cell (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_v6.json",
+        help="artifact path (default: BENCH_v6.json)",
+    )
+    bench.add_argument(
+        "--pre-pr-baseline",
+        default="benchmarks/micro/baseline_pre_pr.json",
+        help="committed pre-PR measurement embedded as the speedup "
+        "reference when it exists and matches the run's mode "
+        "(default: benchmarks/micro/baseline_pre_pr.json)",
+    )
+    bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against this committed baseline artifact and exit 1 "
+        "on a regression past the threshold",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=_positive_float,
+        default=0.15,
+        help="allowed fractional wall-clock slowdown for --check "
+        "(default: 0.15)",
     )
 
     chaos = commands.add_parser(
@@ -589,6 +642,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import compare_reports, load_report, run_bench
+
+    report = run_bench(
+        quick=args.quick,
+        repeats=args.repeat,
+        names=args.scenarios,
+        progress=print,
+    )
+    baseline = None
+    pre_pr_path = Path(args.pre_pr_baseline)
+    if pre_pr_path.exists():
+        pre_pr = load_report(pre_pr_path)
+        if pre_pr.quick == report.quick:
+            baseline = pre_pr
+        else:
+            print(
+                f"note: {pre_pr_path} is a "
+                f"{'quick' if pre_pr.quick else 'full'} baseline; this is a "
+                f"{'quick' if report.quick else 'full'} run, so no speedup "
+                f"trajectory is embedded"
+            )
+    path = report.write(args.output, baseline=baseline)
+    print(f"bench artifact written to {path}")
+    if baseline is not None:
+        payload = report.to_dict(baseline)
+        headline = payload.get("headline_speedup")
+        if headline is not None:
+            print(f"headline-cell speedup vs pre-PR baseline: {headline:.2f}x")
+    if args.check:
+        gate = load_report(args.check)
+        regressions = compare_reports(
+            report, gate, threshold=args.threshold
+        )
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION {regression}", file=sys.stderr)
+            return 1
+        print(
+            f"gate ok: no cell more than {args.threshold * 100:.0f}% slower "
+            f"than {args.check}"
+        )
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -657,6 +755,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "headline": _cmd_headline,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
         "chaos": _cmd_chaos,
         "run": _cmd_run,
         "scenario": _cmd_scenario,

@@ -4,6 +4,15 @@ Models the evaluation platform of Section 8.1 — a dual-socket Xeon
 E5-2630v3 with 16 physical cores (SMT disabled), per-core DVFS from
 1.2 GHz to 2.4 GHz.  The machine hands out whole cores to service
 instances and aggregates their power draw.
+
+Occupancy bookkeeping is incremental: the machine counts active cores
+and per-level populations as cores are acquired, released and retuned
+(via a frequency observer it installs on every core), so the hottest
+read paths — :meth:`contention_slowdown`, called once per serving
+segment, and the telemetry sampler's level distribution — never scan
+the core pool.  Core allocation must therefore go through
+:meth:`acquire_core` / :meth:`release_core`; that is the only mutation
+path the rest of the stack uses.
 """
 
 from __future__ import annotations
@@ -46,10 +55,19 @@ class Machine:
         self.ladder = ladder
         self.power_model = power_model
         self.contention = contention if contention is not None else NoContention()
+        # NoContention always answers 1.0; skipping the call entirely on
+        # this (default) configuration keeps the per-segment work-rate
+        # computation free of any contention-model dispatch.  Exact type
+        # check: a subclass may override slowdown().
+        self._no_contention = type(self.contention) is NoContention
         self._occupancy_listeners: list[OccupancyListener] = []
         self._cores = [
             Core(cid, ladder, power_model, lambda: sim.now) for cid in range(n_cores)
         ]
+        self._active_count = 0
+        self._level_counts: dict[int, int] = {}
+        for core in self._cores:
+            core.add_observer(self._on_core_level_change)
 
     # ------------------------------------------------------------------
     @property
@@ -64,8 +82,17 @@ class Machine:
         """Cores currently allocated to service instances."""
         return [core for core in self._cores if core.active]
 
+    @property
+    def active_core_count(self) -> int:
+        """Number of allocated cores (maintained, never scanned)."""
+        return self._active_count
+
     def free_core_count(self) -> int:
-        return sum(1 for core in self._cores if not core.active)
+        return len(self._cores) - self._active_count
+
+    def level_counts(self) -> tuple[tuple[int, int], ...]:
+        """``(level, active-core count)`` pairs, sorted by level."""
+        return tuple(sorted(self._level_counts.items()))
 
     # ------------------------------------------------------------------
     def acquire_core(self, level: int) -> Core:
@@ -73,6 +100,9 @@ class Machine:
         for core in self._cores:
             if core.state is CoreState.FREE:
                 core.activate(level)
+                self._active_count += 1
+                counts = self._level_counts
+                counts[level] = counts.get(level, 0) + 1
                 self._notify_occupancy()
                 return core
         raise NoCoreAvailable(
@@ -83,15 +113,34 @@ class Machine:
         """Return a core to the free pool."""
         if core not in self._cores:
             raise ClusterError(f"core {core.cid} does not belong to this machine")
+        level = core.level
         core.deactivate()
+        self._active_count -= 1
+        counts = self._level_counts
+        remaining = counts[level] - 1
+        if remaining:
+            counts[level] = remaining
+        else:
+            del counts[level]
         self._notify_occupancy()
+
+    def _on_core_level_change(self, core: Core, old_level: int, new_level: int) -> None:
+        counts = self._level_counts
+        remaining = counts[old_level] - 1
+        if remaining:
+            counts[old_level] = remaining
+        else:
+            del counts[old_level]
+        counts[new_level] = counts.get(new_level, 0) + 1
 
     # ------------------------------------------------------------------
     # Contention
     # ------------------------------------------------------------------
     def contention_slowdown(self) -> float:
         """Serving-time multiplier at the current occupancy (>= 1)."""
-        return self.contention.slowdown(len(self.active_cores()), self.n_cores)
+        if self._no_contention:
+            return 1.0
+        return self.contention.slowdown(self._active_count, len(self._cores))
 
     def add_occupancy_listener(self, listener: OccupancyListener) -> None:
         """Subscribe to occupancy changes (receives the active-core count)."""
@@ -104,7 +153,7 @@ class Machine:
             raise ClusterError("occupancy listener was not registered") from None
 
     def _notify_occupancy(self) -> None:
-        active = len(self.active_cores())
+        active = self._active_count
         for listener in tuple(self._occupancy_listeners):
             listener(active)
 
@@ -124,6 +173,6 @@ class Machine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Machine({len(self.active_cores())}/{len(self._cores)} cores active, "
+            f"Machine({self._active_count}/{len(self._cores)} cores active, "
             f"{self.total_power():.2f} W)"
         )

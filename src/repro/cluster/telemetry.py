@@ -18,7 +18,6 @@ per-level active-core gauge) instead of keeping bespoke aggregate fields.
 
 from __future__ import annotations
 
-from collections import Counter as _CounterDict
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -146,10 +145,9 @@ class PowerTelemetry:
             )
             watts = Watts(max(0.0, perturbed))
         now = SimTime(now)
-        counts = _CounterDict(
-            core.level for core in self.machine.cores if core.active
-        )
-        level_counts = tuple(sorted(counts.items()))
+        # The machine maintains its per-level population incrementally;
+        # sampling must not rescan the core pool on every tick.
+        level_counts = self.machine.level_counts()
         self.samples.append(PowerSample(now, watts, level_counts))
         if self.registry is not None:
             self.registry.counter(
@@ -172,10 +170,11 @@ class PowerTelemetry:
             level_gauge = self.registry.gauge(
                 "repro_cores_at_level", "Active cores per DVFS ladder level"
             )
+            by_level = dict(level_counts)
             for level in range(
                 self.machine.ladder.min_level, self.machine.ladder.max_level + 1
             ):
-                level_gauge.set(dict(level_counts).get(level, 0), level=level)
+                level_gauge.set(by_level.get(level, 0), level=level)
 
     # ------------------------------------------------------------------
     # Summaries

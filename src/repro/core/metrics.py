@@ -74,8 +74,8 @@ def compute_metric(
     if kind is MetricKind.P99_SERVING:
         return SimTime(command_center.p99_serving(instance))
     if kind is MetricKind.P99_PROCESSING:
-        return SimTime(
-            command_center.p99_queuing(instance)
-            + command_center.p99_serving(instance)
-        )
+        # p99 of the per-query sums q+s, NOT p99(q) + p99(s): percentiles
+        # are not additive, and summing the marginals overstates the tail
+        # whenever queuing and serving delays are anti-correlated.
+        return SimTime(command_center.p99_processing(instance))
     raise ValueError(f"unknown metric kind: {kind!r}")

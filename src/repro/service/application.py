@@ -73,11 +73,16 @@ class Application:
         self.sim = sim
         self.machine = machine
         self.hop_delay_s = float(hop_delay_s)
+        self._zero_hop = exactly(self.hop_delay_s, 0.0)
         self.fabric = fabric
         self.observability = observability
         self._metrics = None if observability is None else observability.metrics
         self._stages: list[Stage] = []
         self._stage_by_name: dict[str, Stage] = {}
+        # One pre-bound onward route per stage index: creating a fresh
+        # closure per submit per stage is pure allocation churn, and the
+        # routes never change once the topology is built.
+        self._hop_callbacks: list[Callable[[Query], None]] = []
         self._iid_counter = itertools.count(0)
         self._listeners: list[CompletionListener] = []
         self._failure_listeners: list[FailureListener] = []
@@ -118,6 +123,10 @@ class Application:
         )
         self._stages.append(stage)
         self._stage_by_name[profile.name] = stage
+        next_index = len(self._stages)
+        self._hop_callbacks.append(
+            lambda done, _next=next_index: self._hop(done, _next)
+        )
         stage.add_crash_listener(self._on_instance_crash)
         return stage
 
@@ -255,14 +264,11 @@ class Application:
                 self._notify(query)
             return
         stage = self._stages[stage_index]
+        on_stage_done = self._hop_callbacks[stage_index]
         if self._resilient:
-            stage.submit(
-                query,
-                lambda done: self._hop(done, stage_index + 1),
-                on_stage_failed=self._fail_query,
-            )
+            stage.submit(query, on_stage_done, on_stage_failed=self._fail_query)
         else:
-            stage.submit(query, lambda done: self._hop(done, stage_index + 1))
+            stage.submit(query, on_stage_done)
 
     def _fail_query(self, query: Query) -> None:
         """Terminal failure: the query exhausted a stage's retry budget."""
@@ -294,7 +300,7 @@ class Application:
                 else "user"
             )
             self.fabric.send(src, dst, lambda: self._advance(query, next_index))
-        elif exactly(self.hop_delay_s, 0.0):
+        elif self._zero_hop:
             self._advance(query, next_index)
         else:
             self.sim.schedule(self.hop_delay_s, self._advance, query, next_index)

@@ -72,22 +72,26 @@ class CommandCenter:
         pipeline exactly once per query.
         """
         self._stats_messages += 1
+        instance_windows = self._instance_windows
+        stage_windows = self._stage_windows
         for record in query.records:
-            if not record.complete:
+            start = record.start_time
+            finish = record.finish_time
+            if start is None or finish is None:
                 continue
             self._records_ingested += 1
-            window = self._instance_windows.get(record.instance_name)
+            queuing = start - record.enqueue_time
+            serving = finish - start
+            window = instance_windows.get(record.instance_name)
             if window is None:
                 window = LatencyWindow(self.window_s)
-                self._instance_windows[record.instance_name] = window
-            window.add(record.finish_time, record.queuing_time, record.serving_time)
-            stage_window = self._stage_windows.get(record.stage_name)
+                instance_windows[record.instance_name] = window
+            window.add(finish, queuing, serving)
+            stage_window = stage_windows.get(record.stage_name)
             if stage_window is None:
                 stage_window = LatencyWindow(self.window_s)
-                self._stage_windows[record.stage_name] = stage_window
-            stage_window.add(
-                record.finish_time, record.queuing_time, record.serving_time
-            )
+                stage_windows[record.stage_name] = stage_window
+            stage_window.add(finish, queuing, serving)
         latency = query.end_to_end_latency
         self._all_latencies.append(latency)
         if self.retain_queries:
@@ -150,6 +154,22 @@ class CommandCenter:
             if value is not None:
                 return value
         return self.avg_serving(instance)
+
+    def p99_processing(self, instance: ServiceInstance) -> float:
+        """99th percentile of per-query processing time ``q + s``.
+
+        Computed over the joint distribution: each sample is one record's
+        queuing *plus* serving time.  This is *not* ``p99(q) + p99(s)`` —
+        queuing and serving delays are typically anti-correlated (a query
+        that waited long often hits a recently-drained, fast instance), so
+        summing the marginal percentiles overstates the tail.
+        """
+        window = self._instance_windows.get(instance.name)
+        if window is not None:
+            value = window.p99_processing(self.sim.now)
+            if value is not None:
+                return value
+        return self.avg_queuing(instance) + self.avg_serving(instance)
 
     def sample_count(self, instance: ServiceInstance) -> int:
         """Windowed sample count for the instance (0 if fresh)."""

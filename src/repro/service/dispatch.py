@@ -41,7 +41,22 @@ class ShortestQueueDispatcher(Dispatcher):
 
     def select(self, instances: Sequence[ServiceInstance]) -> ServiceInstance:
         self._require_instances(instances)
-        return min(instances, key=lambda inst: (inst.queue_length, inst.iid))
+        # Manual argmin over (queue_length, iid).  This runs once per
+        # query per stage; reading the queue fields directly instead of
+        # building a key tuple through the queue_length property keeps
+        # the whole scan in one bytecode loop.  Tie-break: strictly
+        # smaller iid wins, matching min()'s first-of-equals.
+        best = instances[0]
+        best_len = best._qlen
+        best_iid = best.iid
+        for index in range(1, len(instances)):
+            inst = instances[index]
+            length = inst._qlen
+            if length < best_len or (length == best_len and inst.iid < best_iid):
+                best = inst
+                best_len = length
+                best_iid = inst.iid
+        return best
 
 
 class RoundRobinDispatcher(Dispatcher):

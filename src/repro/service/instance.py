@@ -47,7 +47,7 @@ from repro.sim.events import Event, EventPriority
 __all__ = ["Job", "InstanceState", "ServiceInstance"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One unit of work submitted to an instance.
 
@@ -103,6 +103,35 @@ _ALLOWED_TRANSITIONS: dict[InstanceState, frozenset[InstanceState]] = {
 class ServiceInstance:
     """A single-core worker with a private FIFO queue."""
 
+    __slots__ = (
+        "iid",
+        "name",
+        "stage_name",
+        "profile",
+        "core",
+        "sim",
+        "_machine",
+        "_tracer",
+        "_state",
+        "_queue",
+        "_qlen",
+        "_current",
+        "_remaining_work",
+        "_segment_start",
+        "_segment_rate",
+        "_completion",
+        "_hung",
+        "_degrade_factor",
+        "_degraded",
+        "_crash_level",
+        "_on_drained",
+        "_on_state_change",
+        "_busy_accumulated",
+        "_busy_since",
+        "_queries_served",
+        "_speedup_by_level",
+    )
+
     def __init__(
         self,
         iid: int,
@@ -124,6 +153,10 @@ class ServiceInstance:
         self._tracer = tracer
         self._state = InstanceState.RUNNING
         self._queue: deque[Job] = deque()
+        # Maintained realtime queue length L_i (waiting + in service).
+        # The dispatcher's argmin scan reads this once per instance per
+        # query; every queue/current mutation below keeps it exact.
+        self._qlen = 0
         self._current: Optional[Job] = None
         self._remaining_work = 0.0
         self._segment_start = 0.0
@@ -131,8 +164,14 @@ class ServiceInstance:
         self._completion: Optional[Event] = None
         self._hung = False
         self._degrade_factor = 1.0
+        self._degraded = False
         self._crash_level: Optional[int] = None
         self._on_drained: Optional[Callable[["ServiceInstance"], None]] = None
+        self._on_state_change: Optional[Callable[["ServiceInstance"], None]] = None
+        # Speedup is a pure function of the ladder level; memoising per
+        # level returns the *same* float the curve would produce, so
+        # cached and uncached runs stay byte-identical.
+        self._speedup_by_level: dict[int, float] = {}
         self._busy_accumulated = 0.0
         self._busy_since: Optional[float] = None
         self._queries_served = 0
@@ -189,7 +228,7 @@ class ServiceInstance:
         and nothing waiting, the expected delay for a newcomer is one
         queuing term plus its own serving time.
         """
-        return len(self._queue) + (1 if self._current is not None else 0)
+        return self._qlen
 
     @property
     def frequency_ghz(self) -> float:
@@ -247,6 +286,7 @@ class ServiceInstance:
             queue_at_arrival=self.queue_length,
         )
         self._queue.append(job)
+        self._qlen += 1
         if self._current is None and not self._hung:
             self._start_next()
 
@@ -267,6 +307,7 @@ class ServiceInstance:
             job = self._queue.pop()
             job.record = None
             stolen.append(job)
+        self._qlen -= steal_count
         stolen.reverse()
         return stolen
 
@@ -274,6 +315,7 @@ class ServiceInstance:
         """Remove every waiting job (withdraw redirects them elsewhere)."""
         taken = list(self._queue)
         self._queue.clear()
+        self._qlen -= len(taken)
         for job in taken:
             job.record = None
         return taken
@@ -290,6 +332,19 @@ class ServiceInstance:
                 f"{self._state.value} -> {target.value}"
             )
         self._state = target
+        if self._on_state_change is not None:
+            self._on_state_change(self)
+
+    def set_state_listener(
+        self, listener: Optional[Callable[["ServiceInstance"], None]]
+    ) -> None:
+        """Register the single lifecycle listener (the owning stage).
+
+        The stage caches its running-instance list and must hear about
+        every state flip to invalidate it; a listener slot (rather than a
+        list) keeps the per-transition cost at one comparison.
+        """
+        self._on_state_change = listener
 
     # ------------------------------------------------------------------
     # Withdraw lifecycle
@@ -350,6 +405,7 @@ class ServiceInstance:
             job.record = None
             orphans.append(job)
         self._queue.clear()
+        self._qlen = 0
         if self._busy_since is not None:
             self._busy_accumulated += self.sim.now - self._busy_since
             self._busy_since = None
@@ -409,6 +465,7 @@ class ServiceInstance:
         if exactly(factor, self._degrade_factor):
             return
         self._degrade_factor = factor
+        self._degraded = not exactly(factor, 1.0)
         if not self._hung:
             self._rescale()
 
@@ -425,6 +482,7 @@ class ServiceInstance:
             self._queue.remove(job)
         except ValueError:
             return False
+        self._qlen -= 1
         job.record = None
         return True
 
@@ -441,6 +499,7 @@ class ServiceInstance:
             self._completion.cancel()
             self._completion = None
         self._current = None
+        self._qlen -= 1
         self._remaining_work = 0.0
         job.record = None
         if self._queue and not self._hung:
@@ -461,10 +520,17 @@ class ServiceInstance:
     # ------------------------------------------------------------------
     def _work_rate(self) -> float:
         """Work consumed per wall-clock second at the current conditions."""
-        rate = self.profile.speedup.speedup(self.frequency_ghz)
+        level = self.core._level
+        cache = self._speedup_by_level
+        cached = cache.get(level)
+        if cached is None:
+            cached = cache[level] = self.profile.speedup.speedup(
+                self.core.frequency_ghz
+            )
+        rate = cached
         if self._machine is not None:
             rate /= self._machine.contention_slowdown()
-        if not exactly(self._degrade_factor, 1.0):
+        if self._degraded:
             rate *= self._degrade_factor
         return rate
 
@@ -499,6 +565,7 @@ class ServiceInstance:
                 self._tracer.emit_record(job.query.qid, job.work, job.record)
             self._queries_served += 1
         self._current = None
+        self._qlen -= 1
         self._completion = None
         self._remaining_work = 0.0
         if self._queue:

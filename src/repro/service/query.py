@@ -18,7 +18,7 @@ from repro.service.records import AttemptRecord, StageRecord
 __all__ = ["Query"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Query:
     """One user query and the latency statistics it accumulates.
 

@@ -24,7 +24,7 @@ ATTEMPT_OUTCOMES = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttemptRecord:
     """One dispatch attempt of a query (or shard) at a stage.
 
@@ -59,7 +59,7 @@ class AttemptRecord:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class StageRecord:
     """Timing of one query's visit to one service instance.
 

@@ -72,6 +72,11 @@ class Stage:
         self._iid_counter = iid_counter
         self._name_counter = itertools.count(1)
         self._instances: list[ServiceInstance] = []
+        # Cached running-instance list, rebuilt lazily; invalidated on
+        # every pool mutation and every instance lifecycle transition
+        # (each instance notifies via its state listener).  Callers of
+        # the private accessor must treat the list as read-only.
+        self._running_cache: Optional[list[ServiceInstance]] = None
         self._launches = 0
         self._withdrawals = 0
         self._crashes = 0
@@ -88,7 +93,21 @@ class Stage:
         return tuple(self._instances)
 
     def running_instances(self) -> list[ServiceInstance]:
-        return [inst for inst in self._instances if inst.running]
+        return list(self._running())
+
+    def _running(self) -> list[ServiceInstance]:
+        """The cached running pool; treat the returned list as read-only."""
+        cache = self._running_cache
+        if cache is None:
+            cache = self._running_cache = [
+                inst
+                for inst in self._instances
+                if inst._state is InstanceState.RUNNING
+            ]
+        return cache
+
+    def _invalidate_running_cache(self, _instance: ServiceInstance) -> None:
+        self._running_cache = None
 
     @property
     def instance_count(self) -> int:
@@ -150,7 +169,9 @@ class Stage:
             machine=self.machine,
             tracer=self.tracer,
         )
+        instance.set_state_listener(self._invalidate_running_cache)
         self._instances.append(instance)
+        self._running_cache = None
         self._launches += 1
         return instance
 
@@ -196,6 +217,7 @@ class Stage:
     def _on_drained(self, instance: ServiceInstance) -> None:
         self.machine.release_core(instance.core)
         self._instances.remove(instance)
+        self._running_cache = None
 
     # ------------------------------------------------------------------
     # Fault surface
@@ -223,6 +245,7 @@ class Stage:
         orphans = instance.crash()
         self._crashes += 1
         self._instances.remove(instance)
+        self._running_cache = None
         self.machine.release_core(instance.core)
         if self._resilience is not None:
             unowned = self._resilience.requeue_orphans(orphans)
@@ -280,7 +303,7 @@ class Stage:
                 )
             self._submit_resilient(query, on_stage_done, on_stage_failed)
             return
-        running = self.running_instances()
+        running = self._running()
         if not running:
             raise StageError(f"stage {self.name} has no running instances")
         if self.kind is StageKind.PIPELINE:

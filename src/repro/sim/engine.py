@@ -9,9 +9,16 @@ The engine is intentionally minimal and deterministic:
 
 * events fire in ``(time, priority, seq)`` order (see
   :class:`repro.sim.events.EventPriority`),
-* cancelled events are lazily skipped when popped,
+* cancelled events are lazily skipped when popped, and the heap is
+  compacted outright once cancelled stragglers outnumber live entries,
 * exceptions raised by callbacks abort the run — silent failure would make
   experiment results meaningless.
+
+The heap stores ``(time, priority, seq, event)`` tuples rather than bare
+events so ordering compares native floats and ints without entering
+``Event.__lt__``, and the engine keeps live pending/cancelled counters
+(events report their own cancellation) so :attr:`pending_count` and
+:meth:`empty` never scan the queue.
 """
 
 from __future__ import annotations
@@ -24,6 +31,12 @@ from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import Event, EventPriority
 
 __all__ = ["Simulator"]
+
+#: Compact the heap once cancelled entries both exceed this floor and
+#: outnumber the live entries; the floor keeps tiny queues from thrashing.
+_COMPACT_MIN_CANCELLED = 32
+
+_HeapEntry = tuple[float, int, int, Event]
 
 
 class Simulator:
@@ -44,9 +57,12 @@ class Simulator:
         if start_time < 0.0:
             raise SimulationError(f"start_time must be >= 0, got {start_time}")
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        self._queue: list[_HeapEntry] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._pending = 0
+        self._cancelled_in_queue = 0
+        self._compactions = 0
         self._running = False
         self._event_hooks: list[Callable[[Event], None]] = []
 
@@ -65,19 +81,32 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of events still scheduled (including cancelled stragglers)."""
-        return sum(1 for event in self._queue if event.pending)
+        """Number of events still scheduled and not cancelled."""
+        return self._pending
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, counting cancelled stragglers."""
+        return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap shed its cancelled entries wholesale."""
+        return self._compactions
 
     def empty(self) -> bool:
         """Whether no pending (non-cancelled) events remain."""
-        return not any(event.pending for event in self._queue)
+        return self._pending == 0
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        self._drop_cancelled_head()
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._cancelled_in_queue -= 1
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0][0]
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,8 +137,11 @@ class Simulator:
             )
         if not callable(action):
             raise SchedulingError(f"event action must be callable, got {action!r}")
-        event = Event(time, int(priority), next(self._seq), action, args)
-        heapq.heappush(self._queue, event)
+        seq = next(self._seq)
+        event = Event(time, int(priority), seq, action, args)
+        event._owner = self
+        heapq.heappush(self._queue, (time, event.priority, seq, event))
+        self._pending += 1
         return event
 
     # ------------------------------------------------------------------
@@ -120,18 +152,22 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        self._drop_cancelled_head()
-        if not self._queue:
-            return False
-        event = heapq.heappop(self._queue)
-        self._now = event.time
-        event._mark_fired()
-        self._events_processed += 1
-        if self._event_hooks:
-            for hook in self._event_hooks:
-                hook(event)
-        event.action(*event.args)
-        return True
+        queue = self._queue
+        while queue:
+            time, _priority, _seq, event = heapq.heappop(queue)
+            if event._cancelled:
+                self._cancelled_in_queue -= 1
+                continue
+            self._pending -= 1
+            self._now = time
+            event._fired = True
+            self._events_processed += 1
+            if self._event_hooks:
+                for hook in self._event_hooks:
+                    hook(event)
+            event.action(*event.args)
+            return True
+        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` passes, or the budget hits.
@@ -154,14 +190,31 @@ class Simulator:
             )
         self._running = True
         processed = 0
+        # Bound per-event overhead: one heappop plus a handful of attribute
+        # stores between callbacks.  ``self._queue`` is never rebound (the
+        # compactor rewrites it in place), so the local alias stays valid.
+        queue = self._queue
+        hooks = self._event_hooks
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None:
+            while queue:
+                head = queue[0]
+                event = head[3]
+                if event._cancelled:
+                    heapq.heappop(queue)
+                    self._cancelled_in_queue -= 1
+                    continue
+                time = head[0]
+                if until is not None and time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                heapq.heappop(queue)
+                self._pending -= 1
+                self._now = time
+                event._fired = True
+                self._events_processed += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                event.action(*event.args)
                 processed += 1
                 if max_events is not None and processed > max_events:
                     raise SimulationError(
@@ -191,9 +244,24 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _drop_cancelled_head(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+    def _note_cancelled(self, event: Event) -> None:
+        """A queued event was cancelled; keep counters live, maybe compact.
+
+        Called (once per event) from :meth:`Event.cancel`.  Compaction
+        rewrites ``self._queue`` in place so aliases held by a running
+        :meth:`run` loop stay valid.
+        """
+        self._pending -= 1
+        self._cancelled_in_queue += 1
+        queue = self._queue
+        if (
+            self._cancelled_in_queue >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(queue)
+        ):
+            queue[:] = [entry for entry in queue if not entry[3]._cancelled]
+            heapq.heapify(queue)
+            self._cancelled_in_queue = 0
+            self._compactions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={self.pending_count})"

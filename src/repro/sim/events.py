@@ -9,9 +9,15 @@ broken first by explicit priority and then by scheduling order.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable
+from typing import Any, Callable, Optional, Protocol
 
 __all__ = ["Event", "EventPriority"]
+
+
+class _EventOwner(Protocol):
+    """What an :class:`Event` needs from the simulator that queued it."""
+
+    def _note_cancelled(self, event: "Event") -> None: ...
 
 
 class EventPriority(enum.IntEnum):
@@ -36,7 +42,16 @@ class Event:
     code normally only keeps them around to :meth:`cancel` them.
     """
 
-    __slots__ = ("time", "priority", "seq", "action", "args", "_cancelled", "_fired")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "action",
+        "args",
+        "_cancelled",
+        "_fired",
+        "_owner",
+    )
 
     def __init__(
         self,
@@ -53,6 +68,10 @@ class Event:
         self.args = args
         self._cancelled = False
         self._fired = False
+        # The simulator whose queue holds this event, if any.  Cancelling
+        # notifies it exactly once so it can keep its pending/cancelled
+        # counters live instead of scanning the heap.
+        self._owner: Optional["_EventOwner"] = None
 
     @property
     def cancelled(self) -> bool:
@@ -76,6 +95,8 @@ class Event:
         a no-op as well (the work cannot be undone), which keeps callers
         that race against completions simple.
         """
+        if not self._cancelled and not self._fired and self._owner is not None:
+            self._owner._note_cancelled(self)
         self._cancelled = True
 
     def _mark_fired(self) -> None:

@@ -9,6 +9,7 @@ from repro.core.metrics import MetricKind, compute_metric, equation1_metric
 from repro.errors import ServiceError
 from repro.service.command_center import CommandCenter
 from repro.service.application import Application
+from repro.service.window import LatencyWindow
 
 from tests.conftest import submit_two_stage_query
 
@@ -61,13 +62,40 @@ class TestComputeMetric:
         serving = compute_metric(command_center, instance, MetricKind.AVG_SERVING)
         assert total == pytest.approx(queuing + serving)
 
-    def test_p99_processing_is_sum_of_parts(self, loaded):
+    def test_p99_processing_is_joint_percentile(self, loaded):
         app, command_center = loaded
         instance = app.stage("B").instances[0]
         total = compute_metric(command_center, instance, MetricKind.P99_PROCESSING)
+        assert total == pytest.approx(command_center.p99_processing(instance))
+        # Percentiles are subadditive over the joint distribution: the
+        # true tail can never exceed the sum of the marginal tails.
         queuing = compute_metric(command_center, instance, MetricKind.P99_QUEUING)
         serving = compute_metric(command_center, instance, MetricKind.P99_SERVING)
-        assert total == pytest.approx(queuing + serving)
+        assert total <= queuing + serving + 1e-12
+
+    def test_p99_processing_anticorrelated_regression(self, loaded):
+        """p99(q+s) must be the percentile of the *sums*, not p99(q)+p99(s).
+
+        With anti-correlated queuing/serving samples the two formulas
+        disagree sharply: every query here has q + s == 10, so the joint
+        p99 is exactly 10, while the sum of marginal p99s is 19.  The
+        historical bug computed the latter, overstating the tail.
+        """
+        app, command_center = loaded
+        instance = app.stage("B").instances[0]
+        window = LatencyWindow(command_center.window_s)
+        now = command_center.sim.now
+        for offset in range(10):
+            queuing = float(offset)
+            window.add(now + offset * 1e-3, queuing, 10.0 - queuing)
+        command_center._instance_windows[instance.name] = window
+        joint = compute_metric(command_center, instance, MetricKind.P99_PROCESSING)
+        assert joint == pytest.approx(10.0)
+        marginal_sum = compute_metric(
+            command_center, instance, MetricKind.P99_QUEUING
+        ) + compute_metric(command_center, instance, MetricKind.P99_SERVING)
+        assert marginal_sum == pytest.approx(19.0)
+        assert joint < marginal_sum
 
     def test_every_metric_kind_computes(self, loaded):
         app, command_center = loaded

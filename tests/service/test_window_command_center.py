@@ -54,6 +54,47 @@ class TestLatencyWindow:
         assert window.count(10.0) == 1
         assert window.total_ingested == 2
 
+    def test_out_of_order_ingestion_preserves_eviction_order(self):
+        """Evictions must always drop oldest-first, however samples arrived.
+
+        Interleaves in-order and late samples, then slides the window
+        forward one cutoff at a time: at each step exactly the samples
+        older than the cutoff are gone and the survivors' aggregates match
+        a freshly built window over the same live set.
+        """
+        window = LatencyWindow(10.0)
+        arrivals = [4.0, 1.0, 7.0, 3.0, 6.0, 2.0, 9.0, 5.0, 8.0]
+        for time in arrivals:
+            window.add(time, queuing=time, serving=2.0 * time)
+        for cutoff in range(0, 21):
+            now = float(cutoff)
+            live = sorted(t for t in arrivals if t >= now - 10.0)
+            assert window.count(now) == len(live)
+            if live:
+                assert window.avg_queuing(now) == pytest.approx(
+                    sum(live) / len(live)
+                )
+                assert window.p99_serving(now) == pytest.approx(2.0 * max(live))
+
+    def test_head_compaction_keeps_aggregates_exact(self):
+        # Enough evictions to trip the dead-prefix compaction (>= 64).
+        window = LatencyWindow(1.0)
+        for step in range(500):
+            window.add(float(step), queuing=float(step), serving=1.0)
+        assert window.total_ingested == 500
+        assert window.count(499.0) == 2  # t=498 and t=499 survive
+        assert window.avg_queuing(499.0) == pytest.approx(498.5)
+        assert len(window._times) < 500  # the dead prefix was compacted
+
+    def test_equal_timestamps_insert_after_existing(self):
+        window = LatencyWindow(10.0)
+        window.add(5.0, 1.0, 1.0)
+        window.add(7.0, 2.0, 2.0)
+        window.add(5.0, 3.0, 3.0)  # late duplicate timestamp
+        # bisect_right semantics: the late sample lands *after* the first
+        # t=5 sample, so the stored order is (1.0, 3.0, 2.0) by queuing.
+        assert [s[1] for s in window._samples[window._head :]] == [1.0, 3.0, 2.0]
+
     def test_nonpositive_window_rejected(self):
         with pytest.raises(ConfigurationError):
             LatencyWindow(0.0)

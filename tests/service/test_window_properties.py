@@ -1,0 +1,125 @@
+"""Property test: the optimized LatencyWindow tracks a naive reference.
+
+The production window keeps sorted parallel lists with a head-offset and
+bisect insertion; the reference below re-derives everything the slow,
+obviously-correct way (scan-insert into a plain list, destructive
+front-eviction).  Over random ingest sequences — in-order, out-of-order,
+duplicate timestamps, eviction storms long enough to trip compaction —
+every aggregate must match the reference *exactly*: both implementations
+iterate the identical time-sorted sample order, so their floating-point
+sums are bit-equal, which is precisely the byte-identity contract the
+golden seed-equivalence suite relies on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.window import LatencyWindow
+from repro.util.percentile import percentile
+
+
+class ReferenceWindow:
+    """Deliberately naive mirror of the LatencyWindow contract."""
+
+    def __init__(self, window_s: float) -> None:
+        self.window_s = window_s
+        self.samples: list[tuple[float, float, float]] = []
+
+    def add(self, time: float, queuing: float, serving: float) -> None:
+        # Scan from the right for the first slot whose left neighbour is
+        # <= time: the historical insert-after-equal-timestamps order.
+        index = len(self.samples)
+        while index > 0 and self.samples[index - 1][0] > time:
+            index -= 1
+        self.samples.insert(index, (time, queuing, serving))
+        self.evict(time)
+
+    def evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        while self.samples and self.samples[0][0] < cutoff:
+            self.samples.pop(0)
+
+    def count(self, now: float) -> int:
+        self.evict(now)
+        return len(self.samples)
+
+    def avg(self, now: float, index: int) -> float | None:
+        self.evict(now)
+        if not self.samples:
+            return None
+        values = [sample[index] for sample in self.samples]
+        return sum(values) / len(values)
+
+    def p99(self, now: float, index: int) -> float | None:
+        self.evict(now)
+        if not self.samples:
+            return None
+        return percentile([sample[index] for sample in self.samples], 99.0)
+
+    def avg_processing(self, now: float) -> float | None:
+        self.evict(now)
+        if not self.samples:
+            return None
+        total = sum(q + s for _, q, s in self.samples)
+        return total / len(self.samples)
+
+    def p99_processing(self, now: float) -> float | None:
+        self.evict(now)
+        if not self.samples:
+            return None
+        return percentile([q + s for _, q, s in self.samples], 99.0)
+
+
+def _assert_windows_agree(
+    optimized: LatencyWindow, reference: ReferenceWindow, now: float
+) -> None:
+    assert optimized.count(now) == reference.count(now)
+    assert optimized.avg_queuing(now) == reference.avg(now, 1)
+    assert optimized.avg_serving(now) == reference.avg(now, 2)
+    assert optimized.avg_processing(now) == reference.avg_processing(now)
+    assert optimized.p99_queuing(now) == reference.p99(now, 1)
+    assert optimized.p99_serving(now) == reference.p99(now, 2)
+    assert optimized.p99_processing(now) == reference.p99_processing(now)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    window_s=st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+    ingest=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=120,
+    ),
+)
+def test_optimized_window_matches_reference(window_s, ingest):
+    optimized = LatencyWindow(window_s)
+    reference = ReferenceWindow(window_s)
+    for time, queuing, serving in ingest:
+        optimized.add(time, queuing, serving)
+        reference.add(time, queuing, serving)
+        _assert_windows_agree(optimized, reference, time)
+    # Probe reads past the end, including one that empties both windows.
+    last = max(time for time, _, _ in ingest)
+    for probe in (last, last + window_s / 2.0, last + 2.0 * window_s):
+        _assert_windows_agree(optimized, reference, probe)
+
+
+@settings(max_examples=25, deadline=None)
+@given(step=st.floats(min_value=0.01, max_value=0.2, allow_nan=False))
+def test_long_monotone_stream_trips_compaction(step):
+    """A long in-order stream exercises the head-offset compaction path."""
+    optimized = LatencyWindow(1.0)
+    reference = ReferenceWindow(1.0)
+    time = 0.0
+    for index in range(400):
+        time = index * step
+        optimized.add(time, float(index % 7), float(index % 11))
+        reference.add(time, float(index % 7), float(index % 11))
+    _assert_windows_agree(optimized, reference, time)
+    assert optimized.total_ingested == 400

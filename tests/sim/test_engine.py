@@ -169,6 +169,87 @@ class TestCancellation:
         assert sim.peek() == 2.0
 
 
+class TestCancelHeavyWorkloads:
+    """The live pending counter and heap compaction under mass cancellation."""
+
+    def test_pending_count_tracks_cancellations_live(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_count == 10
+        for index, event in enumerate(events[:4]):
+            event.cancel()
+            assert sim.pending_count == 10 - (index + 1)
+        assert not sim.empty()
+        sim.run()
+        assert sim.pending_count == 0
+        assert sim.empty()
+        assert sim.events_processed == 6
+
+    def test_cancel_after_fire_leaves_counters_alone(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        later = sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()  # already fired: must not decrement anything
+        assert sim.pending_count == 1
+        assert not sim.empty()
+        later.cancel()
+        assert sim.pending_count == 0
+
+    def test_double_cancel_decrements_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_count == 1
+
+    def test_heap_compacts_when_cancelled_majority(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        assert sim.heap_size == 1000
+        for event in events[:600]:
+            event.cancel()
+        assert sim.compactions >= 1
+        # Compaction shed the cancelled majority (the exact size depends
+        # on where the threshold tripped mid-loop).
+        assert sim.heap_size < 600
+        assert sim.pending_count == 400
+        sim.run()
+        assert sim.events_processed == 400
+
+    def test_compaction_preserves_firing_order(self, sim):
+        fired = []
+        events = [
+            sim.schedule(float(i + 1), fired.append, i) for i in range(200)
+        ]
+        for event in events[::2]:  # cancel every even-indexed event
+            event.cancel()
+        sim.run()
+        assert fired == list(range(1, 200, 2))
+
+    def test_compaction_during_run_is_safe(self, sim):
+        """A callback that mass-cancels (compacting mid-run) must not derail."""
+        fired = []
+        victims = [sim.schedule(10.0 + i, fired.append, "victim") for i in range(100)]
+
+        def massacre():
+            for event in victims:
+                event.cancel()
+            fired.append("massacre")
+
+        sim.schedule(1.0, massacre)
+        sim.schedule(2.0, fired.append, "survivor")
+        sim.run()
+        assert fired == ["massacre", "survivor"]
+        assert sim.pending_count == 0
+
+    def test_small_queues_never_compact(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Below the compaction floor: stragglers stay until popped lazily.
+        assert sim.compactions == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+
 class TestIntrospection:
     def test_events_processed_counter(self, sim):
         for delay in (1.0, 2.0, 3.0):
