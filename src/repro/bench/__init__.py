@@ -8,7 +8,8 @@ throughput metrics (:mod:`repro.bench.harness`), and a regression gate
 that compares a fresh run against a committed baseline
 (:func:`repro.bench.harness.compare_reports`).
 
-``repro bench`` emits the canonical ``BENCH_v6.json`` artifact; CI runs
+``repro bench`` emits the canonical ``BENCH_v7.json`` artifact (whose
+``trajectory`` section chains prior artifacts' cells forward); CI runs
 ``repro bench --quick --check benchmarks/micro/baseline_quick.json`` and
 fails on a >15% wall-clock regression.  See the "Performance" section of
 ``docs/architecture.md`` for the artifact schema and how to read a gate
@@ -23,6 +24,7 @@ from repro.bench.harness import (
     compare_reports,
     load_report,
     run_bench,
+    trajectory_from_prior,
 )
 from repro.bench.scenarios import BenchScenario, bench_scenarios
 
@@ -36,4 +38,5 @@ __all__ = [
     "compare_reports",
     "load_report",
     "run_bench",
+    "trajectory_from_prior",
 ]

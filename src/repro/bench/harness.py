@@ -45,14 +45,20 @@ __all__ = [
     "run_bench",
     "compare_reports",
     "load_report",
+    "trajectory_from_prior",
 ]
 
 #: Artifact format marker; consumers key on this before parsing.
 BENCH_FORMAT = "repro-bench"
 
-#: Bumped when the artifact's layout changes; the ``v6`` in
-#: ``BENCH_v6.json``.
-BENCH_VERSION = 6
+#: Bumped when the artifact's layout changes; the ``v7`` in
+#: ``BENCH_v7.json``.
+BENCH_VERSION = 7
+
+#: Versions :meth:`BenchReport.from_dict` can still parse.  v6 artifacts
+#: lack the ``trajectory`` section but the cells read identically, so
+#: committed ``BENCH_v6.json`` baselines keep gating.
+COMPATIBLE_VERSIONS = frozenset({6, 7})
 
 
 @dataclass(frozen=True)
@@ -125,12 +131,19 @@ class BenchReport:
     def has(self, name: str) -> bool:
         return any(entry.name == name for entry in self.measurements)
 
-    def to_dict(self, baseline: Optional["BenchReport"] = None) -> dict:
+    def to_dict(
+        self,
+        baseline: Optional["BenchReport"] = None,
+        trajectory: Optional[Sequence[dict]] = None,
+    ) -> dict:
         """The artifact payload; ``baseline`` embeds the pre-PR numbers.
 
         With a baseline, the payload also carries per-cell wall-clock
-        speedups and the headline-cell speedup — the trajectory a future
-        reader needs to see whether an optimisation PR actually paid.
+        speedups and the headline-cell speedup.  ``trajectory`` (built by
+        :func:`trajectory_from_prior`) chains the lineage further back:
+        each entry summarises one earlier artifact's cells, so a single
+        ``BENCH_v7.json`` shows how the pinned cells moved across every
+        release that carried the chain forward.
         """
         payload: dict = {
             "format": BENCH_FORMAT,
@@ -138,6 +151,8 @@ class BenchReport:
             "quick": self.quick,
             "scenarios": {m.name: m.to_dict() for m in self.measurements},
         }
+        if trajectory is not None:
+            payload["trajectory"] = [dict(entry) for entry in trajectory]
         if baseline is not None:
             speedups = {}
             for entry in self.measurements:
@@ -170,10 +185,11 @@ class BenchReport:
                 f"not a {BENCH_FORMAT} artifact: format="
                 f"{data.get('format')!r}"
             )
-        if data.get("version") != BENCH_VERSION:
+        if data.get("version") not in COMPATIBLE_VERSIONS:
+            supported = ", ".join(str(v) for v in sorted(COMPATIBLE_VERSIONS))
             raise ConfigurationError(
                 f"unsupported bench artifact version {data.get('version')!r} "
-                f"(this build speaks {BENCH_VERSION})"
+                f"(this build speaks {supported})"
             )
         return cls(
             quick=bool(data["quick"]),
@@ -184,11 +200,15 @@ class BenchReport:
         )
 
     def write(
-        self, path: Union[str, Path], baseline: Optional["BenchReport"] = None
+        self,
+        path: Union[str, Path],
+        baseline: Optional["BenchReport"] = None,
+        trajectory: Optional[Sequence[dict]] = None,
     ) -> Path:
         target = Path(path)
         target.write_text(
-            json.dumps(self.to_dict(baseline), indent=2, sort_keys=True) + "\n"
+            json.dumps(self.to_dict(baseline, trajectory), indent=2, sort_keys=True)
+            + "\n"
         )
         return target
 
@@ -205,6 +225,36 @@ def load_report(path: Union[str, Path]) -> BenchReport:
         raise ConfigurationError(
             f"malformed bench report {path}: {error!r}"
         ) from error
+
+
+def trajectory_from_prior(prior: dict) -> list[dict]:
+    """Trajectory entries for the next artifact, from a prior one's payload.
+
+    The prior artifact's own ``trajectory`` rides along verbatim (so the
+    chain never truncates) and the prior's cells join as one new entry.
+    ``prior`` is the raw JSON payload — any compatible version works,
+    including v6 artifacts that predate the trajectory section.
+    """
+    if prior.get("format") != BENCH_FORMAT:
+        raise ConfigurationError(
+            f"not a {BENCH_FORMAT} artifact: format={prior.get('format')!r}"
+        )
+    entries = [dict(entry) for entry in prior.get("trajectory", ())]
+    entries.append(
+        {
+            "version": prior.get("version"),
+            "quick": prior.get("quick"),
+            "cells": {
+                name: {
+                    "wall_s": cell.get("wall_s"),
+                    "events_per_wall_s": cell.get("events_per_wall_s"),
+                    "queries_per_wall_s": cell.get("queries_per_wall_s"),
+                }
+                for name, cell in prior.get("scenarios", {}).items()
+            },
+        }
+    )
+    return entries
 
 
 # ----------------------------------------------------------------------

@@ -15,7 +15,11 @@ Commands:
   parallel cell engine (same ``--workers`` / ``--cache-dir`` knobs).
 * ``trace`` — one fully observed run: writes the query trace (JSONL +
   Chrome trace-event JSON for Perfetto), a Prometheus-style metrics
-  dump and the controller decision audit log to a directory.
+  dump, the controller decision audit log and the accounting-plane
+  artifacts (latency attribution, SLO burn, energy split; with
+  ``--stream`` also live JSONL snapshots) to a directory.
+* ``explain`` — read a trace directory's artifacts back and print the
+  postmortem: why was the latency high, where did the power go.
 * ``chaos`` — one latency run under a fault plan (built-in name or a
   plan JSON file), with the resilience stack armed; prints the goodput
   report and the P99/QPS/power deltas against the fault-free baseline.
@@ -29,10 +33,10 @@ Commands:
   over source trees; exits 0 when clean, 1 on findings, 2 on a crash in
   the tool itself.
 * ``bench`` — the microbenchmark harness (:mod:`repro.bench`): times the
-  pinned cells, emits the canonical ``BENCH_v6.json`` artifact, embeds
-  the committed pre-PR baseline's speedup trajectory, and with
-  ``--check`` gates against a committed baseline (exit 1 on a >15%
-  wall-clock regression).
+  pinned cells, emits the canonical ``BENCH_v7.json`` artifact, embeds
+  the committed pre-PR baseline's speedup trajectory plus the prior
+  artifact's cells as a cross-PR trajectory, and with ``--check`` gates
+  against a committed baseline (exit 1 on a >15% wall-clock regression).
 
 Both single-run commands can archive their full result with ``--json``.
 The global ``--log-level`` flag configures one shared structured-logging
@@ -275,6 +279,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=200_000,
         help="trace buffer bound; earliest spans are kept (default: 200000)",
     )
+    trace.add_argument(
+        "--slo-target",
+        type=_positive_float,
+        default=2.0,
+        help="latency objective for the SLO burn tracker in seconds "
+        "(default: 2.0)",
+    )
+    trace.add_argument(
+        "--slo-attainment",
+        type=_positive_float,
+        default=0.99,
+        help="attainment goal the error budget is sized from "
+        "(default: 0.99)",
+    )
+    trace.add_argument(
+        "--stream",
+        action="store_true",
+        help="also write incremental stream.jsonl snapshots during the run",
+    )
+    trace.add_argument(
+        "--stream-interval",
+        type=_positive_float,
+        default=5.0,
+        help="simulated seconds between stream snapshots (default: 5)",
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="read a trace directory back and print the postmortem "
+        "(latency attribution, SLO burn, energy split)",
+    )
+    explain.add_argument(
+        "directory",
+        help="artifact directory written by 'repro trace'",
+    )
+    explain.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -304,7 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="time the pinned microbenchmark cells and emit BENCH_v6.json",
+        help="time the pinned microbenchmark cells and emit BENCH_v7.json",
     )
     bench.add_argument(
         "--quick",
@@ -326,8 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output",
+        default="BENCH_v7.json",
+        help="artifact path (default: BENCH_v7.json)",
+    )
+    bench.add_argument(
+        "--prior",
         default="BENCH_v6.json",
-        help="artifact path (default: BENCH_v6.json)",
+        help="prior bench artifact whose cells join the trajectory "
+        "section when it exists (default: BENCH_v6.json)",
     )
     bench.add_argument(
         "--pre-pr-baseline",
@@ -557,6 +608,14 @@ def _cmd_headline(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs import (
+        AttributionCollector,
+        EnergyAttributor,
+        SloTracker,
+        StreamExporter,
+    )
     from repro.obs.audit import BoostEntry, BottleneckEntry, WithdrawEntry
 
     logger = logging.getLogger("repro.cli")
@@ -565,7 +624,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         levels = sirius_load_levels() if args.app == "sirius" else nlp_load_levels()
         rate = levels.rate(LoadLevel(args.load))
+    target = Path(args.output)
+    target.mkdir(parents=True, exist_ok=True)
     observability = Observability.enabled(max_spans=args.max_spans)
+    observability.attribution = AttributionCollector(
+        registry=observability.metrics
+    )
+    observability.slo = SloTracker(
+        target_s=args.slo_target,
+        attainment_goal=args.slo_attainment,
+        registry=observability.metrics,
+    )
+    observability.energy = EnergyAttributor(registry=observability.metrics)
+    if args.stream:
+        observability.stream = StreamExporter(
+            path=target / "stream.jsonl", interval_s=args.stream_interval
+        )
     logger.info(
         "tracing %s/%s at %.2f qps for %.0fs", args.app, args.policy,
         rate, args.duration,
@@ -584,12 +658,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         observability.audit,
     )
     assert tracer is not None and metrics is not None and audit is not None
-    target = Path(args.output)
-    target.mkdir(parents=True, exist_ok=True)
+    attribution, slo, energy = (
+        observability.attribution,
+        observability.slo,
+        observability.energy,
+    )
+    assert attribution is not None and slo is not None and energy is not None
     tracer.write_jsonl(target / "trace.jsonl")
     tracer.write_chrome_trace(target / "trace.chrome.json")
     (target / "metrics.prom").write_text(metrics.render_prometheus())
     audit.write_jsonl(target / "audit.jsonl")
+    (target / "attribution.json").write_text(
+        json_module.dumps(
+            {
+                "report": attribution.report().to_dict(),
+                "dropped": attribution.dropped,
+                "queries": [qa.to_dict() for qa in attribution.attributions],
+            },
+            sort_keys=True,
+        )
+    )
+    (target / "slo.json").write_text(
+        json_module.dumps(slo.to_dict(), sort_keys=True)
+    )
+    (target / "energy.json").write_text(
+        json_module.dumps(
+            energy.to_dict(result.queries_completed), sort_keys=True
+        )
+    )
     dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
     print(
         f"{result.app}/{result.policy}: {result.queries_completed} queries, "
@@ -604,9 +700,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"metrics: {len(metrics)} instruments"
     )
     print(
-        f"artifacts in {target}/: trace.jsonl, trace.chrome.json "
-        f"(open at ui.perfetto.dev), metrics.prom, audit.jsonl"
+        f"accounting: {attribution.report().count} queries attributed, "
+        f"SLO attainment {slo.attainment() * 100.0:.1f}% at "
+        f"{slo.target_s}s, {energy.total_joules():.1f} J split over "
+        f"{len(energy.stage_names)} stages"
     )
+    streamed = ", stream.jsonl" if args.stream else ""
+    print(
+        f"artifacts in {target}/: trace.jsonl, trace.chrome.json "
+        f"(open at ui.perfetto.dev), metrics.prom, audit.jsonl, "
+        f"attribution.json, slo.json, energy.json{streamed}"
+    )
+    print(f"read it back with: repro explain {target}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs import build_explain_report, render_explain
+
+    report = build_explain_report(args.directory)
+    if args.format == "json":
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_explain(report))
     return 0
 
 
@@ -643,7 +761,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import compare_reports, load_report, run_bench
+    import json as json_module
+
+    from repro.bench import (
+        compare_reports,
+        load_report,
+        run_bench,
+        trajectory_from_prior,
+    )
 
     report = run_bench(
         quick=args.quick,
@@ -664,7 +789,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{'quick' if report.quick else 'full'} run, so no speedup "
                 f"trajectory is embedded"
             )
-    path = report.write(args.output, baseline=baseline)
+    trajectory = None
+    prior_path = Path(args.prior)
+    if prior_path.exists():
+        try:
+            prior_payload = json_module.loads(prior_path.read_text())
+        except ValueError as error:
+            raise ReproError(
+                f"prior bench artifact {prior_path} is not valid JSON: {error}"
+            ) from error
+        trajectory = trajectory_from_prior(prior_payload)
+        print(
+            f"trajectory: carrying {len(trajectory)} prior artifact "
+            f"generation(s) forward from {prior_path}"
+        )
+    path = report.write(args.output, baseline=baseline, trajectory=trajectory)
     print(f"bench artifact written to {path}")
     if baseline is not None:
         payload = report.to_dict(baseline)
@@ -755,6 +894,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "headline": _cmd_headline,
         "trace": _cmd_trace,
+        "explain": _cmd_explain,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
         "run": _cmd_run,

@@ -19,7 +19,7 @@ per-level active-core gauge) instead of keeping bespoke aggregate fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import ClusterError
 from repro.cluster.machine import Machine
@@ -74,6 +74,7 @@ class PowerTelemetry:
         self._noise_until = 0.0
         self._noise_fraction = 0.0
         self._noise_stream: Optional[SeededStream] = None
+        self._sample_listeners: list[Callable[[PowerSample], None]] = []
         self._process = PeriodicProcess(
             sim,
             sample_interval_s,
@@ -89,6 +90,23 @@ class PowerTelemetry:
     def stop(self) -> None:
         """Stop sampling; the collected series stays available."""
         self._process.stop()
+
+    def add_sample_listener(
+        self, listener: Callable[[PowerSample], None]
+    ) -> None:
+        """Invoke ``listener(sample)`` after each sample lands.
+
+        Dropped samples (telemetry dropout) never reach listeners — the
+        energy attributor sees exactly the series :meth:`energy_joules`
+        integrates.  Costs one truthiness check per sample when nobody
+        listens.
+        """
+        self._sample_listeners.append(listener)
+
+    def remove_sample_listener(
+        self, listener: Callable[[PowerSample], None]
+    ) -> None:
+        self._sample_listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Fault surface
@@ -175,6 +193,10 @@ class PowerTelemetry:
                 self.machine.ladder.min_level, self.machine.ladder.max_level + 1
             ):
                 level_gauge.set(by_level.get(level, 0), level=level)
+        if self._sample_listeners:
+            sample = self.samples[-1]
+            for listener in tuple(self._sample_listeners):
+                listener(sample)
 
     # ------------------------------------------------------------------
     # Summaries

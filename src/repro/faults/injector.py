@@ -227,3 +227,7 @@ class FaultInjector:
                 "repro_faults_injected_total",
                 "Fault events fired by the injector",
             ).inc(kind=kind.value)
+        if self.observability.stream is not None:
+            self.observability.stream.mark(
+                "fault", kind=kind.value, target=target, detail=detail
+            )

@@ -1,6 +1,6 @@
-"""Observability: tracing, metrics and the controller audit log.
+"""Observability: tracing, metrics, auditing and the accounting plane.
 
-Three pillars, one facade:
+Core pillars, one facade:
 
 * :mod:`repro.obs.trace` — per-(query, instance) spans in a bounded
   buffer, exportable as JSONL and Chrome trace-event JSON (Perfetto);
@@ -9,10 +9,24 @@ Three pillars, one facade:
 * :mod:`repro.obs.audit` — every controller decision recorded with the
   Equation-1/2/3 inputs that produced it.
 
-:class:`Observability` bundles the three so runners thread one object.
+The attribution-and-accounting plane rides on top of them:
+
+* :mod:`repro.obs.attribution` — every completed query's end-to-end
+  latency decomposed into queue / service / hop / retry / fault
+  components that sum exactly to the measured total;
+* :mod:`repro.obs.slo` — windowed SLO attainment and error-budget burn
+  against a latency objective;
+* :mod:`repro.obs.energy` — the sampled power integral split per stage,
+  reconciling with ``PowerTelemetry.energy_joules()``;
+* :mod:`repro.obs.stream` — incremental JSONL snapshots on a simulated
+  cadence, tail-able while the run is still going.
+
+:class:`Observability` bundles them so runners thread one object.
 Every pillar is optional and every producer guards its emit on ``is not
 None`` — a run without observability pays a single attribute check per
-potential emit point and nothing else.
+potential emit point and nothing else.  The accounting pillars are
+late-bound: construct them without a simulator and the stack builder's
+``arm`` phase attaches them to whatever it built.
 """
 
 from __future__ import annotations
@@ -20,6 +34,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.attribution import (
+    AttributionCollector,
+    AttributionReport,
+    QueryAttribution,
+    attribute_query,
+    cross_reference,
+)
 from repro.obs.audit import (
     AuditEntry,
     AuditLog,
@@ -31,6 +52,8 @@ from repro.obs.audit import (
     SkipEntry,
     WithdrawEntry,
 )
+from repro.obs.energy import EnergyAttributor
+from repro.obs.explain import build_explain_report, render_explain
 from repro.obs.logging import bind_simulator, setup_logging, unbind_simulator
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
@@ -40,6 +63,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.slo import SloTracker
+from repro.obs.stream import StreamExporter
 from repro.obs.trace import (
     Span,
     TraceBuffer,
@@ -75,6 +100,17 @@ __all__ = [
     "SkipEntry",
     "InstanceMetricReading",
     "PlannedDropReading",
+    # accounting plane
+    "AttributionCollector",
+    "AttributionReport",
+    "QueryAttribution",
+    "attribute_query",
+    "cross_reference",
+    "SloTracker",
+    "EnergyAttributor",
+    "StreamExporter",
+    "build_explain_report",
+    "render_explain",
     # logging
     "setup_logging",
     "bind_simulator",
@@ -86,13 +122,19 @@ __all__ = [
 class Observability:
     """The bundle a runner threads through the system it builds.
 
-    Any pillar may be ``None``; :meth:`enabled` builds all three with
-    bounded defaults.
+    Any pillar may be ``None``; :meth:`enabled` builds the three core
+    pillars with bounded defaults.  The accounting pillars (attribution,
+    SLO, energy, stream) default off — set the fields before handing the
+    bundle to a runner and the stack builder arms them.
     """
 
     tracer: Optional[TraceBuffer] = None
     metrics: Optional[MetricsRegistry] = None
     audit: Optional[AuditLog] = None
+    attribution: Optional[AttributionCollector] = None
+    slo: Optional[SloTracker] = None
+    energy: Optional[EnergyAttributor] = None
+    stream: Optional[StreamExporter] = None
 
     @classmethod
     def enabled(
@@ -100,9 +142,10 @@ class Observability:
         max_spans: int = 200_000,
         max_audit_entries: int = 100_000,
     ) -> "Observability":
+        metrics = MetricsRegistry()
         return cls(
-            tracer=TraceBuffer(max_spans=max_spans),
-            metrics=MetricsRegistry(),
+            tracer=TraceBuffer(max_spans=max_spans, registry=metrics),
+            metrics=metrics,
             audit=AuditLog(max_entries=max_audit_entries),
         )
 
@@ -112,4 +155,8 @@ class Observability:
             self.tracer is not None
             or self.metrics is not None
             or self.audit is not None
+            or self.attribution is not None
+            or self.slo is not None
+            or self.energy is not None
+            or self.stream is not None
         )

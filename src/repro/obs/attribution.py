@@ -1,0 +1,545 @@
+"""Per-query latency attribution and the critical-path roll-up.
+
+PowerChief's whole argument is attribution — Equation 1 identifies
+*where* latency accrues so the budget boosts the true bottleneck.  This
+module answers the same question per query, after the fact: every
+completed query's end-to-end latency is decomposed over the simulated
+timeline into five disjoint components that **sum exactly to the
+measured total**:
+
+* ``queue``   — waiting in an instance's queue (StageRecord enqueue→start);
+* ``service`` — being processed by an instance (StageRecord start→finish);
+* ``fault``   — time inside dispatch attempts that settled badly
+  (timed-out / crash-requeue / abandoned): work the query paid for and
+  lost, invisible in the StageRecords because abandoned jobs discard
+  their record;
+* ``retry_backoff`` — deliberate gaps the resilience layer inserted
+  between a failed attempt settling and the next dispatch (exponential
+  backoff, no-instance re-probe delays);
+* ``hop``     — everything else: RPC/fabric transit between stages,
+  including injected RPC delay and retransmission stalls.
+
+The decomposition is a sweep over the query's ``[arrival, completion]``
+window.  Labelled intervals (clipped to the window) partition it into
+elementary segments; each segment takes the highest-priority label
+present (service > queue > fault > retry_backoff), which makes the
+overlapping records of a scatter-gather stage well-defined.  ``hop`` is
+the residual, fixed up so the five components sum bit-exactly to
+``Query.end_to_end_latency`` — the invariant the test suite pins.
+
+:class:`AttributionCollector` ingests live queries as an
+``Application`` completion listener; :func:`cross_reference` checks the
+roll-up's per-stage blame against the controller's Equation-1
+bottleneck verdicts from the audit log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Span
+    from repro.service.query import Query
+
+__all__ = [
+    "COMPONENTS",
+    "TRANSIT_STAGE",
+    "QueryAttribution",
+    "AttributionReport",
+    "AttributionCollector",
+    "CrossReference",
+    "attribute_query",
+    "attributions_from_spans",
+    "cross_reference",
+    "report_from_attributions",
+]
+
+#: The five components every end-to-end latency decomposes into.
+COMPONENTS = ("queue", "service", "fault", "retry_backoff", "hop")
+
+#: Pseudo-stage that owns ``hop`` time (it belongs to no single stage).
+TRANSIT_STAGE = "(transit)"
+
+#: Attempt outcomes whose [dispatched, settled] window is lost time.
+_FAULT_OUTCOMES = frozenset({"timed-out", "crash-requeue", "abandoned"})
+
+#: Sweep priority: when intervals overlap, the instant belongs to the
+#: highest-priority label.  ``hop`` is never an interval — it is the
+#: residual of the window.
+_PRIORITY = {"service": 3, "queue": 2, "fault": 1, "retry_backoff": 0}
+
+
+@dataclass(frozen=True)
+class QueryAttribution:
+    """One query's end-to-end latency, fully decomposed.
+
+    ``components`` maps each of :data:`COMPONENTS` to seconds and sums
+    exactly to ``e2e_latency``; ``per_stage`` splits the same seconds by
+    stage name, with ``hop`` time booked to :data:`TRANSIT_STAGE`.
+    """
+
+    qid: int
+    arrival_time: float
+    completion_time: float
+    e2e_latency: float
+    retried: bool
+    components: Mapping[str, float]
+    per_stage: Mapping[str, Mapping[str, float]]
+
+    @property
+    def blame_stage(self) -> str:
+        """The stage (or transit) that owns the most attributed time."""
+        return max(
+            sorted(self.per_stage),
+            key=lambda stage: sum(self.per_stage[stage].values()),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qid": self.qid,
+            "arrival_time": self.arrival_time,
+            "completion_time": self.completion_time,
+            "e2e_latency": self.e2e_latency,
+            "retried": self.retried,
+            "components": dict(self.components),
+            "per_stage": {
+                stage: dict(parts) for stage, parts in self.per_stage.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QueryAttribution":
+        return cls(
+            qid=data["qid"],
+            arrival_time=data["arrival_time"],
+            completion_time=data["completion_time"],
+            e2e_latency=data["e2e_latency"],
+            retried=data["retried"],
+            components=dict(data["components"]),
+            per_stage={
+                stage: dict(parts)
+                for stage, parts in data["per_stage"].items()
+            },
+        )
+
+
+def _labelled_intervals(query: "Query") -> list[tuple[float, float, str, str]]:
+    """Every (start, end, component, stage) interval the query produced."""
+    intervals: list[tuple[float, float, str, str]] = []
+    for record in query.records:
+        if not record.complete:
+            continue
+        assert record.start_time is not None and record.finish_time is not None
+        intervals.append(
+            (record.enqueue_time, record.start_time, "queue", record.stage_name)
+        )
+        intervals.append(
+            (record.start_time, record.finish_time, "service", record.stage_name)
+        )
+    # Attempts: lost windows and the deliberate gaps between them.  The
+    # gap after a failed attempt runs to the next dispatch at the same
+    # stage (backoff, crash re-place or no-instance re-probe).
+    by_stage: dict[str, list] = {}
+    for attempt in query.attempts:
+        by_stage.setdefault(attempt.stage_name, []).append(attempt)
+    for stage_name, attempts in by_stage.items():
+        attempts.sort(key=lambda a: (a.dispatched_time, a.attempt))
+        dispatch_times = sorted(a.dispatched_time for a in attempts)
+        for attempt in attempts:
+            settled = attempt.settled_time
+            if settled is None:
+                continue
+            if attempt.outcome in _FAULT_OUTCOMES and settled > attempt.dispatched_time:
+                intervals.append(
+                    (attempt.dispatched_time, settled, "fault", stage_name)
+                )
+            if attempt.outcome != "completed":
+                # First re-dispatch at this stage after the settle.
+                for later in dispatch_times:
+                    if later > settled:
+                        intervals.append(
+                            (settled, later, "retry_backoff", stage_name)
+                        )
+                        break
+    return intervals
+
+
+def attribute_query(query: "Query") -> QueryAttribution:
+    """Decompose one completed query's latency; see the module docstring."""
+    if query.arrival_time is None or query.completion_time is None:
+        raise ConfigurationError(
+            f"query {query.qid} has not completed; nothing to attribute"
+        )
+    arrival = query.arrival_time
+    completion = query.completion_time
+    e2e = query.end_to_end_latency
+    components = {name: 0.0 for name in COMPONENTS}
+    per_stage: dict[str, dict[str, float]] = {}
+
+    def book(stage: str, component: str, seconds: float) -> None:
+        components[component] += seconds
+        bucket = per_stage.setdefault(stage, {})
+        bucket[component] = bucket.get(component, 0.0) + seconds
+
+    # Clip every labelled interval to the query window, then sweep the
+    # elementary segments between boundary points: each segment belongs
+    # to the highest-priority label covering it.
+    clipped = []
+    for start, end, label, stage in _labelled_intervals(query):
+        start = max(start, arrival)
+        end = min(end, completion)
+        if end > start:
+            clipped.append((start, end, label, stage))
+    if clipped:
+        bounds = sorted(
+            {point for start, end, _, _ in clipped for point in (start, end)}
+        )
+        for left, right in zip(bounds, bounds[1:]):
+            winner: Optional[tuple[str, str]] = None
+            rank = -1
+            for start, end, label, stage in clipped:
+                if start <= left and end >= right and _PRIORITY[label] > rank:
+                    winner = (label, stage)
+                    rank = _PRIORITY[label]
+            if winner is not None:
+                book(winner[1], winner[0], right - left)
+    # Hop is the residual; a fix-up pass absorbs float-summation noise
+    # so the five components sum *exactly* to the measured latency.
+    covered = sum(components[name] for name in COMPONENTS if name != "hop")
+    components["hop"] = e2e - covered
+    for _ in range(4):
+        total = sum(components[name] for name in COMPONENTS)
+        if total == e2e:
+            break
+        components["hop"] += e2e - total
+    per_stage.setdefault(TRANSIT_STAGE, {})["hop"] = components["hop"]
+    return QueryAttribution(
+        qid=query.qid,
+        arrival_time=arrival,
+        completion_time=completion,
+        e2e_latency=e2e,
+        retried=query.retried,
+        components=components,
+        per_stage=per_stage,
+    )
+
+
+def attributions_from_spans(spans: Iterable["Span"]) -> list[QueryAttribution]:
+    """Approximate per-query attributions from an exported span trace.
+
+    ``repro explain`` falls back to this when a run archived only the
+    span trace: queue/service come from the spans, the residual of each
+    query's span envelope is booked as ``hop``, and the fault and
+    retry components are zero (failed attempts never produced a span).
+    The arrival/completion stamps are approximated by the envelope, so
+    the sum-to-e2e invariant holds against that envelope.
+    """
+    by_qid: dict[int, list["Span"]] = {}
+    for span in spans:
+        by_qid.setdefault(span.qid, []).append(span)
+    out = []
+    for qid in sorted(by_qid):
+        group = by_qid[qid]
+        arrival = min(span.enqueue_time for span in group)
+        completion = max(span.finish_time for span in group)
+        e2e = completion - arrival
+        components = {name: 0.0 for name in COMPONENTS}
+        per_stage: dict[str, dict[str, float]] = {}
+        intervals = []
+        for span in group:
+            intervals.append(
+                (span.enqueue_time, span.start_time, "queue", span.stage)
+            )
+            intervals.append(
+                (span.start_time, span.finish_time, "service", span.stage)
+            )
+        bounds = sorted(
+            {point for start, end, _, _ in intervals for point in (start, end)}
+        )
+        for left, right in zip(bounds, bounds[1:]):
+            winner: Optional[tuple[str, str]] = None
+            rank = -1
+            for start, end, label, stage in intervals:
+                if start <= left and end >= right and _PRIORITY[label] > rank:
+                    winner = (label, stage)
+                    rank = _PRIORITY[label]
+            if winner is not None:
+                label, stage = winner
+                components[label] += right - left
+                bucket = per_stage.setdefault(stage, {})
+                bucket[label] = bucket.get(label, 0.0) + (right - left)
+        covered = components["queue"] + components["service"]
+        components["hop"] = e2e - covered
+        for _ in range(4):
+            total = sum(components[name] for name in COMPONENTS)
+            if total == e2e:
+                break
+            components["hop"] += e2e - total
+        per_stage.setdefault(TRANSIT_STAGE, {})["hop"] = components["hop"]
+        out.append(
+            QueryAttribution(
+                qid=qid,
+                arrival_time=arrival,
+                completion_time=completion,
+                e2e_latency=e2e,
+                retried=False,
+                components=components,
+                per_stage=per_stage,
+            )
+        )
+    return out
+
+
+@dataclass
+class AttributionReport:
+    """The roll-up across every attributed query."""
+
+    count: int
+    failed: int
+    total_e2e: float
+    component_totals: dict[str, float]
+    stage_totals: dict[str, dict[str, float]]
+    blame_counts: dict[str, int]
+
+    def blame_ranking(self) -> list[tuple[str, float]]:
+        """Stages by total attributed seconds, heaviest first.
+
+        Ties break alphabetically so two runs of the same seed rank
+        identically.
+        """
+        return sorted(
+            (
+                (stage, sum(parts.values()))
+                for stage, parts in self.stage_totals.items()
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+    def component_fractions(self) -> dict[str, float]:
+        """Each component's share of the total end-to-end time."""
+        if self.total_e2e <= 0.0:
+            return {name: 0.0 for name in COMPONENTS}
+        return {
+            name: self.component_totals.get(name, 0.0) / self.total_e2e
+            for name in COMPONENTS
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "failed": self.failed,
+            "total_e2e": self.total_e2e,
+            "component_totals": dict(self.component_totals),
+            "stage_totals": {
+                stage: dict(parts)
+                for stage, parts in self.stage_totals.items()
+            },
+            "blame_counts": dict(self.blame_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AttributionReport":
+        return cls(
+            count=data["count"],
+            failed=data["failed"],
+            total_e2e=data["total_e2e"],
+            component_totals=dict(data["component_totals"]),
+            stage_totals={
+                stage: dict(parts)
+                for stage, parts in data["stage_totals"].items()
+            },
+            blame_counts=dict(data["blame_counts"]),
+        )
+
+
+def report_from_attributions(
+    attributions: Iterable[QueryAttribution],
+    failed: int = 0,
+) -> AttributionReport:
+    """Roll a list of attributions (e.g. loaded or span-derived) up."""
+    count = 0
+    total_e2e = 0.0
+    component_totals = {name: 0.0 for name in COMPONENTS}
+    stage_totals: dict[str, dict[str, float]] = {}
+    blame_counts: dict[str, int] = {}
+    for attribution in attributions:
+        count += 1
+        total_e2e += attribution.e2e_latency
+        for name, seconds in attribution.components.items():
+            component_totals[name] += seconds
+        for stage, parts in attribution.per_stage.items():
+            bucket = stage_totals.setdefault(stage, {})
+            for name, seconds in parts.items():
+                bucket[name] = bucket.get(name, 0.0) + seconds
+        blame = attribution.blame_stage
+        blame_counts[blame] = blame_counts.get(blame, 0) + 1
+    return AttributionReport(
+        count=count,
+        failed=failed,
+        total_e2e=total_e2e,
+        component_totals=component_totals,
+        stage_totals=stage_totals,
+        blame_counts=blame_counts,
+    )
+
+
+class AttributionCollector:
+    """Attributes queries live, as an application completion listener.
+
+    Bounded like the other pillars: past ``max_queries`` the per-query
+    records stop accumulating (counted in ``dropped``) while the
+    aggregate roll-up keeps ingesting every query, so the report stays
+    exact even on runs far larger than the buffer.
+    """
+
+    def __init__(
+        self,
+        max_queries: int = 200_000,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        if max_queries <= 0:
+            raise ConfigurationError(
+                f"max_queries must be > 0, got {max_queries}"
+            )
+        self.max_queries = int(max_queries)
+        self.registry = registry
+        self.attributions: list[QueryAttribution] = []
+        self.dropped = 0
+        self._failed = 0
+        self._count = 0
+        self._total_e2e = 0.0
+        self._component_totals = {name: 0.0 for name in COMPONENTS}
+        self._stage_totals: dict[str, dict[str, float]] = {}
+        self._blame_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, application: Any) -> None:
+        """Subscribe to an application's completions and failures."""
+        application.add_completion_listener(self.observe)
+        application.add_failure_listener(self.observe_failure)
+
+    def observe(self, query: "Query") -> QueryAttribution:
+        """Ingest one completed query."""
+        attribution = attribute_query(query)
+        self._count += 1
+        self._total_e2e += attribution.e2e_latency
+        for name, seconds in attribution.components.items():
+            self._component_totals[name] += seconds
+        for stage, parts in attribution.per_stage.items():
+            bucket = self._stage_totals.setdefault(stage, {})
+            for name, seconds in parts.items():
+                bucket[name] = bucket.get(name, 0.0) + seconds
+        blame = attribution.blame_stage
+        self._blame_counts[blame] = self._blame_counts.get(blame, 0) + 1
+        if len(self.attributions) < self.max_queries:
+            self.attributions.append(attribution)
+        else:
+            self.dropped += 1
+        if self.registry is not None:
+            counter = self.registry.counter(
+                "repro_attributed_seconds_total",
+                "End-to-end latency attributed, by component",
+            )
+            for name, seconds in attribution.components.items():
+                if seconds > 0.0:
+                    counter.inc(seconds, component=name)
+        return attribution
+
+    def observe_failure(self, query: "Query") -> None:
+        """Count a terminal failure (no e2e latency to attribute)."""
+        self._failed += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_attribution_failures_total",
+                "Queries that failed terminally (nothing to attribute)",
+            ).inc()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.attributions)
+
+    def report(self) -> AttributionReport:
+        return AttributionReport(
+            count=self._count,
+            failed=self._failed,
+            total_e2e=self._total_e2e,
+            component_totals=dict(self._component_totals),
+            stage_totals={
+                stage: dict(parts)
+                for stage, parts in self._stage_totals.items()
+            },
+            blame_counts=dict(self._blame_counts),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AttributionCollector({self._count} queries, "
+            f"{self._failed} failed)"
+        )
+
+
+@dataclass(frozen=True)
+class CrossReference:
+    """Attribution blame vs the controller's Equation-1 verdicts.
+
+    ``verdict_counts`` tallies the audit log's bottleneck verdicts by
+    *stage* (the audit names an instance; its reading supplies the
+    stage); ``agreement`` is the fraction of verdicts that named the
+    attribution roll-up's heaviest *service-owning* stage (transit time
+    is no controller's fault, so it never competes for blame here).
+    """
+
+    verdicts: int
+    verdict_counts: Mapping[str, int]
+    attribution_blame: Optional[str]
+    agreement: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "verdicts": self.verdicts,
+            "verdict_counts": dict(self.verdict_counts),
+            "attribution_blame": self.attribution_blame,
+            "agreement": self.agreement,
+        }
+
+
+def cross_reference(
+    report: AttributionReport,
+    entries: Sequence[Any],
+) -> CrossReference:
+    """Compare the roll-up's blame against the audit's bottleneck calls.
+
+    ``entries`` may be a whole audit log — anything that is not a
+    :class:`~repro.obs.audit.BottleneckEntry` is skipped.
+    """
+    from repro.obs.audit import BottleneckEntry
+
+    verdict_counts: dict[str, int] = {}
+    for entry in entries:
+        if not isinstance(entry, BottleneckEntry):
+            continue
+        stage = entry.bottleneck
+        for reading in entry.readings:
+            if reading.instance == entry.bottleneck:
+                stage = reading.stage
+                break
+        verdict_counts[stage] = verdict_counts.get(stage, 0) + 1
+    blame: Optional[str] = None
+    for stage, _seconds in report.blame_ranking():
+        if stage != TRANSIT_STAGE:
+            blame = stage
+            break
+    total = sum(verdict_counts.values())
+    agreement = (
+        verdict_counts.get(blame, 0) / total if total and blame else 0.0
+    )
+    return CrossReference(
+        verdicts=total,
+        verdict_counts=verdict_counts,
+        attribution_blame=blame,
+        agreement=agreement,
+    )

@@ -1,0 +1,169 @@
+"""Energy attribution: where did the watts go, per stage and per query.
+
+:class:`~repro.cluster.telemetry.PowerTelemetry` integrates the
+machine's total draw into joules; this module splits the same integral
+by owner.  At every telemetry sample the attributor reads each stage's
+instantaneous draw (the active cores its instances hold) and books the
+remainder of the sampled total to an ``(idle)`` pseudo-stage — floor
+power of unoccupied cores plus any injected telemetry noise.  Because
+the pseudo-stage absorbs the residual at every sample, the per-stage
+trapezoidal integrals reconcile with ``PowerTelemetry.energy_joules()``
+to float tolerance by construction — the invariant the test suite pins.
+
+The attributor registers as a telemetry sample listener (zero cost when
+absent: the telemetry pays one truthiness check per sample), keeps the
+per-stage power series for export, and divides stage joules by
+completed queries for the joules-per-query view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.cluster.telemetry import PowerSample, PowerTelemetry
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.stage import Stage
+
+__all__ = ["EnergySample", "EnergyAttributor", "IDLE_STAGE"]
+
+#: Pseudo-stage owning draw no stage holds (core floor, telemetry noise).
+IDLE_STAGE = "(idle)"
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One sampling instant's draw, split by stage.
+
+    ``stage_watts`` follows the attributor's stage order; ``idle_watts``
+    is the residual against the telemetry's (possibly noise-perturbed)
+    total, so the parts always sum back to the sampled watts.
+    """
+
+    time: float
+    total_watts: float
+    stage_watts: tuple[float, ...]
+    idle_watts: float
+
+
+class EnergyAttributor:
+    """Splits the sampled power timeline by stage; bound at arm time."""
+
+    def __init__(
+        self,
+        max_samples: int = 500_000,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        if max_samples <= 0:
+            raise ConfigurationError(
+                f"max_samples must be > 0, got {max_samples}"
+            )
+        self.max_samples = int(max_samples)
+        self.registry = registry
+        self.samples: list[EnergySample] = []
+        self.dropped = 0
+        self._stages: tuple["Stage", ...] = ()
+        self._telemetry: Optional["PowerTelemetry"] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self._stages)
+
+    def attach(
+        self, stages: Sequence["Stage"], telemetry: "PowerTelemetry"
+    ) -> None:
+        """Bind to a built stack and start listening for samples."""
+        if self._telemetry is not None:
+            raise ConfigurationError(
+                "energy attributor is already attached to a telemetry"
+            )
+        self._stages = tuple(stages)
+        self._telemetry = telemetry
+        telemetry.add_sample_listener(self._on_sample)
+
+    def detach(self) -> None:
+        """Stop listening; the collected series stays available."""
+        if self._telemetry is not None:
+            self._telemetry.remove_sample_listener(self._on_sample)
+            self._telemetry = None
+
+    def _on_sample(self, sample: "PowerSample") -> None:
+        stage_watts = tuple(stage.total_power() for stage in self._stages)
+        idle = sample.watts - sum(stage_watts)
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return
+        self.samples.append(
+            EnergySample(
+                time=sample.time,
+                total_watts=sample.watts,
+                stage_watts=stage_watts,
+                idle_watts=idle,
+            )
+        )
+        if self.registry is not None:
+            gauge = self.registry.gauge(
+                "repro_stage_watts", "Instantaneous draw held by each stage"
+            )
+            for name, watts in zip(self.stage_names, stage_watts):
+                gauge.set(watts, stage=name)
+            gauge.set(idle, stage=IDLE_STAGE)
+
+    # ------------------------------------------------------------------
+    def joules_per_stage(self) -> dict[str, float]:
+        """Trapezoidal integral of each stage's series (plus idle).
+
+        The values sum to :meth:`total_joules`, which reconciles with
+        ``PowerTelemetry.energy_joules()`` up to float tolerance.
+        """
+        totals = {name: 0.0 for name in self.stage_names}
+        totals[IDLE_STAGE] = 0.0
+        for before, after in zip(self.samples, self.samples[1:]):
+            dt = after.time - before.time
+            for index, name in enumerate(self.stage_names):
+                totals[name] += (
+                    0.5
+                    * (before.stage_watts[index] + after.stage_watts[index])
+                    * dt
+                )
+            totals[IDLE_STAGE] += (
+                0.5 * (before.idle_watts + after.idle_watts) * dt
+            )
+        return totals
+
+    def total_joules(self) -> float:
+        return sum(self.joules_per_stage().values())
+
+    def joules_per_query(self, queries_completed: int) -> dict[str, float]:
+        """Per-stage joules divided across the completed queries."""
+        if queries_completed <= 0:
+            return {}
+        return {
+            name: joules / queries_completed
+            for name, joules in self.joules_per_stage().items()
+        }
+
+    def to_dict(self, queries_completed: int = 0) -> dict[str, Any]:
+        """The archival payload ``repro trace`` writes to ``energy.json``."""
+        return {
+            "stages": list(self.stage_names),
+            "samples": len(self.samples),
+            "dropped": self.dropped,
+            "joules_per_stage": self.joules_per_stage(),
+            "total_joules": self.total_joules(),
+            "queries_completed": queries_completed,
+            "joules_per_query": self.joules_per_query(queries_completed),
+        }
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnergyAttributor({len(self.samples)} samples over "
+            f"{len(self._stages)} stages)"
+        )

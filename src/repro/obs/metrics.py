@@ -77,11 +77,29 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string per the exposition format.
+
+    Backslash and line feed are the only characters the spec escapes in
+    help text; everything else passes through, so benign strings render
+    byte-identically to the pre-escaping output.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Escape a label value: backslash, double-quote and line feed."""
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Mapping[str, _LabelValue]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{key}="{labels[key]}"' for key in sorted(labels)
+        f'{key}="{_escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
     )
     return "{" + inner + "}"
 
@@ -108,7 +126,7 @@ class Counter:
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help_text}",
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
             f"# TYPE {self.name} counter",
         ]
         if not self._values:
@@ -142,7 +160,7 @@ class Gauge:
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help_text}",
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
             f"# TYPE {self.name} gauge",
         ]
         if not self._values:
@@ -237,7 +255,7 @@ class Histogram:
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help_text}",
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
             f"# TYPE {self.name} histogram",
         ]
         for bound, cumulative in self.bucket_counts():

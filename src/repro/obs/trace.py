@@ -21,6 +21,7 @@ tracer pays nothing.
 from __future__ import annotations
 
 import json
+import logging
 from collections import deque
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -29,7 +30,10 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.metrics import MetricsRegistry
     from repro.service.records import StageRecord
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "Span",
@@ -99,17 +103,27 @@ class TraceBuffer:
     cheap.  ``dropped`` says exactly how much is missing.
     """
 
-    def __init__(self, max_spans: int = 200_000) -> None:
+    def __init__(
+        self,
+        max_spans: int = 200_000,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
         if max_spans <= 0:
             raise ConfigurationError(f"max_spans must be > 0, got {max_spans}")
         self.max_spans = int(max_spans)
         self._spans: deque[Span] = deque()
         self.dropped = 0
+        self.registry = registry
 
     # ------------------------------------------------------------------
     def emit(self, span: Span) -> None:
         if len(self._spans) >= self.max_spans:
             self.dropped += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "repro_trace_spans_dropped_total",
+                    "Spans discarded because the trace buffer was full",
+                ).inc()
             return
         self._spans.append(span)
 
@@ -141,16 +155,28 @@ class TraceBuffer:
     def __len__(self) -> int:
         return len(self._spans)
 
+    def _warn_if_truncated(self, target: Path) -> None:
+        if self.dropped:
+            logger.warning(
+                "trace written to %s is truncated: %d span(s) were dropped "
+                "past the %d-span buffer bound",
+                target,
+                self.dropped,
+                self.max_spans,
+            )
+
     def write_jsonl(self, path: Union[str, Path]) -> Path:
         target = Path(path)
         target.write_text(spans_to_jsonl(self._spans))
+        self._warn_if_truncated(target)
         return target
 
     def write_chrome_trace(self, path: Union[str, Path]) -> Path:
         target = Path(path)
-        target.write_text(
-            json.dumps(spans_to_chrome_trace(self._spans), indent=None)
-        )
+        trace = spans_to_chrome_trace(self._spans)
+        trace["otherData"]["dropped_spans"] = self.dropped
+        target.write_text(json.dumps(trace, indent=None))
+        self._warn_if_truncated(target)
         return target
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

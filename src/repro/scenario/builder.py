@@ -34,7 +34,18 @@ from repro.cluster.dvfs import DvfsActuator
 from repro.cluster.frequency import HASWELL_LADDER
 from repro.cluster.machine import Machine
 from repro.cluster.telemetry import PowerTelemetry
-from repro.obs import Observability, bind_simulator, unbind_simulator
+from repro.obs import (
+    AttributionCollector,
+    AuditLog,
+    EnergyAttributor,
+    MetricsRegistry,
+    Observability,
+    SloTracker,
+    StreamExporter,
+    TraceBuffer,
+    bind_simulator,
+    unbind_simulator,
+)
 from repro.core.baselines import (
     FreqBoostController,
     InstBoostController,
@@ -223,15 +234,67 @@ def _attach_observability(
     return telemetry, finalize
 
 
-def _observability_from_spec(spec: ScenarioSpec) -> Optional[Observability]:
-    """An observability bundle with exactly the pillars the spec arms."""
+def _observability_from_spec(
+    spec: ScenarioSpec,
+    table3_setup: Optional[Table3Setup] = None,
+) -> Optional[Observability]:
+    """An observability bundle with exactly the pillars the spec arms.
+
+    The accounting pillars are constructed here but stay unattached; the
+    builder's ``arm`` phase binds them to whatever ``build`` produced.
+    An SLO pillar resolves its target from the ``slo_target_s`` option
+    (mandatory for latency scenarios) or the Table-3 deployment's QoS
+    target (the qos default).
+    """
     if not spec.observe:
         return None
-    full = Observability.enabled()
+    observe = set(spec.observe)
+    options = dict(spec.options)
+    metrics = MetricsRegistry() if "metrics" in observe else None
+    slo = None
+    if "slo" in observe:
+        target = options.get("slo_target_s")
+        if target is None:
+            setup = table3_setup
+            if setup is None:
+                try:
+                    setup = TABLE3_SETUPS[spec.app]
+                except KeyError:
+                    known = ", ".join(sorted(TABLE3_SETUPS))
+                    raise ConfigurationError(
+                        f"unknown QoS deployment {spec.app!r} "
+                        f"(known: {known})"
+                    ) from None
+            target = setup.qos_target_s
+        slo = SloTracker(
+            target_s=float(target),
+            attainment_goal=float(options.get("slo_attainment", 0.99)),
+            window_s=float(options.get("slo_window_s", 60.0)),
+            registry=metrics,
+        )
+    stream = None
+    if "stream" in observe:
+        path = options.get("stream_path")
+        stream = StreamExporter(
+            path=None if path is None else str(path),
+            interval_s=float(options.get("stream_interval_s", 5.0)),
+        )
     return Observability(
-        tracer=full.tracer if "trace" in spec.observe else None,
-        metrics=full.metrics if "metrics" in spec.observe else None,
-        audit=full.audit if "audit" in spec.observe else None,
+        tracer=(
+            TraceBuffer(max_spans=200_000, registry=metrics)
+            if "trace" in observe
+            else None
+        ),
+        metrics=metrics,
+        audit=AuditLog(max_entries=100_000) if "audit" in observe else None,
+        attribution=(
+            AttributionCollector(registry=metrics)
+            if "attribution" in observe
+            else None
+        ),
+        slo=slo,
+        energy=EnergyAttributor(registry=metrics) if "energy" in observe else None,
+        stream=stream,
     )
 
 
@@ -274,7 +337,7 @@ class StackBuilder:
         self._observability = (
             observability
             if observability is not None
-            else _observability_from_spec(spec)
+            else _observability_from_spec(spec, table3_setup)
         )
         self._chaos_override = chaos
         self._table3_override = table3_setup
@@ -318,6 +381,11 @@ class StackBuilder:
     @property
     def phase(self) -> str:
         return self._phase
+
+    @property
+    def observability(self) -> Optional[Observability]:
+        """The bundle this run observes through (None when nothing armed)."""
+        return self._observability
 
     def _advance(self, expected: str, to: str) -> None:
         if self._phase != expected:
@@ -518,7 +586,19 @@ class StackBuilder:
         options = dict(spec.options)
         unknown = sorted(
             set(options)
-            - {"hold_fraction", "conserve_fraction", "guard_fraction", "e2e_window_s"}
+            - {
+                "hold_fraction",
+                "conserve_fraction",
+                "guard_fraction",
+                "e2e_window_s",
+                # Accounting-plane knobs, consumed by the observability
+                # bundle rather than the controller.
+                "slo_target_s",
+                "slo_attainment",
+                "slo_window_s",
+                "stream_interval_s",
+                "stream_path",
+            }
         )
         if unknown:
             raise ConfigurationError(
@@ -622,6 +702,7 @@ class StackBuilder:
             self._observability,
             self.spec.sample_interval_s,
         )
+        self._arm_accounting()
         if self.chaos is not None:
             assert (
                 self.application is not None
@@ -640,6 +721,76 @@ class StackBuilder:
                 observability=self._observability,
             )
         return self
+
+    def _arm_accounting(self) -> None:
+        """Bind the accounting pillars to the single-stack build.
+
+        Collectors subscribe as listeners; the stream exporter hooks the
+        simulator; their teardowns are layered onto the observability
+        finalizer so :meth:`collect` (and failing runs) unwind them.
+        """
+        obs = self._observability
+        if obs is None:
+            return
+        assert self.sim is not None and self.application is not None
+        sim = self.sim
+        application = self.application
+        if obs.metrics is not None and application.fabric is not None:
+            application.fabric.attach_registry(obs.metrics)
+        if obs.attribution is not None:
+            obs.attribution.attach(application)
+        if obs.slo is not None:
+            obs.slo.attach(application)
+        closers: list[Callable[[], None]] = []
+        if obs.energy is not None:
+            if self.telemetry is None:
+                raise ConfigurationError(
+                    "the energy attributor needs power telemetry; arm the "
+                    "'metrics' pillar alongside 'energy'"
+                )
+            obs.energy.attach(application.stages, self.telemetry)
+            closers.append(obs.energy.detach)
+        if obs.stream is not None:
+            stream = obs.stream
+            machine = self.machine
+            stream.add_probe(
+                "queries",
+                lambda: {
+                    "submitted": application.submitted,
+                    "completed": application.completed,
+                    "timed_out": application.timed_out,
+                    "in_flight": application.in_flight,
+                },
+            )
+            if machine is not None:
+                stream.add_probe("power_watts", machine.total_power)
+            stream.add_probe(
+                "stages",
+                lambda: {
+                    stage.name: stage.snapshot()
+                    for stage in application.stages
+                },
+            )
+            if obs.slo is not None:
+                slo = obs.slo
+                stream.add_probe(
+                    "slo",
+                    lambda: {
+                        "attainment": slo.attainment(),
+                        "burn_rate": slo.burn_rate(sim.now),
+                    },
+                )
+            stream.attach(sim)
+            closers.append(stream.close)
+        if closers:
+            inner = self._finalize_obs
+
+            def finalize() -> None:
+                for close in closers:
+                    close()
+                inner()
+
+            self._finalize_obs = finalize
 
     def _arm_sharded(self) -> None:
         assert self.sim is not None and self.deployment is not None
@@ -669,6 +820,8 @@ class StackBuilder:
                 unbind_simulator()
 
         self._finalize_obs = finalize
+        if observability is not None:
+            self._arm_accounting_sharded(observability)
         for shard, stack in zip(self.deployment.shards, self._shard_stacks):
             if stack.harness is None:
                 continue
@@ -683,6 +836,59 @@ class StackBuilder:
                 streams=stack.streams,
                 observability=observability,
             )
+
+    def _arm_accounting_sharded(self, obs: Observability) -> None:
+        """Bind the accounting pillars across every shard.
+
+        Attribution and SLO collectors subscribe to all shard
+        applications and aggregate across them; the stream exporter
+        snapshots deployment-wide totals.  Energy attribution is
+        unsupported here — shards sample no power telemetry.
+        """
+        assert self.sim is not None and self.deployment is not None
+        if obs.energy is not None:
+            raise ConfigurationError(
+                "energy attribution is not available on sharded scenarios"
+            )
+        deployment = self.deployment
+        for shard in deployment.shards:
+            if obs.metrics is not None and shard.application.fabric is not None:
+                shard.application.fabric.attach_registry(obs.metrics)
+            if obs.attribution is not None:
+                obs.attribution.attach(shard.application)
+            if obs.slo is not None:
+                obs.slo.attach(shard.application)
+        if obs.stream is None:
+            return
+        stream = obs.stream
+        sim = self.sim
+        stream.add_probe(
+            "queries",
+            lambda: {
+                "completed": deployment.completed,
+                "per_shard": {
+                    str(shard.index): shard.application.completed
+                    for shard in deployment.shards
+                },
+            },
+        )
+        if obs.slo is not None:
+            slo = obs.slo
+            stream.add_probe(
+                "slo",
+                lambda: {
+                    "attainment": slo.attainment(),
+                    "burn_rate": slo.burn_rate(sim.now),
+                },
+            )
+        stream.attach(sim)
+        inner = self._finalize_obs
+
+        def finalize() -> None:
+            stream.close()
+            inner()
+
+        self._finalize_obs = finalize
 
     # ------------------------------------------------------------------
     # Phase 3: start

@@ -77,7 +77,15 @@ _CONTENTION_KINDS = ("none", "linear", "custom")
 
 _SPLITTERS = ("round-robin", "least-in-flight")
 
-_OBSERVE_PILLARS = ("trace", "metrics", "audit")
+_OBSERVE_PILLARS = (
+    "trace",
+    "metrics",
+    "audit",
+    "attribution",
+    "slo",
+    "energy",
+    "stream",
+)
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
 
@@ -302,7 +310,8 @@ class ScenarioSpec:
     #: Replica count; > 1 builds a :class:`~repro.scale.ShardedDeployment`.
     shards: int = 1
     splitter: str = "least-in-flight"
-    #: Observability pillars to arm (subset of trace/metrics/audit).
+    #: Observability pillars to arm: the core trio (trace/metrics/audit)
+    #: plus the accounting plane (attribution/slo/energy/stream).
     observe: tuple[str, ...] = ()
     #: Extra scalar keyword options (QoS conserve fractions and the like).
     options: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
@@ -349,6 +358,27 @@ class ScenarioSpec:
                     f"unknown observability pillar {pillar!r} "
                     f"(known: {', '.join(_OBSERVE_PILLARS)})"
                 )
+        if "energy" in self.observe:
+            if "metrics" not in self.observe:
+                raise ConfigurationError(
+                    "the 'energy' pillar needs 'metrics' too: power "
+                    "telemetry only runs alongside a metrics registry"
+                )
+            if self.shards > 1:
+                raise ConfigurationError(
+                    "the 'energy' pillar is not available on sharded "
+                    "scenarios (shards sample no power telemetry)"
+                )
+        if (
+            "slo" in self.observe
+            and self.kind == "latency"
+            and dict(self.options).get("slo_target_s") is None
+        ):
+            raise ConfigurationError(
+                "the 'slo' pillar on a latency scenario needs an "
+                "slo_target_s option (qos scenarios default to the "
+                "deployment's QoS target)"
+            )
         if self.kind == "latency":
             if not self.trace:
                 raise ConfigurationError("latency scenario needs a load trace")

@@ -153,6 +153,15 @@ class StageResilience:
         self._crash_requeues = 0
         self._failures = 0
         self._completed_after_retry = 0
+        self._backoff_seconds = 0.0
+
+    def _count_attempt(self, outcome: str) -> None:
+        """Mirror one settled attempt into the registry, by outcome."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_attempts_total",
+                "Dispatch attempts settled, by outcome",
+            ).inc(stage=self.stage.name, outcome=outcome)
 
     # ------------------------------------------------------------------
     # Stats
@@ -181,6 +190,11 @@ class StageResilience:
     def completed_after_retry(self) -> int:
         """Attempts that completed on a retry (attempt number > 1)."""
         return self._completed_after_retry
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Total deliberate backoff delay this layer inserted."""
+        return self._backoff_seconds
 
     # ------------------------------------------------------------------
     # Entry points
@@ -232,6 +246,7 @@ class StageResilience:
                     settled_time=self.sim.now,
                 )
             )
+            self._count_attempt("crash-requeue")
             self._place(attempt)
         return leftovers
 
@@ -256,6 +271,7 @@ class StageResilience:
                 settled_time=self.sim.now,
             )
         )
+        self._count_attempt("abandoned")
 
     # ------------------------------------------------------------------
     # Attempt lifecycle
@@ -292,6 +308,7 @@ class StageResilience:
                     settled_time=self.sim.now,
                 )
             )
+            self._count_attempt("no-instance")
             self.sim.schedule(self.policy.redispatch_delay_s, self._place, attempt)
             return
         instance = self.stage.dispatcher.select(running)
@@ -326,6 +343,7 @@ class StageResilience:
                 settled_time=self.sim.now,
             )
         )
+        self._count_attempt("completed")
         attempt.on_done(attempt.query)
 
     def _on_timeout(self, attempt: _Attempt) -> None:
@@ -351,6 +369,7 @@ class StageResilience:
                 settled_time=self.sim.now,
             )
         )
+        self._count_attempt("timed-out")
         if attempt.number >= self.policy.max_attempts:
             attempt.settled = True
             self._failures += 1
@@ -365,6 +384,12 @@ class StageResilience:
                 "Attempts re-dispatched after a timeout",
             ).inc(stage=self.stage.name)
         delay = self.policy.backoff_delay(attempt.number, self.stream)
+        self._backoff_seconds += delay
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_retry_backoff_seconds_total",
+                "Deliberate backoff delay inserted between attempts",
+            ).inc(delay, stage=self.stage.name)
         self.sim.schedule(delay, self._begin_attempt, attempt)
 
     def _abandon_job(self, attempt: _Attempt) -> None:

@@ -16,13 +16,16 @@ are not considered in our study"), which is the default here too.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.units import exactly
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 from repro.sim.rng import SeededStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["RpcFabric"]
 
@@ -49,6 +52,8 @@ class RpcFabric:
         self._rng = rng
         self._messages = 0
         self._messages_lost = 0
+        self._hop_seconds = 0.0
+        self._registry: Optional["MetricsRegistry"] = None
         self._links: Counter[tuple[str, str]] = Counter()
         self._fault_until = 0.0
         self._fault_extra_delay_s = 0.0
@@ -125,16 +130,36 @@ class RpcFabric:
                         break
                     self._messages_lost += 1
                     delay += self._fault_retransmit_timeout_s
+        self._hop_seconds += delay
+        if self._registry is not None:
+            self._registry.counter(
+                "repro_rpc_messages_total", "Messages carried by the fabric"
+            ).inc(src=src, dst=dst)
+            if delay > 0.0:
+                self._registry.counter(
+                    "repro_rpc_hop_seconds_total",
+                    "Cumulative one-way transit time paid on the fabric",
+                ).inc(delay)
         if exactly(delay, 0.0):
             deliver()
         else:
             self.sim.schedule(delay, deliver, priority=EventPriority.NORMAL)
 
     # ------------------------------------------------------------------
+    def attach_registry(self, registry: "MetricsRegistry") -> None:
+        """Route per-link message counts and hop time into a registry."""
+        self._registry = registry
+
+    # ------------------------------------------------------------------
     @property
     def messages_sent(self) -> int:
         """Total messages carried by the fabric."""
         return self._messages
+
+    @property
+    def hop_seconds_total(self) -> float:
+        """Cumulative one-way transit time (including fault penalties)."""
+        return self._hop_seconds
 
     @property
     def messages_lost(self) -> int:

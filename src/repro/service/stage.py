@@ -148,6 +148,15 @@ class Stage:
     def total_queue_length(self) -> int:
         return sum(inst.queue_length for inst in self._instances)
 
+    def snapshot(self) -> dict[str, float]:
+        """One stream-probe sample: pool size, backlog and draw right now."""
+        return {
+            "instances": float(len(self._instances)),
+            "running": float(len(self._running())),
+            "queued": float(self.total_queue_length()),
+            "watts": float(self.total_power()),
+        }
+
     # ------------------------------------------------------------------
     # Pool management
     # ------------------------------------------------------------------

@@ -1,0 +1,124 @@
+"""Tests for the v7 bench artifact: trajectory chaining and v6 compat."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_FORMAT,
+    BENCH_VERSION,
+    BenchReport,
+    ScenarioMeasurement,
+    load_report,
+    trajectory_from_prior,
+)
+from repro.errors import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _measurement(name="cell", wall_s=2.0):
+    return ScenarioMeasurement(
+        name=name,
+        spec_digest="d" * 16,
+        repeats=1,
+        wall_s=wall_s,
+        simulated_s=100.0,
+        events=1000,
+        queries_completed=50,
+    )
+
+
+def _report(**kwargs):
+    return BenchReport(
+        quick=kwargs.get("quick", False),
+        measurements=kwargs.get("measurements", (_measurement(),)),
+    )
+
+
+class TestVersioning:
+    def test_current_version_is_seven(self):
+        assert BENCH_VERSION == 7
+        assert _report().to_dict()["version"] == 7
+
+    def test_v6_artifacts_still_load(self):
+        payload = _report().to_dict()
+        payload["version"] = 6
+        del payload["scenarios"]["cell"]["sim_seconds_per_wall_s"]
+        report = BenchReport.from_dict(payload)
+        assert report.measurement("cell").wall_s == 2.0
+
+    def test_unknown_versions_are_rejected(self):
+        payload = _report().to_dict()
+        payload["version"] = 5
+        with pytest.raises(ConfigurationError, match="version"):
+            BenchReport.from_dict(payload)
+
+    def test_committed_v6_baseline_loads(self):
+        report = load_report(REPO_ROOT / "benchmarks/micro/baseline_quick.json")
+        assert report.measurements
+
+
+class TestTrajectory:
+    def test_prior_cells_join_the_trajectory(self):
+        prior = _report(measurements=(_measurement(wall_s=3.5),)).to_dict()
+        prior["version"] = 6
+        trajectory = trajectory_from_prior(prior)
+        assert len(trajectory) == 1
+        entry = trajectory[0]
+        assert entry["version"] == 6
+        assert entry["cells"]["cell"]["wall_s"] == 3.5
+        assert entry["cells"]["cell"]["events_per_wall_s"] == 1000 / 3.5
+
+    def test_chain_never_truncates(self):
+        # A v7 prior already carrying a v6 entry hands both forward.
+        oldest = _report(measurements=(_measurement(wall_s=5.0),)).to_dict()
+        oldest["version"] = 6
+        middle = _report(measurements=(_measurement(wall_s=4.0),)).to_dict()
+        middle["trajectory"] = trajectory_from_prior(oldest)
+        trajectory = trajectory_from_prior(middle)
+        assert [entry["version"] for entry in trajectory] == [6, 7]
+        assert trajectory[0]["cells"]["cell"]["wall_s"] == 5.0
+        assert trajectory[1]["cells"]["cell"]["wall_s"] == 4.0
+
+    def test_trajectory_lands_in_the_written_artifact(self, tmp_path):
+        prior = _report().to_dict()
+        report = _report(measurements=(_measurement(wall_s=1.0),))
+        path = report.write(
+            tmp_path / "BENCH_v7.json",
+            trajectory=trajectory_from_prior(prior),
+        )
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BENCH_VERSION
+        assert payload["trajectory"][0]["cells"]["cell"]["wall_s"] == 2.0
+
+    def test_no_trajectory_key_without_prior(self, tmp_path):
+        path = _report().write(tmp_path / "BENCH_v7.json")
+        assert "trajectory" not in json.loads(path.read_text())
+
+    def test_rejects_non_bench_payload(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            trajectory_from_prior({"format": "something-else"})
+
+    def test_loading_a_trajectory_artifact_roundtrips(self, tmp_path):
+        prior = _report().to_dict()
+        path = _report().write(
+            tmp_path / "BENCH_v7.json",
+            trajectory=trajectory_from_prior(prior),
+        )
+        report = load_report(path)
+        assert report.measurement("cell").wall_s == 2.0
+
+
+class TestCommittedArtifact:
+    def test_repo_bench_v7_carries_the_v6_generation(self):
+        payload = json.loads((REPO_ROOT / "BENCH_v7.json").read_text())
+        assert payload["format"] == BENCH_FORMAT
+        assert payload["version"] == 7
+        trajectory = payload["trajectory"]
+        assert trajectory[-1]["version"] == 6
+        assert trajectory[-1]["cells"], "prior cells missing from trajectory"
+        assert set(payload["scenarios"]) >= set(trajectory[-1]["cells"])

@@ -1,0 +1,288 @@
+"""The attribution invariant: components sum exactly to measured latency.
+
+These tests run real scenarios through the builder with the accounting
+pillars armed and pin the contract the module docstring promises — every
+completed query's five components sum *bit-exactly* to its end-to-end
+latency, on plain latency runs, QoS runs and chaos runs alike — plus the
+roll-up, serialisation and controller cross-reference layers on top.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import AttributionCollector
+from repro.obs.attribution import (
+    COMPONENTS,
+    TRANSIT_STAGE,
+    AttributionReport,
+    QueryAttribution,
+    attributions_from_spans,
+    cross_reference,
+    report_from_attributions,
+)
+from repro.scenario.builder import StackBuilder
+from repro.scenario.spec import ScenarioSpec
+
+ACCOUNTING = ("trace", "metrics", "audit", "attribution", "slo", "energy")
+
+
+def _run(spec):
+    builder = StackBuilder(spec)
+    result = builder.execute()
+    observability = builder.observability
+    assert observability is not None
+    return builder, result, observability
+
+
+def _assert_exact_sums(collector: AttributionCollector) -> None:
+    assert collector.attributions, "run attributed no queries"
+    for attribution in collector.attributions:
+        total = sum(attribution.components[name] for name in COMPONENTS)
+        assert total == attribution.e2e_latency, (
+            f"query {attribution.qid}: components sum to {total!r}, "
+            f"measured e2e is {attribution.e2e_latency!r}"
+        )
+        per_stage = sum(
+            seconds
+            for parts in attribution.per_stage.values()
+            for seconds in parts.values()
+        )
+        assert math.isclose(
+            per_stage, attribution.e2e_latency, rel_tol=1e-9, abs_tol=1e-9
+        )
+        for seconds in attribution.components.values():
+            assert seconds >= -1e-9
+
+
+class TestLatencyScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        spec = ScenarioSpec.latency(
+            "sirius",
+            "powerchief",
+            ("constant", 1.8),
+            90.0,
+            seed=3,
+            observe=ACCOUNTING,
+            slo_target_s=2.0,
+        )
+        return _run(spec)
+
+    def test_every_completed_query_attributed_exactly(self, run):
+        _, result, observability = run
+        collector = observability.attribution
+        assert collector.report().count == result.queries_completed
+        _assert_exact_sums(collector)
+
+    def test_report_totals_match_per_query_records(self, run):
+        _, _, observability = run
+        collector = observability.attribution
+        report = collector.report()
+        rebuilt = report_from_attributions(collector.attributions)
+        assert rebuilt.count == report.count
+        assert math.isclose(rebuilt.total_e2e, report.total_e2e)
+        for name in COMPONENTS:
+            assert math.isclose(
+                rebuilt.component_totals[name],
+                report.component_totals[name],
+                abs_tol=1e-9,
+            )
+        assert rebuilt.blame_counts == report.blame_counts
+
+    def test_report_roundtrips_through_dict(self, run):
+        _, _, observability = run
+        report = observability.attribution.report()
+        again = AttributionReport.from_dict(report.to_dict())
+        assert again == report
+
+    def test_energy_reconciles_with_telemetry_integral(self, run):
+        builder, _, observability = run
+        energy = observability.energy
+        telemetry = builder.telemetry
+        assert telemetry is not None and energy is not None
+        assert energy.total_joules() > 0.0
+        assert math.isclose(
+            energy.total_joules(),
+            telemetry.energy_joules(),
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+        per_stage = energy.joules_per_stage()
+        assert set(per_stage) == set(energy.stage_names) | {"(idle)"}
+
+    def test_cross_reference_accepts_whole_audit_log(self, run):
+        _, _, observability = run
+        report = observability.attribution.report()
+        ref = cross_reference(report, observability.audit.entries)
+        assert ref.verdicts >= 0
+        assert ref.attribution_blame != TRANSIT_STAGE
+        assert 0.0 <= ref.agreement <= 1.0
+        assert ref.to_dict()["attribution_blame"] == ref.attribution_blame
+
+    def test_attributed_seconds_counter_tracks_totals(self, run):
+        _, _, observability = run
+        report = observability.attribution.report()
+        counter = observability.metrics.counter("repro_attributed_seconds_total")
+        for name in COMPONENTS:
+            booked = report.component_totals[name]
+            if booked > 0.0:
+                assert math.isclose(
+                    counter.value(component=name), booked, rel_tol=1e-9
+                )
+
+
+class TestQosScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        spec = ScenarioSpec.qos(
+            "sirius", "powerchief", 6.0, 90.0, seed=3, observe=ACCOUNTING
+        )
+        return _run(spec)
+
+    def test_exact_sums_hold(self, run):
+        _, _, observability = run
+        _assert_exact_sums(observability.attribution)
+
+    def test_slo_target_defaults_to_table3(self, run):
+        _, _, observability = run
+        # The sirius Table-3 deployment answers within 2 s.
+        assert observability.slo.target_s == 2.0
+        assert observability.slo.total > 0
+
+    def test_energy_reconciles(self, run):
+        builder, _, observability = run
+        assert builder.telemetry is not None
+        assert math.isclose(
+            observability.energy.total_joules(),
+            builder.telemetry.energy_joules(),
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+
+class TestChaosScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        spec = ScenarioSpec.latency(
+            "sirius",
+            "powerchief",
+            ("constant", 3.0),
+            120.0,
+            seed=11,
+            chaos="crash-heavy",
+            drain_s=30.0,
+            observe=ACCOUNTING,
+            slo_target_s=2.0,
+        )
+        return _run(spec)
+
+    def test_exact_sums_hold_under_faults(self, run):
+        _, _, observability = run
+        _assert_exact_sums(observability.attribution)
+
+    def test_fault_and_backoff_components_appear(self, run):
+        _, _, observability = run
+        report = observability.attribution.report()
+        # Crash-heavy chaos loses attempts and inserts re-dispatch gaps;
+        # both must surface as non-zero components.
+        assert report.component_totals["fault"] > 0.0
+        assert report.component_totals["retry_backoff"] > 0.0
+
+    def test_energy_reconciles_under_faults(self, run):
+        builder, _, observability = run
+        assert builder.telemetry is not None
+        assert math.isclose(
+            observability.energy.total_joules(),
+            builder.telemetry.energy_joules(),
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+
+class TestSpanFallback:
+    def test_span_derived_attribution_sums_to_envelope(self):
+        spec = ScenarioSpec.latency(
+            "sirius",
+            "static",
+            ("constant", 1.5),
+            60.0,
+            seed=5,
+            observe=("trace",),
+        )
+        builder, _, observability = _run(spec)
+        attributions = attributions_from_spans(observability.tracer.spans)
+        assert attributions
+        for attribution in attributions:
+            total = sum(attribution.components[name] for name in COMPONENTS)
+            assert total == attribution.e2e_latency
+            assert attribution.components["fault"] == 0.0
+            assert attribution.components["retry_backoff"] == 0.0
+
+
+class TestCollectorBounds:
+    def test_rollup_stays_exact_past_the_buffer(self):
+        spec = ScenarioSpec.latency(
+            "sirius",
+            "static",
+            ("constant", 1.5),
+            60.0,
+            seed=5,
+            observe=("attribution",),
+        )
+        builder = StackBuilder(spec)
+        observability = builder.observability
+        assert observability is not None
+        observability.attribution = AttributionCollector(max_queries=5)
+        result = builder.execute()
+        collector = observability.attribution
+        assert len(collector.attributions) == 5
+        assert collector.dropped == result.queries_completed - 5
+        assert collector.report().count == result.queries_completed
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            AttributionCollector(max_queries=0)
+
+
+class TestReportHelpers:
+    def _attribution(self, qid, e2e, stage="ASR"):
+        return QueryAttribution(
+            qid=qid,
+            arrival_time=0.0,
+            completion_time=e2e,
+            e2e_latency=e2e,
+            retried=False,
+            components={
+                "queue": 0.0,
+                "service": e2e,
+                "fault": 0.0,
+                "retry_backoff": 0.0,
+                "hop": 0.0,
+            },
+            per_stage={stage: {"service": e2e}},
+        )
+
+    def test_blame_ranking_orders_heaviest_first_ties_alphabetical(self):
+        report = report_from_attributions(
+            [
+                self._attribution(1, 2.0, "QA"),
+                self._attribution(2, 1.0, "ASR"),
+                self._attribution(3, 1.0, "IMM"),
+            ]
+        )
+        assert report.blame_ranking() == [
+            ("QA", 2.0),
+            ("ASR", 1.0),
+            ("IMM", 1.0),
+        ]
+        assert report.blame_counts == {"QA": 1, "ASR": 1, "IMM": 1}
+
+    def test_component_fractions_empty_report(self):
+        report = report_from_attributions([])
+        assert report.component_fractions() == {
+            name: 0.0 for name in COMPONENTS
+        }

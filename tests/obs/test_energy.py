@@ -1,0 +1,146 @@
+"""Unit tests for the per-stage energy attributor.
+
+The scenario-level reconciliation against ``PowerTelemetry``'s integral
+lives in ``test_attribution.py``; these tests pin the split arithmetic
+itself with hand-fed samples, where every expected joule is computable
+by eye.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.telemetry import PowerSample
+from repro.errors import ConfigurationError
+from repro.obs.energy import IDLE_STAGE, EnergyAttributor
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeStage:
+    def __init__(self, name, watts):
+        self.name = name
+        self.watts = watts
+
+    def total_power(self):
+        return self.watts
+
+
+class FakeTelemetry:
+    def __init__(self):
+        self.listeners = []
+
+    def add_sample_listener(self, listener):
+        self.listeners.append(listener)
+
+    def remove_sample_listener(self, listener):
+        self.listeners.remove(listener)
+
+    def sample(self, time, watts):
+        for listener in self.listeners:
+            listener(PowerSample(time=time, watts=watts))
+
+
+def _attached(stage_watts):
+    stages = [FakeStage(name, watts) for name, watts in stage_watts]
+    telemetry = FakeTelemetry()
+    attributor = EnergyAttributor()
+    attributor.attach(stages, telemetry)
+    return stages, telemetry, attributor
+
+
+class TestSplit:
+    def test_constant_draw_integrates_per_stage(self):
+        # Two stages at 10 W and 30 W, machine at 50 W: the 10 W gap is
+        # idle.  Over 10 s that's 100 J / 300 J / 100 J.
+        _, telemetry, attributor = _attached([("ASR", 10.0), ("QA", 30.0)])
+        telemetry.sample(0.0, 50.0)
+        telemetry.sample(10.0, 50.0)
+        per_stage = attributor.joules_per_stage()
+        assert math.isclose(per_stage["ASR"], 100.0)
+        assert math.isclose(per_stage["QA"], 300.0)
+        assert math.isclose(per_stage[IDLE_STAGE], 100.0)
+        assert math.isclose(attributor.total_joules(), 500.0)
+
+    def test_idle_absorbs_noise_so_parts_sum_to_sampled_total(self):
+        # A noisy total below the stage sum books *negative* idle —
+        # exactly what keeps the parts reconciling with the integral.
+        _, telemetry, attributor = _attached([("ASR", 10.0)])
+        telemetry.sample(0.0, 8.0)
+        telemetry.sample(2.0, 8.0)
+        per_stage = attributor.joules_per_stage()
+        assert math.isclose(per_stage["ASR"], 20.0)
+        assert math.isclose(per_stage[IDLE_STAGE], -4.0)
+        assert math.isclose(attributor.total_joules(), 16.0)
+
+    def test_trapezoid_matches_changing_draw(self):
+        stages, telemetry, attributor = _attached([("ASR", 0.0)])
+        telemetry.sample(0.0, 0.0)
+        stages[0].watts = 20.0
+        telemetry.sample(4.0, 20.0)
+        assert math.isclose(attributor.joules_per_stage()["ASR"], 40.0)
+
+    def test_single_sample_integrates_to_zero(self):
+        _, telemetry, attributor = _attached([("ASR", 5.0)])
+        telemetry.sample(0.0, 5.0)
+        assert attributor.total_joules() == 0.0
+
+    def test_joules_per_query_divides_evenly(self):
+        _, telemetry, attributor = _attached([("ASR", 10.0)])
+        telemetry.sample(0.0, 10.0)
+        telemetry.sample(10.0, 10.0)
+        per_query = attributor.joules_per_query(4)
+        assert math.isclose(per_query["ASR"], 25.0)
+        assert attributor.joules_per_query(0) == {}
+
+    def test_to_dict_carries_the_archival_fields(self):
+        _, telemetry, attributor = _attached([("ASR", 10.0)])
+        telemetry.sample(0.0, 10.0)
+        telemetry.sample(1.0, 10.0)
+        payload = attributor.to_dict(queries_completed=2)
+        assert payload["stages"] == ["ASR"]
+        assert payload["samples"] == 2
+        assert payload["queries_completed"] == 2
+        assert math.isclose(payload["total_joules"], 10.0)
+
+
+class TestLifecycle:
+    def test_attach_twice_is_rejected(self):
+        _, telemetry, attributor = _attached([("ASR", 1.0)])
+        with pytest.raises(ConfigurationError):
+            attributor.attach([], telemetry)
+
+    def test_detach_stops_listening_keeps_series(self):
+        _, telemetry, attributor = _attached([("ASR", 10.0)])
+        telemetry.sample(0.0, 10.0)
+        attributor.detach()
+        telemetry.sample(1.0, 10.0)
+        assert len(attributor) == 1
+        assert telemetry.listeners == []
+        attributor.detach()  # idempotent
+
+    def test_sample_bound_counts_drops(self):
+        telemetry = FakeTelemetry()
+        attributor = EnergyAttributor(max_samples=2)
+        attributor.attach([FakeStage("ASR", 1.0)], telemetry)
+        for i in range(5):
+            telemetry.sample(float(i), 1.0)
+        assert len(attributor) == 2
+        assert attributor.dropped == 3
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAttributor(max_samples=0)
+
+
+class TestMetricsExport:
+    def test_stage_watts_gauge_tracks_last_sample(self):
+        registry = MetricsRegistry()
+        telemetry = FakeTelemetry()
+        attributor = EnergyAttributor(registry=registry)
+        attributor.attach([FakeStage("ASR", 12.0)], telemetry)
+        telemetry.sample(0.0, 15.0)
+        gauge = registry.gauge("repro_stage_watts")
+        assert gauge.value(stage="ASR") == 12.0
+        assert math.isclose(gauge.value(stage=IDLE_STAGE), 3.0)

@@ -205,3 +205,37 @@ class TestQuantileVersusNearestRank:
                 assert previous <= estimate <= bound
                 break
             previous = bound
+
+
+class TestPrometheusEscaping:
+    """Label values and HELP strings must survive the exposition format."""
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        counter = Counter("c_total", "help")
+        counter.inc(path='say "hi"\\now\nplease')
+        line = counter.render()[2]
+        assert line == (
+            'c_total{path="say \\"hi\\"\\\\now\\nplease"} 1'
+        )
+        assert "\n" not in line
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        gauge = Gauge("g", "first line\nsecond \\ line")
+        assert gauge.render()[0] == "# HELP g first line\\nsecond \\\\ line"
+
+    def test_histogram_help_escaped_too(self):
+        hist = Histogram("h", "multi\nline", (1.0,))
+        assert hist.render()[0] == "# HELP h multi\\nline"
+
+    def test_benign_strings_render_unchanged(self):
+        counter = Counter("c_total", "plain help")
+        counter.inc(stage="ASR")
+        assert counter.render()[0] == "# HELP c_total plain help"
+        assert counter.render()[2] == 'c_total{stage="ASR"} 1'
+
+    def test_registry_render_has_no_raw_newlines_inside_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "bad\nhelp").inc(label="a\nb")
+        for line in registry.render_prometheus().splitlines():
+            parsed_ok = line.startswith("#") or "{" in line or line == ""
+            assert parsed_ok, f"unparseable exposition line: {line!r}"

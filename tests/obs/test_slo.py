@@ -1,0 +1,121 @@
+"""Unit tests for the SLO burn-rate tracker."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
+
+
+class TestValidation:
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker(target_s=0.0)
+
+    @pytest.mark.parametrize("goal", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_goal_outside_open_interval(self, goal):
+        with pytest.raises(ConfigurationError):
+            SloTracker(target_s=1.0, attainment_goal=goal)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker(target_s=1.0, window_s=0.0)
+
+    def test_rejects_nonpositive_event_bound(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker(target_s=1.0, max_events=0)
+
+
+class TestAccounting:
+    def _fed(self, outcomes, goal=0.9, window_s=60.0):
+        tracker = SloTracker(
+            target_s=1.0, attainment_goal=goal, window_s=window_s
+        )
+        for time, ok in outcomes:
+            tracker._ingest(time, ok)
+        return tracker
+
+    def test_attainment_counts_violations(self):
+        tracker = self._fed([(float(i), i % 4 != 0) for i in range(20)])
+        assert tracker.total == 20
+        assert tracker.violations == 5
+        assert math.isclose(tracker.attainment(), 15 / 20)
+
+    def test_empty_tracker_attains_fully_and_burns_nothing(self):
+        tracker = SloTracker(target_s=1.0)
+        assert tracker.attainment() == 1.0
+        assert tracker.windowed_attainment() == 1.0
+        assert tracker.burn_rate() == 0.0
+
+    def test_burn_rate_one_means_budget_pace(self):
+        # Goal 0.9 tolerates a 10% violation rate; exactly 1-in-10
+        # violations inside the window burns at exactly budget pace.
+        tracker = self._fed(
+            [(float(i), i != 5) for i in range(10)], goal=0.9
+        )
+        assert math.isclose(tracker.burn_rate(now=9.0), 1.0)
+
+    def test_burn_rate_scales_with_violation_rate(self):
+        tracker = self._fed(
+            [(float(i), i % 2 == 0) for i in range(10)], goal=0.9
+        )
+        assert math.isclose(tracker.burn_rate(now=9.0), 5.0)
+
+    def test_window_forgets_old_violations(self):
+        # Violations at t<10 leave the 60 s window once now passes 70.
+        events = [(float(i), False) for i in range(10)]
+        events += [(100.0 + i, True) for i in range(10)]
+        tracker = self._fed(events, window_s=60.0)
+        assert math.isclose(tracker.attainment(), 0.5)
+        assert tracker.windowed_attainment(now=109.0) == 1.0
+        assert tracker.burn_rate(now=109.0) == 0.0
+
+    def test_timeline_buckets_burn(self):
+        tracker = self._fed(
+            [(float(i), i >= 10) for i in range(20)], goal=0.9
+        )
+        timeline = tracker.timeline(10.0)
+        assert [bucket["t"] for bucket in timeline] == [0.0, 10.0]
+        assert timeline[0]["violations"] == 10.0
+        assert math.isclose(timeline[0]["burn_rate"], 10.0)
+        assert timeline[1]["violations"] == 0.0
+
+    def test_timeline_rejects_nonpositive_bucket(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker(target_s=1.0).timeline(0.0)
+
+    def test_to_dict_carries_the_archival_fields(self):
+        tracker = self._fed([(float(i), i != 3) for i in range(8)])
+        payload = tracker.to_dict()
+        assert payload["target_s"] == 1.0
+        assert payload["total"] == 8
+        assert payload["violations"] == 1
+        assert payload["timeline"], "timeline missing from archive payload"
+
+    def test_overall_counters_stay_exact_past_event_bound(self):
+        tracker = SloTracker(target_s=1.0, max_events=4)
+        for i in range(10):
+            tracker._ingest(float(i), False)
+        assert tracker.total == 10
+        assert tracker.violations == 10
+
+
+class TestMetricsExport:
+    def test_gauges_and_counter_follow_ingest(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker(
+            target_s=1.0, attainment_goal=0.9, registry=registry
+        )
+        tracker._ingest(1.0, True)
+        tracker._ingest(2.0, False)
+        counter = registry.counter("repro_slo_queries_total")
+        assert counter.value(outcome="ok") == 1.0
+        assert counter.value(outcome="violation") == 1.0
+        assert math.isclose(
+            registry.gauge("repro_slo_attainment").value(), 0.5
+        )
+        assert registry.gauge("repro_slo_burn_rate").value() > 0.0

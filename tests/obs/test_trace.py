@@ -204,3 +204,73 @@ class TestLivePipeline:
         stage.launch_instance(HASWELL_LADDER.level_of(1.8))
         assert stage.tracer is None
         assert stage.instances[0]._tracer is None
+
+
+class TestDroppedSurfacing:
+    """Truncation must be visible: counter, chrome header and log line."""
+
+    def test_dropped_spans_land_in_the_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        buffer = TraceBuffer(max_spans=2, registry=registry)
+        for qid in range(5):
+            buffer.emit(make_span(qid=qid))
+        counter = registry.counter("repro_trace_spans_dropped_total")
+        assert counter.value() == 3.0
+        assert buffer.dropped == 3
+
+    def test_no_registry_still_counts(self):
+        buffer = TraceBuffer(max_spans=1)
+        buffer.emit(make_span(qid=0))
+        buffer.emit(make_span(qid=1))
+        assert buffer.dropped == 1
+
+    def test_chrome_trace_reports_dropped_count(self, tmp_path):
+        buffer = TraceBuffer(max_spans=1)
+        buffer.emit(make_span(qid=0))
+        buffer.emit(make_span(qid=1))
+        path = buffer.write_chrome_trace(tmp_path / "trace.chrome.json")
+        data = json.loads(path.read_text())
+        assert data["otherData"]["dropped_spans"] == 1
+        assert data["otherData"]["span_count"] == 1
+
+    @staticmethod
+    def _capture_warnings():
+        # setup_logging() (run by CLI tests) stops the "repro" logger
+        # propagating, so capture with a handler on the module logger
+        # itself rather than relying on caplog's root handler.
+        import logging as logging_module
+
+        records = []
+
+        class Collect(logging_module.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging_module.getLogger("repro.obs.trace")
+        handler = Collect(level=logging_module.WARNING)
+        logger.addHandler(handler)
+        return logger, handler, records
+
+    def test_exports_warn_on_truncation(self, tmp_path):
+        buffer = TraceBuffer(max_spans=1)
+        buffer.emit(make_span(qid=0))
+        buffer.emit(make_span(qid=1))
+        logger, handler, records = self._capture_warnings()
+        try:
+            buffer.write_jsonl(tmp_path / "trace.jsonl")
+        finally:
+            logger.removeHandler(handler)
+        assert any("truncated" in record.getMessage() for record in records)
+
+    def test_exports_stay_quiet_without_truncation(self, tmp_path):
+        buffer = TraceBuffer(max_spans=10)
+        buffer.emit(make_span(qid=0))
+        logger, handler, records = self._capture_warnings()
+        try:
+            buffer.write_jsonl(tmp_path / "trace.jsonl")
+            buffer.write_chrome_trace(tmp_path / "trace.chrome.json")
+        finally:
+            logger.removeHandler(handler)
+        assert not records

@@ -75,6 +75,44 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             latency_spec(shards=2, splitter="coin-flip")
 
+    def test_unknown_observe_pillar_rejected(self):
+        with pytest.raises(ConfigurationError, match="pillar"):
+            latency_spec(observe=("tracing",))
+
+    def test_accounting_pillars_are_known(self):
+        spec = latency_spec(
+            observe=(
+                "trace",
+                "metrics",
+                "audit",
+                "attribution",
+                "slo",
+                "energy",
+                "stream",
+            ),
+            options=(("slo_target_s", 2.0),),
+        )
+        assert "energy" in spec.observe
+
+    def test_energy_needs_metrics(self):
+        with pytest.raises(ConfigurationError, match="metrics"):
+            latency_spec(observe=("energy",))
+
+    def test_energy_rejected_on_sharded_scenarios(self):
+        with pytest.raises(ConfigurationError, match="sharded"):
+            latency_spec(observe=("energy", "metrics"), shards=2)
+
+    def test_latency_slo_needs_a_target_option(self):
+        with pytest.raises(ConfigurationError, match="slo_target_s"):
+            latency_spec(observe=("slo",))
+        latency_spec(observe=("slo",), options=(("slo_target_s", 1.5),))
+
+    def test_qos_slo_defaults_without_a_target(self):
+        spec = ScenarioSpec.qos(
+            "sirius", "powerchief", 4.0, 60.0, observe=("slo",)
+        )
+        assert "slo" in spec.observe
+
 
 class TestRoundTrip:
     def test_json_round_trip_is_identity(self):
