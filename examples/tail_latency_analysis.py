@@ -10,6 +10,10 @@ the tail's dominant cost.
 Run:  python examples/tail_latency_analysis.py
 """
 
+# The analysis walkthrough assembles its two stacks by hand to keep
+# every moving part visible, so the scenario-layer bypass is intentional.
+# repro-lint: disable-file=scenario-bypass
+
 from repro import (
     Application,
     CommandCenter,

@@ -190,6 +190,10 @@ class HealthMonitor:
             self.budget.release(reserved)
             spawned = self._try_respawn(stage, level)
             if not spawned:
+                # The reservation intentionally outlives this method: it
+                # is carried in _pending_respawns and handed back at the
+                # top of the next tick's attempt.
+                # repro-lint: disable=resource-pairing
                 self.budget.reserve(reserved)
                 still_pending.append((stage, level, reserved))
         self._pending_respawns = still_pending

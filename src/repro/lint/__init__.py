@@ -18,25 +18,45 @@ properties that must hold *everywhere* at the source level instead:
   ``metric-duplicate``);
 * dataclass invariants — no mutable defaults, frozen where shared
   (``dataclass-mutable-default``, ``dataclass-frozen-shared``), plus the
-  general-purpose ``mutable-default-arg`` and ``shadow-builtin`` rules.
+  general-purpose ``mutable-default-arg`` and ``shadow-builtin`` rules;
+* flow-aware families (PR 8) — per-function CFGs, a forward-dataflow
+  framework and a cross-module call graph power ``unit-flow``,
+  ``resource-pairing``, ``unordered-iteration``, ``rng-escape`` and
+  ``observer-purity``.
 
 Entry points: :func:`repro.lint.runner.lint_paths` (API), ``repro lint``
 (CLI) and ``tests/lint/`` (the self-clean gate).  Findings are
 suppressed per line with ``# repro-lint: disable=RULE`` or per file with
-``# repro-lint: disable-file=RULE``.
+``# repro-lint: disable-file=RULE``; accepted pre-existing debt lives in
+a committed baseline file (:mod:`repro.lint.baseline`), output is
+human text, JSON or SARIF 2.1.0 (:mod:`repro.lint.sarif`), and the
+mechanically fixable subset rewrites itself via ``repro lint --fix``
+(:mod:`repro.lint.fixes`).
 """
 
-from repro.lint.findings import Finding, LintReport
+from repro.lint.baseline import Baseline, apply_baseline, write_baseline
+from repro.lint.findings import Finding, Fix, LintReport, TextEdit
+from repro.lint.fixes import FixResult, apply_fixes
 from repro.lint.registry import Checker, CheckerRegistry, default_registry
 from repro.lint.runner import lint_paths
+from repro.lint.sarif import report_to_sarif, validate_sarif
 from repro.lint.source import SourceModule
 
 __all__ = [
+    "Baseline",
     "Checker",
     "CheckerRegistry",
     "Finding",
+    "Fix",
+    "FixResult",
     "LintReport",
     "SourceModule",
+    "TextEdit",
+    "apply_baseline",
+    "apply_fixes",
     "default_registry",
     "lint_paths",
+    "report_to_sarif",
+    "validate_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,226 @@
+"""Accepted-debt baselines: suppress old findings, never new ones.
+
+A baseline is a committed JSON file of fingerprints for findings the
+team has explicitly accepted.  ``repro lint --baseline FILE`` moves
+matching findings from the live list to :attr:`LintReport.baselined`
+(they no longer affect the exit code but still appear, marked
+suppressed, in SARIF output); anything *not* in the file stays live.
+
+The fingerprint is content-addressed, not line-addressed::
+
+    sha256("v1|rule|package_path|<stripped anchor line text>|occurrence")
+
+so reformatting or moving code does not invalidate the baseline, while a
+*new* finding of the same rule on the same line gets a fresh occurrence
+index and is **not** masked by the old entry.  Occurrence indices count
+findings sharing (rule, package path, line text) in source order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding, LintReport
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "apply_baseline",
+    "compute_fingerprints",
+    "write_baseline",
+]
+
+_FINGERPRINT_VERSION = "v1"
+_FILE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding, addressed by fingerprint.
+
+    ``line`` and ``message`` are informational snapshots for humans
+    reading the file; matching uses only the fingerprint.
+    """
+
+    fingerprint: str
+    rule: str
+    package_path: str
+    line: int
+    message: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "package_path": self.package_path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class _LineCache:
+    """Stripped source lines per file, read at most once."""
+
+    def __init__(self) -> None:
+        self._lines: Dict[str, List[str]] = {}
+
+    def line(self, path: str, lineno: int) -> str:
+        if path not in self._lines:
+            try:
+                text = Path(path).read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            self._lines[path] = text.splitlines()
+        lines = self._lines[path]
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+
+def compute_fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Fingerprints parallel to ``findings`` (same order).
+
+    Occurrence indices are assigned in source order — ``(line, column)``
+    within each (rule, package path, anchor text) group — so a second
+    violation appearing on an already-baselined line hashes differently
+    from the accepted one.
+    """
+    cache = _LineCache()
+    ordered = sorted(
+        range(len(findings)),
+        key=lambda i: (findings[i].line, findings[i].column, i),
+    )
+    counters: Dict[tuple, int] = {}
+    fingerprints: List[str] = [""] * len(findings)
+    for index in ordered:
+        finding = findings[index]
+        anchor = cache.line(finding.path, finding.line)
+        group = (finding.rule, finding.package_path, anchor)
+        occurrence = counters.get(group, 0)
+        counters[group] = occurrence + 1
+        payload = "|".join(
+            (
+                _FINGERPRINT_VERSION,
+                finding.rule,
+                finding.package_path,
+                anchor,
+                str(occurrence),
+            )
+        )
+        fingerprints[index] = hashlib.sha256(
+            payload.encode("utf-8")
+        ).hexdigest()
+    return fingerprints
+
+
+@dataclass
+class Baseline:
+    """The committed accepted-debt file, keyed by fingerprint."""
+
+    entries: Dict[str, BaselineEntry]
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        file = Path(path)
+        try:
+            payload = json.loads(file.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read lint baseline {file}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"lint baseline {file} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ConfigurationError(
+                f"lint baseline {file} has no 'entries' list"
+            )
+        if payload.get("version") != _FILE_VERSION:
+            raise ConfigurationError(
+                f"lint baseline {file} has unsupported version "
+                f"{payload.get('version')!r} (expected {_FILE_VERSION})"
+            )
+        entries: Dict[str, BaselineEntry] = {}
+        for raw in payload["entries"]:
+            if not isinstance(raw, dict) or "fingerprint" not in raw:
+                raise ConfigurationError(
+                    f"lint baseline {file} has a malformed entry: {raw!r}"
+                )
+            entry = BaselineEntry(
+                fingerprint=str(raw["fingerprint"]),
+                rule=str(raw.get("rule", "")),
+                package_path=str(raw.get("package_path", "")),
+                line=int(raw.get("line", 0)),
+                message=str(raw.get("message", "")),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        ordered = sorted(
+            self.entries.values(),
+            key=lambda e: (e.package_path, e.line, e.rule, e.fingerprint),
+        )
+        payload = {
+            "version": _FILE_VERSION,
+            "tool": "repro-lint",
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def write_baseline(report: LintReport, path: Union[str, Path]) -> int:
+    """Snapshot every live finding into a baseline file at ``path``.
+
+    Findings already baselined in the report are carried over too, so
+    re-writing against an applied baseline does not drop accepted debt.
+    Returns the number of entries written.
+    """
+    findings = [*report.findings, *report.baselined]
+    fingerprints = compute_fingerprints(findings)
+    entries = {
+        fp: BaselineEntry(
+            fingerprint=fp,
+            rule=finding.rule,
+            package_path=finding.package_path,
+            line=finding.line,
+            message=finding.message,
+        )
+        for fp, finding in zip(fingerprints, findings)
+    }
+    Baseline(entries=entries).save(path)
+    return len(entries)
+
+
+def apply_baseline(
+    report: LintReport, baseline: Baseline
+) -> List[BaselineEntry]:
+    """Move baseline-matched findings out of the live list, in place.
+
+    Returns the *stale* entries — fingerprints in the baseline that no
+    current finding matches — so CI can nag about debt already paid off.
+    """
+    fingerprints = compute_fingerprints(report.findings)
+    matched: set = set()
+    live: List[Finding] = []
+    for finding, fingerprint in zip(report.findings, fingerprints):
+        if fingerprint in baseline.entries:
+            matched.add(fingerprint)
+            report.baselined.append(finding)
+        else:
+            live.append(finding)
+    report.findings = live
+    return [
+        entry
+        for fingerprint, entry in sorted(baseline.entries.items())
+        if fingerprint not in matched
+    ]

@@ -1,0 +1,305 @@
+"""Per-function control-flow graphs for the flow-aware rules.
+
+The per-node AST rules (PR 3) see one statement at a time; the rules
+this PR adds — unit propagation through assignments, reserve/release
+pairing across early returns, set iteration feeding the event queue —
+need to know *what executes before what* and *which paths exist*.  This
+module builds a conventional basic-block CFG per function:
+
+* every simple statement lands in exactly one :class:`Block`;
+* compound statements (``if``/``while``/``for``/``try``/``with``)
+  contribute a :class:`Header` item carrying the expression evaluated at
+  the branch point, then fan out into per-branch blocks;
+* ``return`` and falling off the end edge into a single virtual exit
+  block; ``raise`` edges there too but marks the block, so path
+  analyses can distinguish normal from exceptional exits;
+* ``try`` is modelled coarsely but safely: every block of the protected
+  body may edge into each handler (an exception can occur anywhere),
+  and ``finally`` sits on every normal path out.
+
+The graph is deliberately intraprocedural — cross-function questions go
+through :mod:`repro.lint.callgraph` — and deliberately syntactic: no
+symbol table, no type inference.  That is the precision budget of a
+linter that must stay fast enough to run on every commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+__all__ = ["Block", "Header", "CFG", "build_cfg", "BlockItem", "function_defs"]
+
+
+@dataclass(frozen=True)
+class Header:
+    """The evaluated-but-not-body part of a compound statement.
+
+    For an ``if``/``while`` this is the test expression, for a ``for``
+    the iterated expression, for a ``with`` the context expressions.
+    The body statements live in successor blocks, never here.
+    """
+
+    node: ast.stmt
+    expr: Optional[ast.expr] = None
+
+
+BlockItem = Union[ast.stmt, Header]
+
+
+@dataclass
+class Block:
+    """A straight-line run of items with a single entry and exit set."""
+
+    index: int
+    items: List[BlockItem] = field(default_factory=list)
+    #: True when the block's terminator is a ``raise`` — its edge to the
+    #: exit block is exceptional, not a normal return path.
+    raises: bool = False
+
+
+@dataclass
+class CFG:
+    """Basic blocks plus the edge relation for one function body."""
+
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    blocks: List[Block]
+    entry: int
+    exit: int
+    succs: dict[int, list[int]]
+    preds: dict[int, list[int]]
+
+    def normal_exit_preds(self) -> list[Block]:
+        """Blocks that reach the exit without raising."""
+        return [
+            self.blocks[index]
+            for index in self.preds.get(self.exit, [])
+            if not self.blocks[index].raises
+        ]
+
+
+class _Builder:
+    def __init__(self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+        self.func = func
+        self.blocks: List[Block] = []
+        self.succs: dict[int, list[int]] = {}
+        self.preds: dict[int, list[int]] = {}
+
+    def new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        self.succs[block.index] = []
+        self.preds[block.index] = []
+        return block
+
+    def edge(self, source: int, target: int) -> None:
+        if target not in self.succs[source]:
+            self.succs[source].append(target)
+            self.preds[target].append(source)
+
+    def build(self) -> CFG:
+        entry = self.new_block()
+        exit_block = self.new_block()
+        self.exit_index = exit_block.index
+        end = self.stmts(self.func.body, entry, loop_stack=[])
+        if end is not None:
+            self.edge(end.index, exit_block.index)
+        return CFG(
+            func=self.func,
+            blocks=self.blocks,
+            entry=entry.index,
+            exit=exit_block.index,
+            succs=self.succs,
+            preds=self.preds,
+        )
+
+    # ------------------------------------------------------------------
+    def stmts(
+        self,
+        body: list[ast.stmt],
+        current: Optional[Block],
+        loop_stack: list[tuple[int, int]],
+    ) -> Optional[Block]:
+        """Thread ``body`` through the graph; returns the fall-through
+        block, or ``None`` when every path terminated (return/raise/…)."""
+        for stmt in body:
+            if current is None:  # unreachable code after a terminator
+                current = self.new_block()
+            current = self.stmt(stmt, current, loop_stack)
+        return current
+
+    def stmt(
+        self,
+        stmt: ast.stmt,
+        current: Block,
+        loop_stack: list[tuple[int, int]],
+    ) -> Optional[Block]:
+        if isinstance(stmt, ast.Return):
+            current.items.append(stmt)
+            self.edge(current.index, self.exit_index)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.items.append(stmt)
+            current.raises = True
+            self.edge(current.index, self.exit_index)
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            current.items.append(stmt)
+            if loop_stack:
+                header, after = loop_stack[-1]
+                target = after if isinstance(stmt, ast.Break) else header
+                self.edge(current.index, target)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current, loop_stack)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current, loop_stack)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            expr = stmt.items[0].context_expr if stmt.items else None
+            current.items.append(Header(stmt, expr))
+            return self.stmts(stmt.body, current, loop_stack)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current, loop_stack)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current, loop_stack)
+        # Simple statements — including nested def/class, which bind a
+        # name here and are analysed as their own functions elsewhere.
+        current.items.append(stmt)
+        return current
+
+    def _if(
+        self, stmt: ast.If, current: Block, loop_stack: list[tuple[int, int]]
+    ) -> Optional[Block]:
+        current.items.append(Header(stmt, stmt.test))
+        then_entry = self.new_block()
+        self.edge(current.index, then_entry.index)
+        then_end = self.stmts(stmt.body, then_entry, loop_stack)
+        if stmt.orelse:
+            else_entry = self.new_block()
+            self.edge(current.index, else_entry.index)
+            else_end = self.stmts(stmt.orelse, else_entry, loop_stack)
+        else:
+            else_end = current
+        if then_end is None and else_end is None:
+            return None
+        join = self.new_block()
+        for end in (then_end, else_end):
+            if end is not None:
+                self.edge(end.index, join.index)
+        return join
+
+    def _loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        current: Block,
+        loop_stack: list[tuple[int, int]],
+    ) -> Block:
+        header = self.new_block()
+        expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        header.items.append(Header(stmt, expr))
+        self.edge(current.index, header.index)
+        after = self.new_block()
+        body_entry = self.new_block()
+        self.edge(header.index, body_entry.index)
+        body_end = self.stmts(
+            stmt.body, body_entry, loop_stack + [(header.index, after.index)]
+        )
+        if body_end is not None:
+            self.edge(body_end.index, header.index)
+        if stmt.orelse:
+            else_entry = self.new_block()
+            self.edge(header.index, else_entry.index)
+            else_end = self.stmts(stmt.orelse, else_entry, loop_stack)
+            if else_end is not None:
+                self.edge(else_end.index, after.index)
+        else:
+            self.edge(header.index, after.index)
+        return after
+
+    def _try(
+        self, stmt: ast.Try, current: Block, loop_stack: list[tuple[int, int]]
+    ) -> Optional[Block]:
+        current.items.append(Header(stmt, None))
+        body_entry = self.new_block()
+        self.edge(current.index, body_entry.index)
+        first_body_index = body_entry.index
+        body_end = self.stmts(stmt.body, body_entry, loop_stack)
+        last_body_index = len(self.blocks) - 1
+        if body_end is not None and stmt.orelse:
+            body_end = self.stmts(stmt.orelse, body_end, loop_stack)
+
+        ends: list[Optional[Block]] = [body_end]
+        for handler in stmt.handlers:
+            handler_entry = self.new_block()
+            # An exception can surface from any protected block, so the
+            # handler joins state from all of them (coarse but sound for
+            # a may-analysis; the must-analysis only trusts normal paths).
+            for index in range(first_body_index, last_body_index + 1):
+                self.edge(index, handler_entry.index)
+            ends.append(self.stmts(handler.body, handler_entry, loop_stack))
+
+        live = [end for end in ends if end is not None]
+        if stmt.finalbody:
+            final_entry = self.new_block()
+            for end in live:
+                self.edge(end.index, final_entry.index)
+            if not live:
+                # Every path raised/returned, but finally still runs on
+                # the way out; keep it reachable from the protected body.
+                self.edge(first_body_index, final_entry.index)
+            final_end = self.stmts(stmt.finalbody, final_entry, loop_stack)
+            return final_end
+        if not live:
+            return None
+        join = self.new_block()
+        for end in live:
+            self.edge(end.index, join.index)
+        return join
+
+    def _match(
+        self, stmt: ast.Match, current: Block, loop_stack: list[tuple[int, int]]
+    ) -> Optional[Block]:
+        current.items.append(Header(stmt, stmt.subject))
+        ends: list[Optional[Block]] = []
+        for case in stmt.cases:
+            case_entry = self.new_block()
+            self.edge(current.index, case_entry.index)
+            ends.append(self.stmts(case.body, case_entry, loop_stack))
+        # No case may match: fall through past the whole statement.
+        ends.append(current)
+        live = [end for end in ends if end is not None]
+        if not live:
+            return None
+        join = self.new_block()
+        for end in live:
+            self.edge(end.index, join.index)
+        return join
+
+
+def build_cfg(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> CFG:
+    """Build the control-flow graph for one function definition."""
+    return _Builder(func).build()
+
+
+def function_defs(
+    tree: ast.Module,
+) -> list[tuple[str, Union[ast.FunctionDef, ast.AsyncFunctionDef]]]:
+    """Every function in a module as ``(qualname, node)`` pairs.
+
+    Qualnames follow ``Class.method`` / ``outer.inner`` convention so
+    call-graph keys and findings read like tracebacks.
+    """
+    found: list[tuple[str, Union[ast.FunctionDef, ast.AsyncFunctionDef]]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                found.append((qualname, child))
+                visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+
+    visit(tree, "")
+    return found

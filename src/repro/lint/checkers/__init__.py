@@ -5,9 +5,13 @@ from repro.lint.checkers import (  # noqa: F401  (imports register rules)
     dataclasses,
     determinism,
     floatcmp,
+    flowdeterminism,
     metrics,
+    pairing,
     picklability,
+    purity,
     scenario,
+    unitflow,
     units,
 )
 
@@ -16,8 +20,12 @@ __all__ = [
     "dataclasses",
     "determinism",
     "floatcmp",
+    "flowdeterminism",
     "metrics",
+    "pairing",
     "picklability",
+    "purity",
     "scenario",
+    "unitflow",
     "units",
 ]

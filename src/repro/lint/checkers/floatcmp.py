@@ -10,14 +10,74 @@ hide until a rare load mix trips them.  The approved idioms live in
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.lint.asthelpers import unit_of_identifier
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, Fix, TextEdit
 from repro.lint.registry import Checker, register
 from repro.lint.source import SourceModule
 
 __all__ = ["FloatEqualityChecker"]
+
+
+def _imports_approx_eq(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module == "repro.units":
+            if any(alias.name == "approx_eq" for alias in node.names):
+                return True
+    return False
+
+
+def _import_insertion_line(tree: ast.Module) -> int:
+    """First line after the last top-level import (1-based)."""
+    last = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last = max(last, getattr(node, "end_lineno", node.lineno))
+    return last + 1
+
+
+def _approx_eq_fix(
+    module: SourceModule, node: ast.Compare
+) -> Optional[Fix]:
+    """Rewrite a single-op ``a == b`` / ``a != b`` to ``approx_eq``."""
+    if len(node.ops) != 1 or len(node.comparators) != 1:
+        return None
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    left = ast.get_source_segment(module.text, node.left)
+    right = ast.get_source_segment(module.text, node.comparators[0])
+    if left is None or right is None:
+        return None
+    call = f"approx_eq({left}, {right})"
+    if isinstance(node.ops[0], ast.NotEq):
+        call = f"not {call}"
+    edits = [
+        TextEdit(
+            line=node.lineno,
+            col=node.col_offset,
+            end_line=end_line,
+            end_col=end_col,
+            replacement=call,
+        )
+    ]
+    if not _imports_approx_eq(module.tree):
+        insert_at = _import_insertion_line(module.tree)
+        edits.append(
+            TextEdit(
+                line=insert_at,
+                col=0,
+                end_line=insert_at,
+                end_col=0,
+                replacement="from repro.units import approx_eq\n",
+            )
+        )
+    return Fix(
+        description="compare with repro.units.approx_eq",
+        edits=tuple(edits),
+    )
 
 
 def _float_like(node: ast.expr) -> bool:
@@ -63,5 +123,6 @@ class FloatEqualityChecker(Checker):
                         module,
                         node,
                         "exact float equality on a power/latency expression",
+                        fix=_approx_eq_fix(module, node),
                     )
                     break

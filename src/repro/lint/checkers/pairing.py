@@ -1,0 +1,307 @@
+"""Resource-pairing rule: every acquire has a release on every path.
+
+PowerChief's accounting is a conservation law: wattage a
+:class:`~repro.cluster.budget.PowerBudget` ``reserve``\\ s must come back
+via ``release`` or the controller permanently loses headroom — exactly
+the leak class PR 4 fixed by hand in the health monitor.  The same
+protocol shape guards the observability attachments
+(``attach``/``detach``) and the staged builder lifecycle
+(``arm``/``collect``).
+
+This rule is a lockset-style path analysis over the function CFG.  A
+path state maps each locally-touched resource — identified by its
+receiver expression and acquire method, e.g. ``('self.budget',
+'reserve')`` — to ``held`` or ``released``.  At every *normal* exit
+(returns and fall-through; raise paths are exempt, ``try/finally`` is
+modelled) the states are compared:
+
+* some path released a resource while another still holds it → the
+  classic early-return leak, flagged at the acquire site;
+* a resource acquired on a *local* receiver that never escapes the
+  function (not returned, stored, or passed on) and is never released
+  on any path → flagged as a guaranteed leak.
+
+Cross-method protocols (reserve in ``_on_crash``, release in a later
+tick) are deliberately not flagged: a function with no matching release
+at all on a ``self.``-rooted receiver is assumed to be one side of such
+a protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lint.asthelpers import dotted_name
+from repro.lint.cfg import CFG, Header, build_cfg, function_defs
+from repro.lint.dataflow import ForwardAnalysis, run_forward
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+from repro.lint.source import SourceModule
+
+__all__ = ["ResourcePairingChecker"]
+
+#: acquire method -> release method.
+_PAIRS = {
+    "reserve": "release",
+    "attach": "detach",
+    "arm": "collect",
+    "acquire": "release",
+}
+#: release method -> every acquire kind it closes ("release" closes
+#: both "reserve" and "acquire").
+_RELEASES: Dict[str, Tuple[str, ...]] = {}
+for _acquire, _release in _PAIRS.items():
+    _RELEASES[_release] = _RELEASES.get(_release, ()) + (_acquire,)
+
+#: Finalizer methods release *every* resource held on their receiver —
+#: ``exporter.close()`` detaches internally, ``builder.stop()`` collects.
+_FINALIZERS = frozenset({"close", "stop", "shutdown", "teardown"})
+for _finalizer in _FINALIZERS:
+    _RELEASES.setdefault(_finalizer, tuple(_PAIRS))
+
+_HELD = "held"
+_RELEASED = "released"
+
+#: Path state: resource -> held/released.  Dataflow state: the *set* of
+#: distinct path states reaching a point (exact path-sensitivity; the
+#: resource count per function is tiny, so the powerset stays tiny).
+_PathState = Tuple[Tuple[Tuple[str, str], str], ...]
+_State = FrozenSet[_PathState]
+
+_SKIP_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _resource_calls(
+    item: ast.AST,
+) -> List[Tuple[ast.Call, str, Tuple[str, str]]]:
+    """(call node, 'acquire'|'release', resource key) inside one item."""
+    found: List[Tuple[ast.Call, str, Tuple[str, str]]] = []
+    expr = item.expr if isinstance(item, Header) else item
+    if expr is None:
+        return found
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, _SKIP_NESTED):
+            return
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            receiver = dotted_name(node.func.value)
+            if receiver is not None:
+                if method in _PAIRS:
+                    found.append((node, "acquire", (receiver, method)))
+                elif method in _RELEASES:
+                    for acquire in _RELEASES[method]:
+                        found.append(
+                            (node, "release", (receiver, acquire))
+                        )
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(expr)
+    return found
+
+
+class _Locksets(ForwardAnalysis[_State]):
+    def initial(self, cfg: CFG) -> _State:
+        return frozenset({()})
+
+    def join(self, left: _State, right: _State) -> _State:
+        return left | right
+
+    def transfer(self, item, state: _State) -> _State:
+        calls = _resource_calls(item)
+        if not calls:
+            return state
+        new_paths = set()
+        for path in state:
+            mapping = dict(path)
+            for _, kind, resource in calls:
+                if kind == "acquire":
+                    mapping[resource] = _HELD
+                elif resource in mapping:
+                    mapping[resource] = _RELEASED
+                else:
+                    # Release without a seen acquire: the other half of a
+                    # cross-method protocol; mark released so a later
+                    # re-acquire on this path reads as held again.
+                    mapping[resource] = _RELEASED
+            new_paths.add(tuple(sorted(mapping.items())))
+        return frozenset(new_paths)
+
+
+def _local_names(func: ast.FunctionDef) -> set:
+    args = func.args
+    params = {
+        a.arg
+        for a in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        )
+    }
+    assigned = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigned.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                assigned.add(node.target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for with_item in node.items:
+                if isinstance(with_item.optional_vars, ast.Name):
+                    assigned.add(with_item.optional_vars.id)
+    return (assigned - params) | set()
+
+
+def _escapes(func: ast.FunctionDef, name: str) -> bool:
+    """Whether local ``name`` leaves the function some way other than a
+    paired release — returned, yielded, stored, passed to a call, or
+    captured by a nested function/lambda (a closure may release it)."""
+    for node in ast.walk(func):
+        if isinstance(node, _SKIP_NESTED) and node is not func:
+            if any(
+                isinstance(inner, ast.Name) and inner.id == name
+                for inner in ast.walk(node)
+            ):
+                return True
+            continue
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None and name in {
+                n.id for n in ast.walk(value) if isinstance(n, ast.Name)
+            }:
+                return True
+        elif isinstance(node, ast.Call):
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                if any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(arg)
+                ):
+                    return True
+        elif isinstance(node, ast.Assign):
+            stores_elsewhere = any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            )
+            uses_name = any(
+                isinstance(n, ast.Name) and n.id == name
+                for n in ast.walk(node.value)
+            )
+            if stores_elsewhere and uses_name:
+                return True
+            if uses_name and any(
+                isinstance(t, (ast.Tuple, ast.List)) for t in node.targets
+            ):
+                return True
+            if any(
+                isinstance(n, (ast.List, ast.Tuple, ast.Dict, ast.Set))
+                and name
+                in {
+                    m.id for m in ast.walk(n) if isinstance(m, ast.Name)
+                }
+                for n in [node.value]
+            ):
+                return True
+    return False
+
+
+@register
+class ResourcePairingChecker(Checker):
+    """Path-sensitive acquire/release pairing."""
+
+    rule_id = "resource-pairing"
+    description = (
+        "reserve/release, attach/detach and arm/collect must pair on "
+        "every path: an early return between acquire and release leaks "
+        "the resource on that path"
+    )
+    hint = (
+        "release in a finally block (or before every return); if the "
+        "imbalance is intentional cross-method state, suppress with a "
+        "reason comment"
+    )
+    scope = ()  # conservation holds everywhere
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for _, func in function_defs(module.tree):
+            yield from self._check_function(module, func)
+
+    def _check_function(
+        self, module: SourceModule, func
+    ) -> Iterator[Finding]:
+        acquire_sites: Dict[Tuple[str, str], List[ast.Call]] = {}
+        has_release: Dict[Tuple[str, str], bool] = {}
+
+        def scan(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SKIP_NESTED):
+                    continue
+                if isinstance(child, ast.Call) and isinstance(
+                    child.func, ast.Attribute
+                ):
+                    method = child.func.attr
+                    receiver = dotted_name(child.func.value)
+                    if receiver is not None:
+                        if method in _PAIRS:
+                            acquire_sites.setdefault(
+                                (receiver, method), []
+                            ).append(child)
+                        elif method in _RELEASES:
+                            for acquire in _RELEASES[method]:
+                                has_release[(receiver, acquire)] = True
+                scan(child)
+
+        scan(func)
+        if not acquire_sites:
+            return
+
+        cfg = build_cfg(func)
+        analysis = _Locksets()
+        ins = run_forward(cfg, analysis)
+        exit_states: List[Dict[Tuple[str, str], str]] = []
+        for block in cfg.normal_exit_preds():
+            if block.index not in ins:
+                continue
+            state = ins[block.index]
+            for item in block.items:
+                state = analysis.transfer(item, state)
+            exit_states.extend(dict(path) for path in state)
+        if not exit_states:
+            return
+
+        locals_in_func = _local_names(func)
+        for resource, sites in sorted(
+            acquire_sites.items(), key=lambda kv: kv[1][0].lineno
+        ):
+            receiver, method = resource
+            statuses = {state.get(resource) for state in exit_states}
+            release_method = _PAIRS[method]
+            if _HELD in statuses and _RELEASED in statuses:
+                yield self.finding(
+                    module,
+                    sites[0],
+                    f"{receiver}.{method}() is matched by "
+                    f"{release_method}() on some paths out of "
+                    f"{func.name}() but still held on others — the "
+                    f"unmatched path leaks the resource",
+                )
+                continue
+            root = receiver.partition(".")[0]
+            if (
+                _HELD in statuses
+                and not has_release.get(resource)
+                and root in locals_in_func
+                and not _escapes(func, root)
+            ):
+                yield self.finding(
+                    module,
+                    sites[0],
+                    f"{receiver}.{method}() is never "
+                    f"{release_method}()d on any path out of "
+                    f"{func.name}(), and {root} does not escape the "
+                    f"function",
+                )

@@ -1,0 +1,206 @@
+"""Observer-purity rule: obs/ hooks watch the world, never steer it.
+
+The observability plane (PR 2) attaches listeners to telemetry samples,
+span events and controller decisions.  Its contract — until now only
+promised by tests — is that observation is free of feedback: an
+``_on_sample`` hook that schedules an event or boosts a stage turns the
+measurement layer into a second, unaudited controller, and makes every
+"observability is zero-cost when absent" claim false.
+
+The rule finds hook functions in ``obs/`` — methods named ``on_*`` /
+``_on_*`` plus anything registered through an ``add_*_listener``-style
+call — and flags, inside them (and helpers they call, via the call
+graph):
+
+* calls to simulator/cluster mutators (``schedule``, ``set_frequency``,
+  ``reserve``, ``crash_instance``, ...);
+* attribute writes through a hook *parameter* (mutating the sample or
+  stage that was handed in for reading).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.callgraph import CallSite
+from repro.lint.cfg import function_defs
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+from repro.lint.source import SourceModule
+
+__all__ = ["ObserverPurityChecker"]
+
+#: Method names that mutate the simulated world.  Observation may read
+#: anything; calling one of these from a hook is steering.
+_MUTATORS = frozenset(
+    {
+        "schedule",
+        "schedule_at",
+        "set_frequency",
+        "set_level",
+        "boost",
+        "withdraw",
+        "recycle",
+        "launch_instance",
+        "retire_instance",
+        "crash_instance",
+        "reserve",
+        "release",
+        "inject",
+    }
+)
+
+#: Registration calls whose callable argument becomes a hook.
+_REGISTRATION_SUFFIXES = ("_listener", "_hook", "_callback")
+_REGISTRATION_NAMES = frozenset({"subscribe", "add_listener"})
+
+_SKIP_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SKIP_NESTED):
+                continue
+            stack.append(child)
+
+
+def _registered_hook_names(tree: ast.Module) -> Set[str]:
+    """Callable names passed into listener-registration calls."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee: Optional[str] = None
+        if isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            callee = node.func.id
+        if callee is None:
+            continue
+        if callee not in _REGISTRATION_NAMES and not callee.endswith(
+            _REGISTRATION_SUFFIXES
+        ):
+            continue
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            if isinstance(arg, ast.Attribute):
+                names.add(arg.attr)
+            elif isinstance(arg, ast.Name):
+                names.add(arg.id)
+    return names
+
+
+def _is_hook(name: str, registered: Set[str]) -> bool:
+    return (
+        name.startswith("on_")
+        or name.startswith("_on_")
+        or name in registered
+    )
+
+
+def _mutator_site(site: CallSite) -> bool:
+    return site.last() in _MUTATORS
+
+
+@register
+class ObserverPurityChecker(Checker):
+    """Event hooks in obs/ must not schedule events or mutate state."""
+
+    rule_id = "observer-purity"
+    description = (
+        "obs/ event hooks (on_* methods, registered listeners) must not "
+        "schedule simulator events or mutate cluster state — observation "
+        "is feedback-free"
+    )
+    hint = (
+        "move the mutation into the controller (where it is audited) and "
+        "let the hook only record"
+    )
+    scope = ("obs/",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        registered = _registered_hook_names(module.tree)
+        graph = self.context.call_graph if self.context is not None else None
+        memo: Dict[str, object] = {}
+        for qualname, func in function_defs(module.tree):
+            if not _is_hook(func.name, registered):
+                continue
+            params = {
+                arg.arg
+                for arg in (
+                    *func.args.posonlyargs,
+                    *func.args.args,
+                    *func.args.kwonlyargs,
+                )
+                if arg.arg not in ("self", "cls")
+            }
+            yield from self._direct_violations(module, func, params)
+            if graph is None:
+                continue
+            summary = graph.functions.get(
+                f"{module.package_path}::{qualname}"
+            )
+            if summary is None:
+                continue
+            for site in summary.calls:
+                if site.last() in _MUTATORS:
+                    continue  # already flagged directly
+                callee = graph.resolve(summary, site.target)
+                if callee is None:
+                    continue
+                chain = graph.trace(callee.key, _mutator_site, memo)  # type: ignore[arg-type]
+                if chain is None:
+                    continue
+                terminal_key, terminal = chain[-1]
+                yield Finding(
+                    path=str(module.path),
+                    package_path=module.package_path,
+                    line=site.lineno,
+                    column=site.col + 1,
+                    rule=self.rule_id,
+                    message=(
+                        f"hook {func.name}() calls {site.last()}() which "
+                        f"reaches the mutator {terminal.last()}() at "
+                        f"{terminal_key.split('::')[0]}:{terminal.lineno}"
+                    ),
+                    hint=self.hint,
+                )
+
+    def _direct_violations(
+        self, module: SourceModule, func, params: Set[str]
+    ) -> Iterator[Finding]:
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATORS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"hook {func.name}() calls the mutator "
+                        f"{node.func.attr}() — observation must not "
+                        f"steer the simulation",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in params
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"hook {func.name}() writes "
+                            f"{target.value.id}.{target.attr} — the "
+                            f"observed object must stay read-only",
+                        )

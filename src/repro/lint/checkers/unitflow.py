@@ -1,0 +1,375 @@
+"""Unit-flow rule: units propagate through assignments and returns.
+
+The per-node ``unit-mismatch`` rule (PR 3) only fires when *both*
+operands of a ``+``/``-``/comparison wear their unit on their sleeve
+(a ``_watts`` suffix, a ``Watts(...)`` constructor).  The moment a value
+passes through a plainly-named local —
+
+.. code-block:: python
+
+    headroom = budget_watts - draw_watts   # headroom is W, invisibly
+    if headroom < deadline_s:              # W vs s: nothing fired
+
+— the NewType erases and the mix goes unchecked.  This rule runs a
+forward dataflow over the function's CFG, tagging locals with the unit
+of whatever was assigned to them (including the W·s→J / J÷s→W algebra
+for ``*`` and ``/``), and flags:
+
+* ``+``/``-``/ordering between quantities whose *flowed* units disagree
+  (at least one side's unit must have arrived via propagation — direct
+  suffix-vs-suffix mixes stay ``unit-mismatch``'s);
+* assignments into a unit-suffixed name (``total_watts = elapsed_s``)
+  whose right-hand side carries a different unit;
+* ``return`` of the wrong unit from a function whose annotation
+  (``-> Watts``) or name suffix pins the expected unit.
+
+The analysis is deliberately conservative: a variable whose unit is
+ambiguous at a merge point simply becomes unknown, and unknown never
+fires.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.lint.asthelpers import unit_of_identifier
+from repro.lint.cfg import Header, build_cfg, function_defs
+from repro.lint.dataflow import ForwardAnalysis, run_forward
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register
+from repro.lint.source import SourceModule
+
+__all__ = ["UnitFlowChecker"]
+
+#: NewType constructors from repro.units, mapped to the unit they tag.
+_UNIT_CONSTRUCTORS = {
+    "Watts": "W",
+    "Joules": "J",
+    "Hz": "Hz",
+    "Ghz": "GHz",
+    "SimTime": "s",
+}
+
+#: Multiplication algebra: (left, right) -> product unit.  Pairs not
+#: listed produce an unknown unit (never a finding).
+_MUL_ALGEBRA: Dict[Tuple[str, str], Optional[str]] = {
+    ("W", "s"): "J",
+    ("s", "W"): "J",
+}
+
+#: Division algebra: (numerator, denominator) -> quotient unit.
+_DIV_ALGEBRA: Dict[Tuple[str, str], Optional[str]] = {
+    ("J", "s"): "W",
+    ("J", "W"): "s",
+    ("W", "W"): None,  # ratio: dimensionless
+    ("s", "s"): None,
+    ("J", "J"): None,
+    ("GHz", "GHz"): None,
+    ("Hz", "Hz"): None,
+}
+
+_MIX_BINOPS = (ast.Add, ast.Sub)
+_ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+_SKIP_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _annotation_unit(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Unit pinned by a ``Watts`` / ``repro.units.Watts`` annotation."""
+    if annotation is None:
+        return None
+    name: Optional[str] = None
+    if isinstance(annotation, ast.Name):
+        name = annotation.id
+    elif isinstance(annotation, ast.Attribute):
+        name = annotation.attr
+    elif isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        name = annotation.value.strip().rpartition(".")[2]
+    if name is None:
+        return None
+    return _UNIT_CONSTRUCTORS.get(name)
+
+
+class _Units:
+    """(unit tag, arrived-via-propagation?) of one expression."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def of(
+        expr: ast.expr, env: Dict[str, str]
+    ) -> Tuple[Optional[str], bool]:
+        if isinstance(expr, ast.UnaryOp) and isinstance(
+            expr.op, (ast.UAdd, ast.USub)
+        ):
+            return _Units.of(expr.operand, env)
+        if isinstance(expr, ast.Name):
+            direct = unit_of_identifier(expr.id)
+            if direct is not None:
+                return direct, False
+            flowed = env.get(expr.id)
+            return (flowed, True) if flowed is not None else (None, False)
+        if isinstance(expr, ast.Attribute):
+            return unit_of_identifier(expr.attr), False
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Name):
+                tagged = _UNIT_CONSTRUCTORS.get(expr.func.id)
+                if tagged is not None:
+                    return tagged, False
+                return unit_of_identifier(expr.func.id), False
+            if isinstance(expr.func, ast.Attribute):
+                return unit_of_identifier(expr.func.attr), False
+            return None, False
+        if isinstance(expr, ast.BinOp):
+            left, left_prop = _Units.of(expr.left, env)
+            right, right_prop = _Units.of(expr.right, env)
+            propagated = left_prop or right_prop
+            if left is None or right is None:
+                if isinstance(expr.op, _MIX_BINOPS) and (left or right):
+                    # unit + unknown: assume the unit survives (x + 1.0)
+                    return left or right, propagated
+                return None, False
+            if isinstance(expr.op, _MIX_BINOPS):
+                return (left, propagated) if left == right else (None, False)
+            if isinstance(expr.op, ast.Mult):
+                return _MUL_ALGEBRA.get((left, right)), propagated
+            if isinstance(expr.op, ast.Div):
+                return _DIV_ALGEBRA.get((left, right)), propagated
+            return None, False
+        if isinstance(expr, ast.IfExp):
+            then, then_prop = _Units.of(expr.body, env)
+            other, other_prop = _Units.of(expr.orelse, env)
+            if then is not None and then == other:
+                return then, then_prop or other_prop
+            return None, False
+        return None, False
+
+
+class _UnitFlow(ForwardAnalysis[Dict[str, str]]):
+    """env: local name -> unit tag; absence means unknown."""
+
+    def __init__(self, checker: "UnitFlowChecker", module: SourceModule, func):
+        self.checker = checker
+        self.module = module
+        self.func = func
+        self.findings: list[Finding] = []
+        self.return_unit = _annotation_unit(func.returns) or unit_of_identifier(
+            func.name
+        )
+
+    # -- framework hooks ----------------------------------------------
+    def initial(self, cfg) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        args = cfg.func.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        ):
+            unit = _annotation_unit(arg.annotation)
+            if unit is not None:
+                env[arg.arg] = unit
+        return env
+
+    def join(self, left: Dict[str, str], right: Dict[str, str]) -> Dict[str, str]:
+        return {
+            name: unit
+            for name, unit in left.items()
+            if right.get(name) == unit
+        }
+
+    def transfer(self, item, state: Dict[str, str]) -> Dict[str, str]:
+        if isinstance(item, Header):
+            node = item.node
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                return self._clear_targets(node.target, state)
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                new = state
+                for with_item in node.items:
+                    if with_item.optional_vars is not None:
+                        new = self._clear_targets(with_item.optional_vars, new)
+                return new
+            return state
+        if isinstance(item, ast.Assign):
+            unit, _ = _Units.of(item.value, state)
+            new = dict(state)
+            for target in item.targets:
+                new = self._bind(target, unit, new)
+            return new
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            unit = _annotation_unit(item.annotation)
+            if unit is None and item.value is not None:
+                unit, _ = _Units.of(item.value, state)
+            return self._bind(item.target, unit, dict(state))
+        if isinstance(item, ast.AugAssign):
+            return state  # unit unchanged when consistent; checked in observe
+        return state
+
+    def observe(self, item, state: Dict[str, str]) -> None:
+        if isinstance(item, Header):
+            if item.expr is not None:
+                self._scan(item.expr, state)
+            return
+        if isinstance(item, ast.Return):
+            if item.value is not None:
+                self._scan(item.value, state)
+                self._check_return(item, state)
+            return
+        if isinstance(item, ast.Assign):
+            self._scan(item.value, state)
+            self._check_assign(item, state)
+            return
+        if isinstance(item, ast.AnnAssign):
+            if item.value is not None:
+                self._scan(item.value, state)
+            return
+        if isinstance(item, ast.AugAssign):
+            self._scan(item.value, state)
+            self._check_augassign(item, state)
+            return
+        if isinstance(item, ast.stmt):
+            for child in ast.iter_child_nodes(item):
+                if isinstance(child, ast.expr):
+                    self._scan(child, state)
+
+    # -- helpers -------------------------------------------------------
+    def _bind(
+        self, target: ast.expr, unit: Optional[str], env: Dict[str, str]
+    ) -> Dict[str, str]:
+        if isinstance(target, ast.Name):
+            if unit is None:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = unit
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                env = self._bind(element, None, env)
+        return env
+
+    def _clear_targets(
+        self, target: ast.expr, env: Dict[str, str]
+    ) -> Dict[str, str]:
+        new = dict(env)
+        return self._bind(target, None, new)
+
+    def _scan(self, expr: ast.expr, env: Dict[str, str]) -> None:
+        """Flag mixed-unit +/-/ordering inside ``expr`` (recursively)."""
+        for node in ast.walk(expr):
+            if isinstance(node, _SKIP_NESTED):
+                continue
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _MIX_BINOPS):
+                self._judge(node, node.left, node.right, env)
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if isinstance(node.ops[0], _ORDER_OPS):
+                    self._judge(node, node.left, node.comparators[0], env)
+
+    def _judge(
+        self,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        env: Dict[str, str],
+    ) -> None:
+        left_unit, left_prop = _Units.of(left, env)
+        right_unit, right_prop = _Units.of(right, env)
+        if left_unit is None or right_unit is None:
+            return
+        if left_unit == right_unit:
+            return
+        if not (left_prop or right_prop):
+            return  # both syntactically visible: unit-mismatch territory
+        self.findings.append(
+            self.checker.finding(
+                self.module,
+                node,
+                f"flowed units disagree: left operand is {left_unit}, "
+                f"right operand is {right_unit} "
+                f"(in {self.func.name}())",
+            )
+        )
+
+    def _check_assign(self, item: ast.Assign, env: Dict[str, str]) -> None:
+        value_unit, _ = _Units.of(item.value, env)
+        if value_unit is None:
+            return
+        for target in item.targets:
+            target_unit = None
+            if isinstance(target, ast.Name):
+                target_unit = unit_of_identifier(target.id)
+            elif isinstance(target, ast.Attribute):
+                target_unit = unit_of_identifier(target.attr)
+            if target_unit is not None and target_unit != value_unit:
+                self.findings.append(
+                    self.checker.finding(
+                        self.module,
+                        item,
+                        f"assignment unit mismatch: target is "
+                        f"{target_unit} but the value flows {value_unit}",
+                    )
+                )
+
+    def _check_augassign(self, item: ast.AugAssign, env: Dict[str, str]) -> None:
+        if not isinstance(item.op, _MIX_BINOPS):
+            return
+        target_unit = None
+        if isinstance(item.target, ast.Name):
+            direct = unit_of_identifier(item.target.id)
+            target_unit = direct or env.get(item.target.id)
+        elif isinstance(item.target, ast.Attribute):
+            target_unit = unit_of_identifier(item.target.attr)
+        value_unit, _ = _Units.of(item.value, env)
+        if (
+            target_unit is not None
+            and value_unit is not None
+            and target_unit != value_unit
+        ):
+            self.findings.append(
+                self.checker.finding(
+                    self.module,
+                    item,
+                    f"augmented assignment mixes units: target is "
+                    f"{target_unit}, value flows {value_unit}",
+                )
+            )
+
+    def _check_return(self, item: ast.Return, env: Dict[str, str]) -> None:
+        if self.return_unit is None or item.value is None:
+            return
+        value_unit, _ = _Units.of(item.value, env)
+        if value_unit is not None and value_unit != self.return_unit:
+            self.findings.append(
+                self.checker.finding(
+                    self.module,
+                    item,
+                    f"{self.func.name}() is declared to return "
+                    f"{self.return_unit} but this path returns "
+                    f"{value_unit}",
+                )
+            )
+
+
+@register
+class UnitFlowChecker(Checker):
+    """Propagate unit tags through local dataflow and flag mixes."""
+
+    rule_id = "unit-flow"
+    description = (
+        "units propagate through assignments: a local bound to watts "
+        "must not later be added to, compared with, assigned into or "
+        "returned as seconds/hertz/joules"
+    )
+    hint = (
+        "convert explicitly at the boundary (see repro.units) or rename "
+        "the local with its real unit suffix"
+    )
+    scope = ()  # unit discipline holds everywhere
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for _, func in function_defs(module.tree):
+            analysis = _UnitFlow(self, module, func)
+            run_forward(build_cfg(func), analysis)
+            yield from analysis.findings

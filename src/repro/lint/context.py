@@ -1,0 +1,31 @@
+"""Shared per-run state handed to every checker before the pass starts.
+
+The flow-aware rules need more than one module at a time: the
+interprocedural determinism rules walk the cross-module call graph, and
+future rules may want the full module list (for example to resolve a
+receiver's class across files).  The runner parses everything first,
+builds this context once, and calls :meth:`repro.lint.registry.Checker
+.configure` with it — so per-module ``check`` passes stay stateless and
+cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.source import SourceModule
+
+__all__ = ["LintContext"]
+
+
+@dataclass
+class LintContext:
+    """Everything a checker may consult beyond its current module."""
+
+    modules: List[SourceModule]
+    call_graph: CallGraph
+
+    def by_package_path(self) -> Dict[str, SourceModule]:
+        return {module.package_path: module for module in self.modules}

@@ -1,0 +1,124 @@
+"""A small forward-dataflow framework over :mod:`repro.lint.cfg` graphs.
+
+The classic worklist algorithm, monomorphised to what the flow rules
+need: states are small immutable-ish values (dicts of tags, frozensets
+of held resources), ``join`` merges states at control-flow merges, and
+``transfer`` folds one block item at a time.  Analyses that need to
+*report* (rather than just compute) run a second deterministic pass over
+the blocks with the converged entry states — see
+:meth:`ForwardAnalysis.observe`.
+
+Termination is by fixpoint plus a hard iteration cap: every lattice
+used here has finite height (units can only become unknown, locksets
+only shrink toward the powerset bound), but the cap turns a buggy
+transfer function into a loud crash instead of a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Optional, TypeVar
+
+from repro.errors import ReproError
+from repro.lint.cfg import CFG, BlockItem
+
+__all__ = ["ForwardAnalysis", "run_forward", "DataflowDiverged"]
+
+S = TypeVar("S")
+
+#: Full passes over the block list before the framework gives up.
+_MAX_PASSES = 200
+
+
+class DataflowDiverged(ReproError):
+    """A transfer/join pair failed to converge — a bug in the analysis."""
+
+
+class ForwardAnalysis(Generic[S]):
+    """Subclass hook bundle for one forward analysis."""
+
+    def initial(self, cfg: CFG) -> S:
+        """State on entry to the function."""
+        raise NotImplementedError
+
+    def join(self, left: S, right: S) -> S:
+        """Merge two predecessor states at a control-flow merge."""
+        raise NotImplementedError
+
+    def transfer(self, item: BlockItem, state: S) -> S:
+        """State after executing one block item.  Must not mutate
+        ``state`` — return a new value (or ``state`` itself if nothing
+        changed)."""
+        raise NotImplementedError
+
+    def equals(self, left: S, right: S) -> bool:
+        """Convergence test; override when ``==`` is not structural."""
+        return bool(left == right)
+
+    def observe(self, item: BlockItem, state: S) -> None:
+        """Reporting hook: called once per item, in block order, with
+        the converged state *before* the item executes.  Override to
+        collect findings; the framework calls it via
+        :func:`run_forward` after the fixpoint is reached."""
+
+
+def run_forward(
+    cfg: CFG, analysis: "ForwardAnalysis[S]"
+) -> Dict[int, S]:
+    """Run ``analysis`` to fixpoint; returns entry state per block index.
+
+    Unreachable blocks get no entry (absent from the result) and are
+    never observed.  After convergence every reachable block is replayed
+    once through :meth:`ForwardAnalysis.observe` in index order, so
+    reported findings come out deterministic regardless of worklist
+    order.
+    """
+    ins: Dict[int, S] = {cfg.entry: analysis.initial(cfg)}
+    outs: Dict[int, S] = {}
+
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for block in cfg.blocks:
+            preds = [
+                outs[p] for p in cfg.preds.get(block.index, []) if p in outs
+            ]
+            if block.index == cfg.entry:
+                state: Optional[S] = ins[cfg.entry]
+                for pred_state in preds:  # back edges into the entry
+                    state = analysis.join(state, pred_state)
+            elif preds:
+                state = preds[0]
+                for pred_state in preds[1:]:
+                    state = analysis.join(state, pred_state)
+            else:
+                continue  # unreachable (so far)
+            if block.index not in ins or not analysis.equals(
+                ins[block.index], state
+            ):
+                ins[block.index] = state
+                changed = True
+            if block.index in ins:
+                out_state = ins[block.index]
+                for item in block.items:
+                    out_state = analysis.transfer(item, out_state)
+                if block.index not in outs or not analysis.equals(
+                    outs[block.index], out_state
+                ):
+                    outs[block.index] = out_state
+                    changed = True
+        if not changed:
+            break
+    else:
+        raise DataflowDiverged(
+            f"forward analysis failed to converge on "
+            f"{getattr(cfg.func, 'name', '<function>')} "
+            f"after {_MAX_PASSES} passes"
+        )
+
+    for block in cfg.blocks:
+        if block.index not in ins:
+            continue
+        state = ins[block.index]
+        for item in block.items:
+            analysis.observe(item, state)
+            state = analysis.transfer(item, state)
+    return ins

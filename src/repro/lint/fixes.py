@@ -1,0 +1,129 @@
+"""Apply the mechanically fixable subset: ``repro lint --fix``.
+
+A checker that knows the exact rewrite attaches a
+:class:`~repro.lint.findings.Fix` (a list of
+:class:`~repro.lint.findings.TextEdit` ranges) to its finding —
+``unordered-iteration`` wraps the iterable in ``sorted(...)``,
+``float-equality`` rewrites ``a == b`` to ``approx_eq(a, b)`` and
+inserts the import.  This module applies those edits to the files on
+disk, conservatively:
+
+* duplicate edits (two findings both inserting the same import at the
+  same spot) collapse to one;
+* a fix whose edits overlap a range already claimed by an earlier fix
+  is skipped whole — half-applied rewrites are worse than none;
+* edits apply bottom-up so earlier positions stay valid.
+
+Callers re-lint afterwards: applying a fix changes line numbers, so the
+authoritative "what is still wrong" answer is a fresh run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding, LintReport, TextEdit
+
+__all__ = ["FixResult", "apply_fixes"]
+
+_Pos = Tuple[int, int]
+
+
+@dataclass
+class FixResult:
+    """What ``--fix`` did: which files changed, what was skipped."""
+
+    files_changed: List[str] = field(default_factory=list)
+    fixes_applied: int = 0
+    fixes_skipped: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"applied {self.fixes_applied} fix(es) across "
+            f"{len(self.files_changed)} file(s)"
+            + (
+                f", skipped {self.fixes_skipped} conflicting"
+                if self.fixes_skipped
+                else ""
+            )
+        )
+
+
+def _start(edit: TextEdit) -> _Pos:
+    return (edit.line, edit.col)
+
+
+def _end(edit: TextEdit) -> _Pos:
+    return (edit.end_line, edit.end_col)
+
+
+def _overlaps(edit: TextEdit, claimed: List[TextEdit]) -> bool:
+    """Whether ``edit``'s range intersects any claimed range.
+
+    Zero-width insertions at a range boundary do not conflict; two
+    zero-width insertions at the *same point* do (their order would be
+    ambiguous) unless they are identical — identical duplicates are
+    collapsed before this check.
+    """
+    for other in claimed:
+        if edit == other:
+            return True
+        zero_self = _start(edit) == _end(edit)
+        zero_other = _start(other) == _end(other)
+        if zero_self and zero_other:
+            if _start(edit) == _start(other):
+                return True
+            continue
+        if _end(edit) <= _start(other) or _end(other) <= _start(edit):
+            continue
+        return True
+    return False
+
+
+def _apply_edit(lines: List[str], edit: TextEdit) -> None:
+    """Splice one edit into the line list (lines carry no newlines)."""
+    prefix = lines[edit.line - 1][: edit.col]
+    suffix = lines[edit.end_line - 1][edit.end_col :]
+    merged = (prefix + edit.replacement + suffix).split("\n")
+    lines[edit.line - 1 : edit.end_line] = merged
+
+
+def apply_fixes(report: LintReport) -> FixResult:
+    """Write every non-conflicting attached fix back to disk."""
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in report.findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding)
+
+    result = FixResult()
+    for path in sorted(by_path):
+        claimed: List[TextEdit] = []
+        accepted: List[TextEdit] = []
+        for finding in sorted(by_path[path], key=Finding.sort_key):
+            assert finding.fix is not None
+            edits = [e for e in finding.fix.edits if e not in claimed]
+            fresh = [e for e in edits if not _overlaps(e, claimed)]
+            if len(fresh) != len(edits):
+                result.fixes_skipped += 1
+                continue
+            claimed.extend(finding.fix.edits)
+            accepted.extend(fresh)
+            result.fixes_applied += 1
+        if not accepted:
+            continue
+        file = Path(path)
+        text = file.read_text(encoding="utf-8")
+        trailing_newline = text.endswith("\n")
+        lines = text.split("\n")
+        for edit in sorted(
+            accepted, key=lambda e: (_start(e), _end(e)), reverse=True
+        ):
+            _apply_edit(lines, edit)
+        rebuilt = "\n".join(lines)
+        if trailing_newline and not rebuilt.endswith("\n"):
+            rebuilt += "\n"
+        file.write_text(rebuilt, encoding="utf-8")
+        result.files_changed.append(path)
+    return result

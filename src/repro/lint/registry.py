@@ -3,7 +3,10 @@
 One checker class per rule id.  Checkers see each in-scope module through
 :meth:`Checker.check` and may hold state across modules for a final
 cross-module pass in :meth:`Checker.finish` (the ``metric-duplicate``
-rule works that way).  Instances are single-use: the runner builds a
+rule works that way).  Flow-aware rules additionally receive the whole
+run's :class:`~repro.lint.context.LintContext` (parsed modules plus the
+cross-module call graph) through :meth:`Checker.configure` before the
+first ``check`` call.  Instances are single-use: the runner builds a
 fresh registry per run so ``finish`` state can never leak between runs.
 """
 
@@ -11,13 +14,31 @@ from __future__ import annotations
 
 import ast
 from abc import ABC, abstractmethod
-from typing import Callable, ClassVar, Iterable, Iterator, Optional, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ClassVar,
+    Iterable,
+    Iterator,
+    Optional,
+    Type,
+    Union,
+)
 
 from repro.errors import ConfigurationError
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, Fix
 from repro.lint.source import SourceModule
 
-__all__ = ["Checker", "CheckerRegistry", "default_registry", "register"]
+if TYPE_CHECKING:
+    from repro.lint.context import LintContext
+
+__all__ = [
+    "Checker",
+    "CheckerRegistry",
+    "default_registry",
+    "normalize_select",
+    "register",
+]
 
 
 class Checker(ABC):
@@ -33,6 +54,13 @@ class Checker(ABC):
     #: Package-path prefixes this rule applies to; empty means all files.
     scope: ClassVar[tuple[str, ...]] = ()
 
+    #: The run-wide context; set by :meth:`configure` before any check.
+    context: Optional["LintContext"] = None
+
+    def configure(self, context: "LintContext") -> None:
+        """Receive the run-wide context (modules + call graph)."""
+        self.context = context
+
     @abstractmethod
     def check(self, module: SourceModule) -> Iterator[Finding]:
         """Yield findings for one module (already scope-filtered)."""
@@ -47,6 +75,7 @@ class Checker(ABC):
         node: ast.AST,
         message: str,
         hint: Optional[str] = None,
+        fix: Optional[Fix] = None,
     ) -> Finding:
         """Build a finding anchored at an AST node of ``module``."""
         return Finding(
@@ -57,7 +86,38 @@ class Checker(ABC):
             rule=self.rule_id,
             message=message,
             hint=self.hint if hint is None else hint,
+            fix=fix,
         )
+
+
+def normalize_select(
+    select: Optional[Union[str, Iterable[str]]],
+) -> Optional[list[str]]:
+    """Canonicalise a ``--select`` value into rule ids.
+
+    Accepts a comma-separated string or an iterable of ids; strips
+    whitespace, drops empties, dedupes preserving order.  An explicitly
+    provided selection that nets *zero* rules is a configuration error —
+    historically it silently ran no checkers and exited 0, which read as
+    a clean pass in CI.
+    """
+    if select is None:
+        return None
+    if isinstance(select, str):
+        raw = select.split(",")
+    else:
+        raw = list(select)
+    seen: dict[str, None] = {}
+    for item in raw:
+        rule = item.strip()
+        if rule:
+            seen.setdefault(rule, None)
+    if not seen:
+        raise ConfigurationError(
+            "--select selected no rules: give comma-separated rule ids "
+            "(see 'repro lint --list-rules')"
+        )
+    return list(seen)
 
 
 class CheckerRegistry:
@@ -90,13 +150,17 @@ class CheckerRegistry:
             ) from None
 
     def instantiate(
-        self, select: Optional[Iterable[str]] = None
+        self, select: Optional[Union[str, Iterable[str]]] = None
     ) -> list[Checker]:
-        """Fresh checker instances, optionally restricted to ``select``."""
-        if select is None:
+        """Fresh checker instances, optionally restricted to ``select``.
+
+        ``select`` may be a comma-separated string or an iterable of rule
+        ids; unknown ids raise :class:`ConfigurationError`, as does a
+        selection that nets no rules at all.
+        """
+        chosen = normalize_select(select)
+        if chosen is None:
             chosen = self.rule_ids()
-        else:
-            chosen = [rule for rule in select]
         return [self.get(rule)() for rule in chosen]
 
     def describe(self) -> list[tuple[str, str, tuple[str, ...]]]:

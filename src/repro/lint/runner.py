@@ -1,4 +1,12 @@
-"""Discover files, run every checker, aggregate the report."""
+"""Discover files, run every checker, aggregate the report.
+
+Since the flow-aware engine the run is two-phase: every file is parsed
+up front, the run-wide :class:`~repro.lint.context.LintContext` (module
+list + cross-module call graph, optionally disk-cached) is built from
+the parsed set, and only then do checkers see modules.  That ordering is
+what lets interprocedural rules resolve a helper defined in a file that
+happens to sort later.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.lint.callgraph import build_call_graph
+from repro.lint.context import LintContext
 from repro.lint.findings import Finding, LintReport
 from repro.lint.registry import CheckerRegistry, default_registry
 from repro.lint.source import SourceModule, Suppressions
@@ -14,6 +24,11 @@ __all__ = ["lint_paths", "discover_files", "package_relative"]
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+
+#: Scan roots whose *name* is kept as a package-path prefix: linting the
+#: real ``tests/`` or ``examples/`` tree must not make ``tests/sim/...``
+#: look like simulator source to scoped rules.
+_PREFIXED_ROOTS = frozenset({"tests", "examples"})
 
 
 def discover_files(paths: Sequence[Union[str, Path]]) -> list[tuple[Path, Path]]:
@@ -39,11 +54,16 @@ def package_relative(file: Path, root: Path) -> str:
     when the file lives under one (``src/repro/sim/engine.py`` ->
     ``sim/engine.py``); otherwise the path relative to the scanned root,
     so golden-test trees mimic the layout with plain subdirectories.
+    Scanning a root literally named ``tests`` or ``examples`` keeps that
+    name as a prefix (``tests/sim/test_engine.py``), so simulator-scoped
+    rules never mistake a test tree for the simulator.
     """
     relative = file.resolve().relative_to(root.resolve())
     parts = list(relative.parts)
     if "repro" in parts:
         parts = parts[parts.index("repro") + 1 :]
+    elif root.name in _PREFIXED_ROOTS:
+        parts = [root.name, *parts]
     if not parts:  # the root itself was a file directly inside repro/
         parts = [file.name]
     return "/".join(parts)
@@ -52,13 +72,16 @@ def package_relative(file: Path, root: Path) -> str:
 def lint_paths(
     paths: Sequence[Union[str, Path]],
     registry: Optional[CheckerRegistry] = None,
-    select: Optional[Iterable[str]] = None,
+    select: Optional[Union[str, Iterable[str]]] = None,
+    callgraph_cache: Optional[Union[str, Path]] = None,
 ) -> LintReport:
     """Run the lint pass over files and directories.
 
     Unparsable files become ``parse-error`` findings rather than
     crashing the run; checker exceptions propagate (a crash in the tool
     itself must exit 2, not masquerade as a clean pass).
+    ``callgraph_cache`` names an optional JSON file reused across runs
+    so unchanged modules are never re-summarised.
     """
     registry = registry if registry is not None else default_registry()
     checkers = registry.instantiate(select)
@@ -66,6 +89,7 @@ def lint_paths(
     raw_findings: list[Finding] = []
     suppressions_by_path: dict[str, Suppressions] = {}
 
+    modules: list[SourceModule] = []
     for file, root in discover_files(paths):
         package_path = package_relative(file, root)
         report.files_scanned += 1
@@ -85,6 +109,16 @@ def lint_paths(
             )
             continue
         suppressions_by_path[str(file)] = module.suppressions
+        modules.append(module)
+
+    context = LintContext(
+        modules=modules,
+        call_graph=build_call_graph(modules, cache_path=callgraph_cache),
+    )
+    for checker in checkers:
+        checker.configure(context)
+
+    for module in modules:
         for checker in checkers:
             if module.in_scope(checker.scope):
                 raw_findings.extend(checker.check(module))

@@ -6,14 +6,34 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Optional
 
-__all__ = ["SourceModule", "Suppressions", "parse_suppressions"]
+__all__ = [
+    "SourceModule",
+    "Suppressions",
+    "parse_suppressions",
+    "resolve_suppressions",
+]
 
 #: ``# repro-lint: disable=rule-a,rule-b`` — suppresses those rules on the
 #: physical line the comment sits on.  ``disable-file=`` suppresses for
 #: the whole module.  ``disable=all`` matches every rule.
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\- ]+)"
+)
+
+_COMPOUND_STMTS = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Match,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
 )
 
 
@@ -31,24 +51,91 @@ class Suppressions:
         rules = self.by_line.get(line, ())
         return rule in rules or "all" in rules
 
+    def add(self, line: int, rules: set[str]) -> None:
+        self.by_line.setdefault(line, set()).update(rules)
+
 
 def parse_suppressions(text: str) -> Suppressions:
-    """Extract suppression comments from source text.
+    """Extract suppression comments from source text, line-scoped.
 
-    The scan is line-based on purpose: a suppression applies to findings
-    reported on the same physical line, which matches how every AST node
-    in this package is located.
+    The base scan is line-based: a same-line comment applies to findings
+    reported on that physical line.  A *standalone* suppression comment
+    (nothing but the comment on its line) applies to the next code line
+    instead, and consecutive standalone comments stack onto the same
+    target — see :func:`resolve_suppressions` for the AST-aware pass
+    that additionally maps decorator lines and multiline statements to
+    their finding anchors.
     """
     suppressions = Suppressions()
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
         match = _SUPPRESS_RE.search(line)
         if match is None:
             continue
         rules = {rule.strip() for rule in match.group(2).split(",") if rule.strip()}
         if match.group(1) == "disable-file":
             suppressions.file_wide |= rules
+            continue
+        if line.strip().startswith("#"):
+            target = _next_code_line(lines, lineno)
+            if target is not None:
+                suppressions.add(target, rules)
         else:
-            suppressions.by_line.setdefault(lineno, set()).update(rules)
+            suppressions.add(lineno, rules)
+    return suppressions
+
+
+def _next_code_line(lines: list[str], after: int) -> Optional[int]:
+    """First 1-based line after ``after`` that holds code (not blank,
+    not a pure comment) — where a standalone suppression lands."""
+    for lineno in range(after + 1, len(lines) + 1):
+        stripped = lines[lineno - 1].strip()
+        if stripped and not stripped.startswith("#"):
+            return lineno
+    return None
+
+
+def _anchor_map(tree: ast.Module) -> dict[int, int]:
+    """Physical line -> the line findings for that statement anchor at.
+
+    Two cases beyond the identity: every physical line of a *simple*
+    multiline statement maps to its first line (where AST nodes anchor),
+    and decorator lines map to their ``def``/``class`` line.  Compound
+    statements are excluded — their extent covers whole bodies whose
+    statements anchor themselves.
+    """
+    anchors: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, _COMPOUND_STMTS):
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                for line in range(decorators[0].lineno, node.lineno):
+                    anchors[line] = node.lineno
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is not None and end > node.lineno:
+            for line in range(node.lineno, end + 1):
+                anchors.setdefault(line, node.lineno)
+    return anchors
+
+
+def resolve_suppressions(text: str, tree: ast.Module) -> Suppressions:
+    """Line suppressions with AST-aware anchoring.
+
+    On top of :func:`parse_suppressions`: a suppression landing anywhere
+    inside a multiline simple statement also covers the statement's
+    anchor line, and one landing on a decorator covers the decorated
+    ``def``/``class`` line.  The original line keeps its suppression
+    too, so rules that anchor findings mid-statement stay coverable.
+    """
+    suppressions = parse_suppressions(text)
+    anchors = _anchor_map(tree)
+    for line, rules in list(suppressions.by_line.items()):
+        anchor = anchors.get(line)
+        if anchor is not None and anchor != line:
+            suppressions.add(anchor, set(rules))
     return suppressions
 
 
@@ -78,7 +165,7 @@ class SourceModule:
             package_path=package_path,
             text=text,
             tree=tree,
-            suppressions=parse_suppressions(text),
+            suppressions=resolve_suppressions(text, tree),
         )
 
     def in_scope(self, prefixes: tuple[str, ...]) -> bool:

@@ -12,9 +12,11 @@ import textwrap
 from pathlib import Path
 
 from repro.cli import main
-from repro.lint import default_registry, lint_paths
+from repro.lint import Baseline, apply_baseline, default_registry, lint_paths
 
-REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+REPO_SRC = REPO_ROOT / "src"
+TESTS_BASELINE = Path(__file__).resolve().parent / "lint-baseline.json"
 
 EXPECTED_RULES = {
     "wall-clock",
@@ -28,6 +30,12 @@ EXPECTED_RULES = {
     "dataclass-frozen-shared",
     "mutable-default-arg",
     "shadow-builtin",
+    # Flow-aware families (PR 8).
+    "unit-flow",
+    "resource-pairing",
+    "unordered-iteration",
+    "rng-escape",
+    "observer-purity",
 }
 
 
@@ -121,5 +129,29 @@ class TestSelfClean:
     def test_shipped_tree_has_zero_unsuppressed_findings(self):
         report = lint_paths([REPO_SRC])
         assert report.files_scanned > 50
+        details = "\n".join(f.format() for f in report.findings)
+        assert report.clean, f"repro lint found violations:\n{details}"
+
+    def test_tests_tree_is_clean_against_the_committed_baseline(self):
+        report = lint_paths([REPO_ROOT / "tests"])
+        assert report.files_scanned > 50
+        stale = apply_baseline(report, Baseline.load(TESTS_BASELINE))
+        details = "\n".join(f.format() for f in report.findings)
+        assert report.clean, (
+            f"repro lint found new violations in tests/ (fix them, "
+            f"suppress with a reason, or — for accepted debt — add them "
+            f"to {TESTS_BASELINE.name}):\n{details}"
+        )
+        stale_lines = "\n".join(
+            f"{e.package_path}:{e.line} {e.rule}" for e in stale
+        )
+        assert not stale, (
+            f"stale baseline entries (debt already paid — regenerate "
+            f"{TESTS_BASELINE.name} with --write-baseline):\n{stale_lines}"
+        )
+
+    def test_examples_tree_has_zero_unsuppressed_findings(self):
+        report = lint_paths([REPO_ROOT / "examples"])
+        assert report.files_scanned >= 3
         details = "\n".join(f.format() for f in report.findings)
         assert report.clean, f"repro lint found violations:\n{details}"

@@ -1,0 +1,307 @@
+"""SARIF output, accepted-debt baselines and ``--fix`` — the PR-8
+reporting/remediation surface of the lint engine."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.lint import (
+    Baseline,
+    apply_baseline,
+    apply_fixes,
+    default_registry,
+    lint_paths,
+    report_to_sarif,
+    validate_sarif,
+    write_baseline,
+)
+
+BAD_SET_LOOP = """\
+def go(sim, items):
+    pending = set(items)
+    for item in pending:
+        sim.schedule(1.0, item)
+"""
+
+
+def write(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+class TestSarif:
+    def test_payload_validates_and_carries_findings(self, tmp_path):
+        write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        report = lint_paths([tmp_path])
+        payload = report_to_sarif(report, default_registry())
+        assert validate_sarif(payload) == []
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        # The full catalog ships, including the flow-aware families.
+        assert {
+            "unit-flow",
+            "resource-pairing",
+            "unordered-iteration",
+            "rng-escape",
+            "observer-purity",
+        } <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "unordered-iteration"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert result["partialFingerprints"]["reproLint/v1"]
+        index = result["ruleIndex"]
+        assert run["tool"]["driver"]["rules"][index]["id"] == (
+            "unordered-iteration"
+        )
+
+    def test_baselined_findings_emit_suppressions(self, tmp_path):
+        write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        baseline_file = tmp_path / "baseline.json"
+        report = lint_paths([tmp_path])
+        write_baseline(report, baseline_file)
+        fresh = lint_paths([tmp_path])
+        apply_baseline(fresh, Baseline.load(baseline_file))
+        payload = report_to_sarif(fresh, default_registry())
+        assert validate_sarif(payload) == []
+        (result,) = payload["runs"][0]["results"]
+        assert result["suppressions"] == [{"kind": "external"}]
+
+    def test_validator_rejects_malformed_payloads(self):
+        assert validate_sarif([]) != []
+        assert validate_sarif({"version": "2.0.0", "runs": []}) != []
+        bad_result = {
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {"driver": {"name": "x", "rules": []}},
+                    "results": [
+                        {
+                            "message": {"text": "m"},
+                            "level": "fatal",  # not a SARIF level
+                            "ruleIndex": 3,  # out of range for 0 rules
+                        }
+                    ],
+                }
+            ],
+        }
+        errors = validate_sarif(bad_result)
+        assert any("level" in e for e in errors)
+        assert any("ruleIndex" in e for e in errors)
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        assert main(["lint", "--format", "sarif", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_sarif(payload) == []
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_and_exits_zero(self, tmp_path, capsys):
+        write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        baseline_file = tmp_path / "baseline.json"
+        assert main(
+            [
+                "lint",
+                str(tmp_path / "sim"),
+                "--write-baseline",
+                str(baseline_file),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # sim/ scanned alone loses the scope prefix, so scan the parent.
+        assert main(
+            ["lint", str(tmp_path), "--baseline", str(baseline_file)]
+        ) in (0, 1)
+
+    def test_matched_findings_move_to_baselined(self, tmp_path):
+        write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        baseline_file = tmp_path / "baseline.json"
+        report = lint_paths([tmp_path])
+        assert len(report.findings) == 1
+        write_baseline(report, baseline_file)
+        fresh = lint_paths([tmp_path])
+        stale = apply_baseline(fresh, Baseline.load(baseline_file))
+        assert fresh.clean
+        assert len(fresh.baselined) == 1
+        assert stale == []
+
+    def test_new_finding_on_same_line_is_not_masked(self, tmp_path):
+        target = write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(lint_paths([tmp_path]), baseline_file)
+        # Duplicate the violating loop: identical anchor text, new
+        # occurrence.  The baseline covers exactly one of them.
+        target.write_text(
+            textwrap.dedent(
+                """\
+                def go(sim, items):
+                    pending = set(items)
+                    for item in pending:
+                        sim.schedule(1.0, item)
+                    for item in pending:
+                        sim.schedule(2.0, item)
+                """
+            ),
+            encoding="utf-8",
+        )
+        report = lint_paths([tmp_path])
+        assert len(report.findings) == 2
+        stale = apply_baseline(report, Baseline.load(baseline_file))
+        assert len(report.findings) == 1
+        assert len(report.baselined) == 1
+        assert stale == []
+
+    def test_fingerprints_survive_line_moves(self, tmp_path):
+        target = write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(lint_paths([tmp_path]), baseline_file)
+        # Push the violation down ten lines; the fingerprint is anchored
+        # to the line *text*, so the baseline still matches.
+        target.write_text(
+            "\n" * 10 + target.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        report = lint_paths([tmp_path])
+        stale = apply_baseline(report, Baseline.load(baseline_file))
+        assert report.clean
+        assert stale == []
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        target = write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(lint_paths([tmp_path]), baseline_file)
+        target.write_text(
+            "def go(sim, items):\n    return sorted(items)\n",
+            encoding="utf-8",
+        )
+        report = lint_paths([tmp_path])
+        stale = apply_baseline(report, Baseline.load(baseline_file))
+        assert report.clean
+        assert len(stale) == 1
+        assert stale[0].rule == "unordered-iteration"
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(bad)
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigurationError):
+            Baseline.load(bad)
+
+    def test_cli_baseline_error_exits_two(self, tmp_path, capsys):
+        write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        missing = tmp_path / "no-such-baseline.json"
+        assert main(
+            ["lint", str(tmp_path), "--baseline", str(missing)]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFix:
+    def test_sorted_wrap_is_applied_and_relint_is_clean(self, tmp_path):
+        target = write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        report = lint_paths([tmp_path])
+        result = apply_fixes(report)
+        assert result.fixes_applied == 1
+        assert result.files_changed == [str(target)]
+        assert "for item in sorted(pending):" in target.read_text(
+            encoding="utf-8"
+        )
+        assert lint_paths([tmp_path]).clean
+
+    def test_float_equality_rewrite_inserts_one_import(self, tmp_path):
+        target = write(
+            tmp_path / "core" / "cmp.py",
+            """\
+            import math
+
+
+            def check(power_watts, limit_watts):
+                if power_watts == limit_watts:
+                    return True
+                return power_watts != limit_watts
+            """,
+        )
+        report = lint_paths([tmp_path], select=["float-equality"])
+        assert len(report.findings) == 2
+        result = apply_fixes(report)
+        assert result.fixes_applied == 2
+        text = target.read_text(encoding="utf-8")
+        assert text.count("from repro.units import approx_eq") == 1
+        assert "if approx_eq(power_watts, limit_watts):" in text
+        assert "return not approx_eq(power_watts, limit_watts)" in text
+        assert lint_paths(
+            [tmp_path], select=["float-equality"]
+        ).clean
+
+    def test_cli_fix_applies_and_reports(self, tmp_path, capsys):
+        write(tmp_path / "sim" / "a.py", BAD_SET_LOOP)
+        assert main(["lint", str(tmp_path), "--fix"]) == 0
+        captured = capsys.readouterr()
+        assert "applied 1 fix(es)" in captured.err
+        assert "0 finding(s)" in captured.out
+
+    def test_findings_without_fixes_are_left_alone(self, tmp_path):
+        target = write(
+            tmp_path / "sim" / "a.py",
+            """\
+            import time
+
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        before = target.read_text(encoding="utf-8")
+        report = lint_paths([tmp_path], select=["wall-clock"])
+        result = apply_fixes(report)
+        assert result.fixes_applied == 0
+        assert target.read_text(encoding="utf-8") == before
+
+
+class TestSelectHardening:
+    def test_empty_select_exits_two(self, capsys):
+        assert main(["lint", "--select", "", "src"]) == 2
+        assert "--select" in capsys.readouterr().err
+
+    def test_whitespace_select_exits_two(self, capsys):
+        assert main(["lint", "--select", " , ,", "src"]) == 2
+        assert "selected no rules" in capsys.readouterr().err
+
+    def test_comma_separated_select_runs_every_named_rule(
+        self, tmp_path, capsys
+    ):
+        write(
+            tmp_path / "core" / "bad.py",
+            """\
+            def f(id, power_watts, freq_ghz):
+                return power_watts + freq_ghz
+            """,
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    "--select",
+                    "shadow-builtin, unit-mismatch",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "shadow-builtin" in out
+        assert "unit-mismatch" in out

@@ -144,3 +144,4 @@ class TestMetricsExport:
         gauge = registry.gauge("repro_stage_watts")
         assert gauge.value(stage="ASR") == 12.0
         assert math.isclose(gauge.value(stage=IDLE_STAGE), 3.0)
+        attributor.detach()

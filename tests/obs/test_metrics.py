@@ -7,6 +7,11 @@ bucket and the interpolated estimate can never be more than one bucket
 width away.
 """
 
+# These tests exercise the registry's own validation with deliberately
+# short / conflicting metric names, which is exactly what the naming
+# rules exist to forbid in production code.
+# repro-lint: disable-file=metric-name,metric-duplicate
+
 from __future__ import annotations
 
 import math

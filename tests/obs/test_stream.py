@@ -32,6 +32,7 @@ class TestCadence:
         # (the t=0 boundary is served by the first event, at t=1).
         assert times == [1.0, 5.0, 10.0, 15.0, 20.0]
         assert exporter.snapshots_written == 5
+        exporter.close()
 
     def test_quiet_gaps_do_not_backfill(self):
         sim = Simulator()
@@ -60,6 +61,7 @@ class TestCadence:
         assert [p["t"] for p in payloads] == [1.0, 2.0, 3.0]
         assert [p["seq"] for p in payloads] == [0, 1, 2]
         assert [p["n"] for p in payloads] == [1, 2, 3]
+        exporter.close()
 
 
 class TestMarks:
