@@ -15,9 +15,13 @@ does — and reports four throughput views of the same run:
 
 With ``repeats > 1`` the fastest repetition wins: scheduler noise only
 ever slows a run down, so the minimum is the best estimate of the code's
-true cost.  Event and query counts are asserted identical across
-repetitions — a discrepancy means nondeterminism, which is a bug worth
-crashing on.
+true cost.  Repetitions are interleaved across cells (round-robin, not
+cell-by-cell) so minutes-scale load drift on the host biases every cell
+equally instead of systematically penalising whichever cell ran last —
+this matters when two cells are compared against each other, as the
+supervised-headline overhead gate does.  Event and query counts are
+asserted identical across repetitions — a discrepancy means
+nondeterminism, which is a bug worth crashing on.
 """
 
 from __future__ import annotations
@@ -51,14 +55,15 @@ __all__ = [
 #: Artifact format marker; consumers key on this before parsing.
 BENCH_FORMAT = "repro-bench"
 
-#: Bumped when the artifact's layout changes; the ``v7`` in
-#: ``BENCH_v7.json``.
-BENCH_VERSION = 7
+#: Bumped when the artifact's layout changes; the ``v9`` in
+#: ``BENCH_v9.json``.
+BENCH_VERSION = 9
 
 #: Versions :meth:`BenchReport.from_dict` can still parse.  v6 artifacts
-#: lack the ``trajectory`` section but the cells read identically, so
-#: committed ``BENCH_v6.json`` baselines keep gating.
-COMPATIBLE_VERSIONS = frozenset({6, 7})
+#: lack the ``trajectory`` section and v7 artifacts predate the
+#: supervised-headline cell, but the cells they do carry read
+#: identically, so committed baselines keep gating.
+COMPATIBLE_VERSIONS = frozenset({6, 7, 9})
 
 
 @dataclass(frozen=True)
@@ -291,37 +296,38 @@ def run_bench(
                 f"(known: {', '.join(sorted(known))})"
             )
         chosen = tuple(s for s in chosen if s.name in wanted)
-    measurements = []
-    for scenario in chosen:
-        spec = scenario.quick_spec if quick else scenario.spec
-        best_wall: Optional[float] = None
-        counts: Optional[tuple[int, int]] = None
-        simulated = 0.0
-        for repeat in range(repeats):
+    best_wall: dict[str, float] = {}
+    counts: dict[str, tuple[int, int]] = {}
+    simulated: dict[str, float] = {}
+    for repeat in range(repeats):
+        for scenario in chosen:
             if progress is not None:
                 suffix = f" (repeat {repeat + 1}/{repeats})" if repeats > 1 else ""
                 progress(f"running {scenario.name}{suffix} ...")
-            wall, simulated, events, queries = _measure_once(scenario, quick)
-            if counts is None:
-                counts = (events, queries)
-            elif counts != (events, queries):
+            wall, sim_s, events, queries = _measure_once(scenario, quick)
+            simulated[scenario.name] = sim_s
+            seen = counts.setdefault(scenario.name, (events, queries))
+            if seen != (events, queries):
                 raise ReproError(
                     f"bench cell {scenario.name} is nondeterministic: "
                     f"repeat {repeat + 1} fired {events} events / "
-                    f"{queries} queries, first run {counts[0]} / {counts[1]}"
+                    f"{queries} queries, first run {seen[0]} / {seen[1]}"
                 )
-            if best_wall is None or wall < best_wall:
-                best_wall = wall
-        assert best_wall is not None and counts is not None
+            best_wall[scenario.name] = min(
+                best_wall.get(scenario.name, wall), wall
+            )
+    measurements = []
+    for scenario in chosen:
+        spec = scenario.quick_spec if quick else scenario.spec
         measurements.append(
             ScenarioMeasurement(
                 name=scenario.name,
                 spec_digest=spec.digest(),
                 repeats=repeats,
-                wall_s=best_wall,
-                simulated_s=simulated,
-                events=counts[0],
-                queries_completed=counts[1],
+                wall_s=best_wall[scenario.name],
+                simulated_s=simulated[scenario.name],
+                events=counts[scenario.name][0],
+                queries_completed=counts[scenario.name][1],
             )
         )
         if progress is not None:

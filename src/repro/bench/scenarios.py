@@ -8,6 +8,10 @@ out:
   unlimited budget, driven at 40 qps for 2500 simulated seconds — about
   10^5 completed queries.  This is the cell the >=3x speedup claim is
   measured on.
+* ``supervised-headline`` — the same cell with the guard supervision
+  stack armed (monitors, ladder, clamping actuator) and nothing going
+  wrong: the measured distance between the two cells *is* the guard's
+  overhead, and the gate holds it under a few percent of wall.
 * ``table2-standard`` — the paper's own Table-2 deployment (one instance
   per stage, 16 cores, the 13.56 W budget) under high load: what one
   ordinary campaign cell costs.
@@ -27,10 +31,19 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.scenario.spec import ScenarioSpec, StageAllocation
 
-__all__ = ["BenchScenario", "bench_scenarios", "HEADLINE_SCENARIO"]
+__all__ = [
+    "BenchScenario",
+    "bench_scenarios",
+    "HEADLINE_SCENARIO",
+    "SUPERVISED_SCENARIO",
+]
 
 #: The cell the headline speedup number is measured on.
 HEADLINE_SCENARIO = "headline-large"
+
+#: The headline cell with supervision armed; headline vs this is the
+#: guard's wall-clock overhead.
+SUPERVISED_SCENARIO = "supervised-headline"
 
 
 @dataclass(frozen=True)
@@ -43,7 +56,9 @@ class BenchScenario:
     quick_spec: ScenarioSpec
 
 
-def _headline_large(duration_s: float) -> ScenarioSpec:
+def _headline_large(duration_s: float, supervised: bool = False) -> ScenarioSpec:
+    from repro.guard import GuardConfig
+
     return ScenarioSpec.latency(
         "sirius",
         "powerchief",
@@ -57,6 +72,7 @@ def _headline_large(duration_s: float) -> ScenarioSpec:
             "QA": StageAllocation(count=21, level=1),
         },
         n_cores=64,
+        guard=GuardConfig() if supervised else None,
     )
 
 
@@ -85,6 +101,15 @@ def bench_scenarios() -> tuple[BenchScenario, ...]:
             ),
             spec=_headline_large(2500.0),
             quick_spec=_headline_large(150.0),
+        ),
+        BenchScenario(
+            name=SUPERVISED_SCENARIO,
+            description=(
+                "the headline cell with the guard supervision stack armed "
+                "and nothing going wrong: pure supervision overhead"
+            ),
+            spec=_headline_large(2500.0, supervised=True),
+            quick_spec=_headline_large(150.0, supervised=True),
         ),
         BenchScenario(
             name="table2-standard",

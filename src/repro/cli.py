@@ -23,6 +23,15 @@ Commands:
 * ``chaos`` — one latency run under a fault plan (built-in name or a
   plan JSON file), with the resilience stack armed; prints the goodput
   report and the P99/QPS/power deltas against the fault-free baseline.
+  ``--fail-on-goodput-delta PCT`` turns the goodput drop into a gate
+  (exit 1 when the faulty run completes more than PCT percent fewer of
+  its admitted queries than the baseline).
+* ``guard`` — a supervised chaos run: the controller is wrapped in the
+  :mod:`repro.guard` supervision stack (invariant monitors, degradation
+  ladder, safe mode) with an SLO tracker armed, and the goodput report
+  grows the guard section (violations, ladder transitions, time in each
+  mode).  ``--json`` archives the report with the guard summary for CI
+  assertions.
 * ``run`` — execute one scenario spec file (``--scenario spec.json``)
   through the staged stack builder: latency, QoS, sharded and
   chaos-armed runs all drive off the same declarative JSON, with an
@@ -33,7 +42,7 @@ Commands:
   over source trees; exits 0 when clean, 1 on findings, 2 on a crash in
   the tool itself.
 * ``bench`` — the microbenchmark harness (:mod:`repro.bench`): times the
-  pinned cells, emits the canonical ``BENCH_v7.json`` artifact, embeds
+  pinned cells, emits the canonical ``BENCH_v9.json`` artifact, embeds
   the committed pre-PR baseline's speedup trajectory plus the prior
   artifact's cells as a cross-PR trajectory, and with ``--check`` gates
   against a committed baseline (exit 1 on a >15% wall-clock regression).
@@ -369,7 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="time the pinned microbenchmark cells and emit BENCH_v7.json",
+        help="time the pinned microbenchmark cells and emit BENCH_v9.json",
     )
     bench.add_argument(
         "--quick",
@@ -391,14 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output",
-        default="BENCH_v7.json",
-        help="artifact path (default: BENCH_v7.json)",
+        default="BENCH_v9.json",
+        help="artifact path (default: BENCH_v9.json)",
     )
     bench.add_argument(
         "--prior",
-        default="BENCH_v6.json",
+        default="BENCH_v7.json",
         help="prior bench artifact whose cells join the trajectory "
-        "section when it exists (default: BENCH_v6.json)",
+        "section when it exists (default: BENCH_v7.json)",
     )
     bench.add_argument(
         "--pre-pr-baseline",
@@ -449,7 +458,93 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the fault-free baseline run (no delta section)",
     )
+    chaos.add_argument(
+        "--fail-on-goodput-delta",
+        type=_positive_float,
+        metavar="PCT",
+        help="exit 1 when the faulty run's goodput fraction falls more "
+        "than PCT percent below the fault-free baseline's "
+        "(requires the baseline run)",
+    )
     chaos.add_argument("--json", help="write the full report to this path")
+
+    guard = commands.add_parser(
+        "guard",
+        help="one supervised chaos run: monitors, degradation ladder and "
+        "safe mode armed; prints the goodput report with guard section",
+    )
+    guard.add_argument("app", choices=("sirius", "nlp"))
+    guard.add_argument(
+        "policy", choices=LATENCY_POLICIES, nargs="?", default="powerchief"
+    )
+    guard.add_argument(
+        "--plan",
+        default="telemetry-dark",
+        help="built-in plan name or a path to a plan .json "
+        f"(built-ins: {', '.join(_named_plan_names())}; "
+        "default: telemetry-dark)",
+    )
+    guard.add_argument(
+        "--load",
+        choices=tuple(level.value for level in LoadLevel),
+        default="high",
+        help="load level relative to baseline saturation (default: high)",
+    )
+    guard.add_argument("--rate", type=float, help="explicit arrival rate (qps)")
+    guard.add_argument("--duration", type=float, default=600.0)
+    guard.add_argument("--seed", type=int, default=3)
+    guard.add_argument(
+        "--slo-target",
+        type=_positive_float,
+        default=20.0,
+        help="latency objective in seconds for the SLO tracker the "
+        "storm monitor watches (default: 20)",
+    )
+    guard.add_argument(
+        "--ladder",
+        default="conserve,safe",
+        help="comma-separated fallback rungs walked on demotion "
+        "(default: conserve,safe)",
+    )
+    guard.add_argument(
+        "--demote-after",
+        type=_positive_int,
+        default=2,
+        help="violations within the window that trigger one demotion "
+        "(default: 2)",
+    )
+    guard.add_argument(
+        "--window",
+        type=_positive_float,
+        default=75.0,
+        help="sliding violation window in seconds (default: 75)",
+    )
+    guard.add_argument(
+        "--probation",
+        type=_positive_float,
+        default=150.0,
+        help="violation-free seconds required before one re-promotion "
+        "(default: 150)",
+    )
+    guard.add_argument(
+        "--burn-threshold",
+        type=_positive_float,
+        default=2.0,
+        help="SLO burn rate the storm monitor tolerates (default: 2.0)",
+    )
+    guard.add_argument(
+        "--storm-ticks",
+        type=_positive_int,
+        default=3,
+        help="consecutive over-threshold ticks before the storm monitor "
+        "fires (default: 3)",
+    )
+    guard.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the fault-free baseline run (no delta section)",
+    )
+    guard.add_argument("--json", help="write the full report to this path")
 
     qos = commands.add_parser("qos", help="one Table-3 QoS-mode run")
     qos.add_argument("app", choices=("sirius", "websearch"))
@@ -887,21 +982,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
+def _resolve_rate(args: argparse.Namespace) -> float:
+    if args.rate is not None:
+        return args.rate
+    levels = sirius_load_levels() if args.app == "sirius" else nlp_load_levels()
+    return levels.rate(LoadLevel(args.load))
+
+
+def _chaos_payload(
+    args: argparse.Namespace, plan: object, chaos_result: object
+) -> dict:
     import dataclasses
 
+    return {
+        "app": args.app,
+        "policy": args.policy,
+        "seed": args.seed,
+        "plan": plan.to_dict(),
+        "report": dataclasses.asdict(chaos_result.report),
+        "events": [dataclasses.asdict(event) for event in chaos_result.events],
+    }
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import load_plan, run_chaos_experiment
 
-    if args.rate is not None:
-        rate = args.rate
-    else:
-        levels = sirius_load_levels() if args.app == "sirius" else nlp_load_levels()
-        rate = levels.rate(LoadLevel(args.load))
+    if args.fail_on_goodput_delta is not None and args.no_baseline:
+        raise ReproError(
+            "--fail-on-goodput-delta needs the fault-free baseline; "
+            "drop --no-baseline"
+        )
     plan = load_plan(args.plan, args.duration)
     chaos_result = run_chaos_experiment(
         args.app,
         args.policy,
-        ConstantLoad(rate),
+        ConstantLoad(_resolve_rate(args)),
         args.duration,
         plan,
         seed=args.seed,
@@ -911,15 +1026,66 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print()
     print(chaos_result.report.render(chaos_result.baseline))
     if args.json:
-        payload = {
-            "app": args.app,
-            "policy": args.policy,
-            "seed": args.seed,
-            "plan": plan.to_dict(),
-            "report": dataclasses.asdict(chaos_result.report),
-            "events": [dataclasses.asdict(event) for event in chaos_result.events],
-        }
-        path = write_json(args.json, payload)
+        path = write_json(args.json, _chaos_payload(args, plan, chaos_result))
+        print(f"report written to {path}")
+    if args.fail_on_goodput_delta is not None:
+        baseline = chaos_result.baseline
+        assert baseline is not None  # guarded above
+        base_fraction = baseline.completion_fraction
+        faulty_fraction = chaos_result.report.goodput_fraction
+        if base_fraction <= 0.0:
+            raise ReproError(
+                "baseline completed no queries; goodput delta is undefined"
+            )
+        delta_pct = (base_fraction - faulty_fraction) / base_fraction * 100.0
+        print()
+        print(
+            f"goodput delta vs baseline: {delta_pct:+.2f}% "
+            f"(gate: {args.fail_on_goodput_delta:.2f}%)"
+        )
+        if delta_pct > args.fail_on_goodput_delta:
+            print(
+                f"goodput gate breached: faulty run completed "
+                f"{delta_pct:.2f}% fewer admitted queries than the "
+                f"baseline (allowed {args.fail_on_goodput_delta:.2f}%)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_guard(args: argparse.Namespace) -> int:
+    from repro.faults import load_plan, run_chaos_experiment
+    from repro.guard import GuardConfig
+
+    guard_config = GuardConfig(
+        ladder=args.ladder,
+        demote_after=args.demote_after,
+        violation_window_s=args.window,
+        probation_s=args.probation,
+        burn_threshold=args.burn_threshold,
+        storm_ticks=args.storm_ticks,
+    )
+    plan = load_plan(args.plan, args.duration)
+    chaos_result = run_chaos_experiment(
+        args.app,
+        args.policy,
+        ConstantLoad(_resolve_rate(args)),
+        args.duration,
+        plan,
+        seed=args.seed,
+        with_baseline=not args.no_baseline,
+        guard=guard_config,
+        slo_target_s=args.slo_target,
+    )
+    print(
+        f"{args.app}/{args.policy} under plan {plan.name!r}, supervised "
+        f"(ladder {args.ladder}, SLO target {args.slo_target:g}s):"
+    )
+    print()
+    print(chaos_result.report.render(chaos_result.baseline))
+    if args.json:
+        path = write_json(args.json, _chaos_payload(args, plan, chaos_result))
         print(f"report written to {path}")
     return 0
 
@@ -958,6 +1124,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": _cmd_explain,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "guard": _cmd_guard,
         "run": _cmd_run,
         "scenario": _cmd_scenario,
         "lint": _cmd_lint,

@@ -23,6 +23,7 @@ from repro.cluster.budget import PowerBudget
 from repro.cluster.dvfs import DvfsActuator
 from repro.cluster.telemetry import PowerTelemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
 from repro.obs.audit import (
     AuditLog,
     BoostEntry,
@@ -124,6 +125,9 @@ class BaseController(ABC):
         #: Power telemetry watched by the graceful-degradation guard.
         self.telemetry: Optional[PowerTelemetry] = None
         self.telemetry_staleness_s = 0.0
+        #: SLO tracker handed down by the stack builder; plain policies
+        #: ignore it, the supervised controller arms its storm monitor.
+        self.slo: Optional["SloTracker"] = None
         #: Ticks spent in conservative mode because telemetry was dark.
         self.degraded_ticks = 0
         #: Actions refused because their target was not a running instance.
@@ -165,6 +169,15 @@ class BaseController(ABC):
             )
         self.telemetry = telemetry
         self.telemetry_staleness_s = float(staleness_s)
+
+    def attach_slo(self, slo: "SloTracker") -> None:
+        """Hand the controller the run's SLO tracker.
+
+        Plain policies only store it; the supervised controller
+        (:mod:`repro.guard`) overrides this to arm its
+        SLO-violation-storm monitor.
+        """
+        self.slo = slo
 
     def start(self) -> None:
         """Arm the periodic adjust loop."""

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 from repro.cluster.contention import ContentionModel
 from repro.obs import Observability
 from repro.core.controller import ControllerConfig
+from repro.guard.config import GuardConfig
 from repro.scenario.config import (
     TABLE2_CONTROLLER_CONFIG,
     TABLE2_INITIAL_FREQ_GHZ,
@@ -79,6 +80,7 @@ def run_latency_experiment(
     observability: Optional[Observability] = None,
     chaos: Optional["ChaosHarness"] = None,
     drain_s: float = 0.0,
+    guard: Optional[GuardConfig] = None,
 ) -> RunResult:
     """Run one (application, policy, load) cell of Figures 2/4/10/11/12.
 
@@ -89,7 +91,9 @@ def run_latency_experiment(
     :class:`~repro.faults.chaos.ChaosHarness`) arms fault injection and
     the resilience layer; ``drain_s`` extends the run past the last
     arrival so retried queries can settle — both default off and leave
-    the fault-free path bit-identical.
+    the fault-free path bit-identical.  ``guard`` wraps the policy in a
+    :class:`~repro.guard.SupervisedController` (invariant monitors plus
+    the graceful-degradation ladder); ``None`` builds the bare policy.
     """
     spec = ScenarioSpec.latency(
         app,
@@ -102,6 +106,7 @@ def run_latency_experiment(
         controller=controller_config,
         allocation=allocation,
         contention=contention,
+        guard=guard,
         n_cores=n_cores,
         sample_interval_s=sample_interval_s,
         stats_window_s=stats_window_s,

@@ -21,7 +21,14 @@ imports this package and stays bit-identical to the pre-fault codebase.
 from repro.faults.chaos import ChaosHarness, ChaosRunResult, run_chaos_experiment
 from repro.faults.injector import FaultEvent, FaultInjector
 from repro.faults.monitor import HealthMonitor, ResilienceConfig
-from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, load_plan, named_plans
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    PlanValidationError,
+    load_plan,
+    named_plans,
+)
 from repro.faults.report import GoodputReport
 
 __all__ = [
@@ -34,6 +41,7 @@ __all__ = [
     "FaultSpec",
     "GoodputReport",
     "HealthMonitor",
+    "PlanValidationError",
     "ResilienceConfig",
     "load_plan",
     "named_plans",

@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.cluster.telemetry import PowerTelemetry
     from repro.core.controller import BaseController
     from repro.experiments.runner import RunResult, StageAllocation
+    from repro.guard.config import GuardConfig
     from repro.service.application import Application
     from repro.workloads.loadgen import LoadTrace
 
@@ -172,6 +173,8 @@ def run_chaos_experiment(
     controller_config: ControllerConfig = TABLE2_CONTROLLER_CONFIG,
     allocation: Optional[Mapping[str, "StageAllocation"]] = None,
     n_cores: int = 16,
+    guard: Optional["GuardConfig"] = None,
+    slo_target_s: Optional[float] = None,
 ) -> ChaosRunResult:
     """Run one latency cell under a fault plan (plus a clean twin).
 
@@ -179,13 +182,23 @@ def run_chaos_experiment(
     stale-metric guard; the baseline (same app/policy/trace/seed, no
     chaos) goes through the untouched fault-free path, so its numbers are
     bit-identical to a normal :func:`run_latency_experiment` call.
+
+    ``guard`` supervises the faulty run's controller (monitors + the
+    degradation ladder; the report grows a guard section).
+    ``slo_target_s`` arms an SLO tracker on the faulty run so the
+    guard's SLO-storm monitor has a burn-rate gauge to watch.
     """
     from repro.experiments.runner import run_latency_experiment
+    from repro.obs.slo import SloTracker
     from repro.scenario.builder import _profiles_for
 
     config = resilience if resilience is not None else ResilienceConfig()
     harness = ChaosHarness(plan, config)
     observability = Observability.enabled()
+    if slo_target_s is not None:
+        observability.slo = SloTracker(
+            target_s=float(slo_target_s), registry=observability.metrics
+        )
     guarded_config = dataclasses.replace(controller_config, stale_metric_guard=True)
     drain_s = drain_window_s(config, len(_profiles_for(app)))
     result = run_latency_experiment(
@@ -202,6 +215,7 @@ def run_chaos_experiment(
         observability=observability,
         chaos=harness,
         drain_s=drain_s,
+        guard=guard,
     )
     if (
         harness.application is None

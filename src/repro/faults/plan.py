@@ -20,7 +20,29 @@ from typing import Any, Callable, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "named_plans", "load_plan"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "PlanValidationError",
+    "named_plans",
+    "load_plan",
+]
+
+
+class PlanValidationError(ConfigurationError):
+    """A fault-plan document failed validation.
+
+    ``path`` pinpoints the offending key in the JSON document with a
+    ``specs[3].kind``-style key path, so a hand-edited plan file's error
+    message says exactly which entry to fix.  Subclasses
+    :class:`~repro.errors.ConfigurationError`, so existing handlers keep
+    working.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = path
 
 
 class FaultKind(enum.Enum):
@@ -122,24 +144,49 @@ class FaultSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+    def from_dict(cls, data: Mapping[str, Any], path: str = "spec") -> "FaultSpec":
+        """Parse one spec; ``path`` prefixes validation-error key paths."""
+        if not isinstance(data, Mapping):
+            raise PlanValidationError(
+                path, f"fault spec must be an object, got {data!r}"
+            )
+        if "kind" not in data:
+            known = ", ".join(k.value for k in FaultKind)
+            raise PlanValidationError(
+                f"{path}.kind", f"missing; must be one of: {known}"
+            )
         try:
             kind = FaultKind(data["kind"])
-        except (KeyError, ValueError):
+        except ValueError:
             known = ", ".join(k.value for k in FaultKind)
-            raise ConfigurationError(
-                f"fault spec needs a known 'kind' (one of: {known}); "
-                f"got {data!r}"
+            raise PlanValidationError(
+                f"{path}.kind",
+                f"unknown kind {data['kind']!r}; must be one of: {known}",
             ) from None
         if "at_s" not in data:
-            raise ConfigurationError(f"fault spec needs 'at_s': {data!r}")
-        return cls(
-            kind=kind,
-            at_s=float(data["at_s"]),
-            stage=data.get("stage"),
-            duration_s=float(data.get("duration_s", 0.0)),
-            magnitude=float(data.get("magnitude", 0.0)),
-        )
+            raise PlanValidationError(f"{path}.at_s", "missing")
+        fields = {"at_s": data["at_s"]}
+        for optional in ("duration_s", "magnitude"):
+            if optional in data:
+                fields[optional] = data[optional]
+        numbers = {}
+        for field_name, raw in fields.items():
+            try:
+                numbers[field_name] = float(raw)
+            except (TypeError, ValueError):
+                raise PlanValidationError(
+                    f"{path}.{field_name}", f"must be a number, got {raw!r}"
+                ) from None
+        try:
+            return cls(
+                kind=kind,
+                at_s=numbers["at_s"],
+                stage=data.get("stage"),
+                duration_s=numbers.get("duration_s", 0.0),
+                magnitude=numbers.get("magnitude", 0.0),
+            )
+        except ConfigurationError as error:
+            raise PlanValidationError(path, str(error)) from None
 
 
 @dataclass(frozen=True)
@@ -170,13 +217,31 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
-        if "name" not in data or "specs" not in data:
-            raise ConfigurationError(
-                f"fault plan needs 'name' and 'specs' keys, got {sorted(data)}"
+        if not isinstance(data, Mapping):
+            raise PlanValidationError(
+                "$", f"fault plan must be an object, got {data!r}"
+            )
+        for key in ("name", "specs"):
+            if key not in data:
+                raise PlanValidationError(
+                    key, f"missing (document has: {sorted(data)})"
+                )
+        if not isinstance(data["name"], str) or not data["name"]:
+            raise PlanValidationError(
+                "name", f"must be a non-empty string, got {data['name']!r}"
+            )
+        if isinstance(data["specs"], (str, Mapping)) or not hasattr(
+            data["specs"], "__iter__"
+        ):
+            raise PlanValidationError(
+                "specs", f"must be a list of fault specs, got {data['specs']!r}"
             )
         return cls(
-            name=str(data["name"]),
-            specs=tuple(FaultSpec.from_dict(s) for s in data["specs"]),
+            name=data["name"],
+            specs=tuple(
+                FaultSpec.from_dict(s, path=f"specs[{i}]")
+                for i, s in enumerate(data["specs"])
+            ),
         )
 
 

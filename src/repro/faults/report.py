@@ -48,6 +48,9 @@ class GoodputReport:
     p99_s: float
     qps: float
     average_power_watts: float
+    #: Guard section (violations, ladder transitions, time in safe mode);
+    #: ``None`` when the run was not supervised.
+    guard: Optional[dict] = None
 
     @property
     def goodput_fraction(self) -> float:
@@ -75,6 +78,10 @@ class GoodputReport:
         monitor: "HealthMonitor",
         controller: "BaseController",
     ) -> "GoodputReport":
+        # Duck-typed so the report needs no guard import: only the
+        # SupervisedController carries a guard_summary() method.
+        summarize_guard = getattr(controller, "guard_summary", None)
+        guard = None if summarize_guard is None else summarize_guard().to_dict()
         retries = 0
         attempt_timeouts = 0
         crash_requeues = 0
@@ -108,6 +115,7 @@ class GoodputReport:
             p99_s=result.latency.p99,
             qps=result.queries_completed / result.duration_s,
             average_power_watts=result.average_power_watts,
+            guard=guard,
         )
 
     # ------------------------------------------------------------------
@@ -144,6 +152,8 @@ class GoodputReport:
         lines.append(
             self._metric_line("avg power", self.average_power_watts, "W", None)
         )
+        if self.guard is not None:
+            lines.extend(["", *self._guard_lines(self.guard)])
         if baseline is not None:
             base_qps = baseline.queries_completed / baseline.duration_s
             lines.extend(
@@ -163,6 +173,34 @@ class GoodputReport:
                 ]
             )
         return "\n".join(lines)
+
+    @staticmethod
+    def _guard_lines(guard: dict) -> list[str]:
+        by_monitor = guard.get("violations_by_monitor", {})
+        described = ", ".join(
+            f"{monitor} {count}" for monitor, count in sorted(by_monitor.items())
+        )
+        lines = [
+            "controller guard",
+            f"  ladder             {' -> '.join(guard.get('modes', ()))}",
+            f"  final mode         {guard.get('final_mode', '?')}",
+            f"  violations         {guard.get('violations_total', 0)}"
+            + (f" ({described})" if described else ""),
+            f"  clamped actions    {guard.get('clamped_actions', 0)}",
+            f"  enforced stepdowns {guard.get('enforced_step_downs', 0)}",
+        ]
+        mode_seconds = guard.get("mode_seconds", {})
+        for mode, seconds in mode_seconds.items():
+            lines.append(f"  time in {mode:<10} {seconds:.1f} s")
+        transitions = guard.get("transitions", ())
+        lines.append(f"  ladder transitions {len(transitions)}")
+        for transition in transitions:
+            lines.append(
+                f"    t={transition['time']:.1f}s "
+                f"{transition['from_mode']} -> {transition['to_mode']} "
+                f"({transition['reason']})"
+            )
+        return lines
 
     @staticmethod
     def _metric_line(

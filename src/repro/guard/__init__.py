@@ -1,0 +1,58 @@
+"""Controller supervision: invariant monitors, a graceful-degradation
+ladder and safe-mode fallback.
+
+The control plane is the one part of the stack PR 4's resilience work
+still trusted blindly: a buggy or oscillating policy (or a future
+learned controller) can overshoot the power cap, thrash boost decisions
+or rank on garbage estimates with no detection and no fallback.  This
+package is the safety shield:
+
+* :mod:`repro.guard.monitors` — cheap read-only invariant checks run
+  every control tick (budget cap, ladder bounds, estimate sanity,
+  boost/withdraw oscillation, SLO-violation storms);
+* :mod:`repro.guard.supervisor` — :class:`SupervisedController`, a
+  wrapper implementing the normal controller interface that walks a
+  configurable degradation ladder on violations (policy → conserve →
+  static uniform-power safe mode) with hysteresis and a probation
+  window before re-promotion, every move audited;
+* :mod:`repro.guard.actuator` — :class:`ClampingActuator`, the last
+  line of defense: out-of-bounds DVFS requests are clipped to the
+  feasible set and counted rather than applied raw.
+
+Disabled by default: a scenario without a ``guard`` block builds the
+bare policy and pays nothing.
+"""
+
+from repro.guard.actuator import ClampEvent, ClampingActuator
+from repro.guard.config import GuardConfig, guard_from_spec, guard_to_spec
+from repro.guard.ladder import ConserveController, SafeModeController
+from repro.guard.monitors import (
+    BudgetCapMonitor,
+    EstimateSanityMonitor,
+    GuardMonitor,
+    LadderBoundsMonitor,
+    OscillationMonitor,
+    SloStormMonitor,
+)
+from repro.guard.supervisor import GuardSummary, SupervisedController
+from repro.guard.violations import GuardTransition, GuardViolation
+
+__all__ = [
+    "GuardConfig",
+    "guard_to_spec",
+    "guard_from_spec",
+    "GuardViolation",
+    "GuardTransition",
+    "GuardMonitor",
+    "BudgetCapMonitor",
+    "LadderBoundsMonitor",
+    "EstimateSanityMonitor",
+    "OscillationMonitor",
+    "SloStormMonitor",
+    "ClampEvent",
+    "ClampingActuator",
+    "ConserveController",
+    "SafeModeController",
+    "GuardSummary",
+    "SupervisedController",
+]

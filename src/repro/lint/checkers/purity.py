@@ -112,15 +112,15 @@ class ObserverPurityChecker(Checker):
 
     rule_id = "observer-purity"
     description = (
-        "obs/ event hooks (on_* methods, registered listeners) must not "
-        "schedule simulator events or mutate cluster state — observation "
-        "is feedback-free"
+        "obs/ and guard/ event hooks (on_* methods, registered listeners) "
+        "must not schedule simulator events or mutate cluster state — "
+        "observation is feedback-free"
     )
     hint = (
         "move the mutation into the controller (where it is audited) and "
         "let the hook only record"
     )
-    scope = ("obs/",)
+    scope = ("obs/", "guard/")
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         registered = _registered_hook_names(module.tree)

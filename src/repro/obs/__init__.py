@@ -46,6 +46,8 @@ from repro.obs.audit import (
     AuditLog,
     BoostEntry,
     BottleneckEntry,
+    GuardTransitionEntry,
+    GuardViolationEntry,
     InstanceMetricReading,
     PlannedDropReading,
     RecycleEntry,
@@ -98,6 +100,8 @@ __all__ = [
     "RecycleEntry",
     "WithdrawEntry",
     "SkipEntry",
+    "GuardViolationEntry",
+    "GuardTransitionEntry",
     "InstanceMetricReading",
     "PlannedDropReading",
     # accounting plane

@@ -34,6 +34,8 @@ __all__ = [
     "SkipEntry",
     "FaultEntry",
     "ResilienceEntry",
+    "GuardViolationEntry",
+    "GuardTransitionEntry",
     "AuditLog",
 ]
 
@@ -177,6 +179,37 @@ class ResilienceEntry(AuditEntry):
     detail: str
 
     kind = "resilience"
+
+
+@dataclass(frozen=True)
+class GuardViolationEntry(AuditEntry):
+    """One runtime invariant violated under controller supervision.
+
+    ``monitor`` names the invariant monitor that fired (``budget-cap``,
+    ``ladder-bounds``, ``estimate-sanity``, ``oscillation``,
+    ``slo-storm``), ``value`` the observed quantity and ``limit`` the
+    bound it crossed (``NaN``-free; monitors report the offending value
+    through ``message`` when it is not a finite scalar).
+    """
+
+    monitor: str
+    severity: str
+    message: str
+    value: float
+    limit: float
+
+    kind = "guard-violation"
+
+
+@dataclass(frozen=True)
+class GuardTransitionEntry(AuditEntry):
+    """One graceful-degradation ladder transition (demotion or re-promotion)."""
+
+    from_mode: str
+    to_mode: str
+    reason: str
+
+    kind = "guard-transition"
 
 
 _E = TypeVar("_E", bound=AuditEntry)

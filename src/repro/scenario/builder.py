@@ -54,6 +54,7 @@ from repro.core.baselines import (
 from repro.core.conserve import PowerChiefConserveController
 from repro.core.controller import BaseController, ControllerConfig, PowerChiefController
 from repro.core.pegasus import PegasusController
+from repro.guard.supervisor import SupervisedController
 from repro.scenario.config import (
     TABLE2_CONTROLLER_CONFIG,
     TABLE2_INITIAL_FREQ_GHZ,
@@ -223,6 +224,8 @@ def _attach_observability(
         telemetry.start()
     if controller is not None and observability.audit is not None:
         controller.attach_audit(observability.audit)
+    if controller is not None and observability.slo is not None:
+        controller.attach_slo(observability.slo)
 
     def finalize() -> None:
         if telemetry is not None:
@@ -466,14 +469,27 @@ class StackBuilder:
             sim, application, window_s=spec.stats_window_s
         )
         dvfs = DvfsActuator(sim)
-        controller = LATENCY_CONTROLLERS[spec.policy](
-            sim,
-            application,
-            command_center,
-            budget,
-            dvfs,
-            self._resolve_controller_config(),
-        )
+        guard = spec.guard_config()
+        if guard is not None:
+            controller: BaseController = SupervisedController(
+                sim,
+                application,
+                command_center,
+                budget,
+                dvfs,
+                self._resolve_controller_config(),
+                policy=LATENCY_CONTROLLERS[spec.policy],
+                guard=guard,
+            )
+        else:
+            controller = LATENCY_CONTROLLERS[spec.policy](
+                sim,
+                application,
+                command_center,
+                budget,
+                dvfs,
+                self._resolve_controller_config(),
+            )
         factory = QueryFactory(_profiles_for(spec.app), streams)
         generator = PoissonLoadGenerator(
             sim, application, factory, trace, streams, spec.duration_s

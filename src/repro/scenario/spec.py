@@ -37,6 +37,7 @@ from repro.cluster.contention import (
 from repro.core.controller import ControllerConfig
 from repro.core.metrics import MetricKind
 from repro.faults.plan import FaultPlan
+from repro.guard.config import GuardConfig, guard_from_spec, guard_to_spec
 from repro.workloads.loadgen import (
     ConstantLoad,
     DiurnalLoad,
@@ -92,6 +93,8 @@ _SCALAR_TYPES = (bool, int, float, str, type(None))
 _CONTROLLER_FIELDS = frozenset(
     f.name for f in dataclasses.fields(ControllerConfig)
 )
+
+_GUARD_FIELDS = frozenset(f.name for f in dataclasses.fields(GuardConfig))
 
 
 @dataclass(frozen=True)
@@ -298,6 +301,9 @@ class ScenarioSpec:
     allocation: Optional[tuple[tuple[str, int, int], ...]] = None
     #: Controller-config overrides; ``()`` keeps the Table-2 config.
     controller: tuple[tuple[str, Any], ...] = ()
+    #: Guard-config items; ``()`` disables controller supervision, any
+    #: non-empty block wraps the policy in a SupervisedController.
+    guard: tuple[tuple[str, Any], ...] = ()
     #: Contention spec tuple (``()`` = perfect isolation).
     contention: tuple = ()
     n_cores: int = 16
@@ -398,6 +404,7 @@ class ScenarioSpec:
                 ("initial_freq_ghz", self.initial_freq_ghz),
                 ("allocation", self.allocation),
                 ("controller", self.controller),
+                ("guard", self.guard),
                 ("contention", self.contention),
                 ("chaos", self.chaos),
             ):
@@ -428,7 +435,25 @@ class ScenarioSpec:
                 raise ConfigurationError(
                     f"unknown controller option {key!r} (known: {known})"
                 )
-        for label, items in (("controller", self.controller), ("options", self.options)):
+        for key, _ in self.guard:
+            if key not in _GUARD_FIELDS:
+                known = ", ".join(sorted(_GUARD_FIELDS))
+                raise ConfigurationError(
+                    f"unknown guard option {key!r} (known: {known})"
+                )
+        if self.guard and self.shards != 1:
+            raise ConfigurationError(
+                "guard supervision is not available on sharded scenarios"
+            )
+        if self.guard:
+            # Full validation (rung names, threshold ranges) up front, so
+            # a bad guard block fails at spec time, not at build time.
+            guard_from_spec(self.guard)
+        for label, items in (
+            ("controller", self.controller),
+            ("guard", self.guard),
+            ("options", self.options),
+        ):
             for key, value in items:
                 if not isinstance(value, _SCALAR_TYPES):
                     raise ConfigurationError(
@@ -450,6 +475,7 @@ class ScenarioSpec:
         budget_watts: Optional[float] = None,
         initial_freq_ghz: Optional[float] = None,
         controller: Union[ControllerConfig, Sequence, None] = None,
+        guard: Union[GuardConfig, Mapping[str, Any], Sequence, None] = None,
         allocation: Optional[Mapping[str, StageAllocation]] = None,
         contention: Union[ContentionModel, tuple, None] = None,
         chaos: Union[None, str, FaultPlan, Mapping[str, Any]] = None,
@@ -480,6 +506,12 @@ class ScenarioSpec:
             controller_spec = controller_to_spec(controller)
         else:
             controller_spec = _sorted_items(controller)
+        if guard is None:
+            guard_spec: tuple[tuple[str, Any], ...] = ()
+        elif isinstance(guard, GuardConfig):
+            guard_spec = guard_to_spec(guard)
+        else:
+            guard_spec = _sorted_items(guard)
         allocation_spec = None
         if allocation is not None:
             allocation_spec = tuple(
@@ -499,6 +531,7 @@ class ScenarioSpec:
             ),
             allocation=allocation_spec,
             controller=controller_spec,
+            guard=guard_spec,
             contention=_deep_tuple(contention_spec),
             n_cores=int(n_cores),
             sample_interval_s=float(sample_interval_s),
@@ -562,6 +595,19 @@ class ScenarioSpec:
             return None
         return controller_from_spec(self.controller)
 
+    def guard_config(self) -> Optional[GuardConfig]:
+        """The guard config, or ``None`` when supervision is disabled.
+
+        Note the asymmetry with :meth:`controller_config`: an empty
+        ``guard`` block means *no supervision at all*, so enabling the
+        guard with defaults needs at least one explicit key (the CLI and
+        the :class:`~repro.guard.GuardConfig` constructor always emit
+        the full block).
+        """
+        if not self.guard:
+            return None
+        return guard_from_spec(self.guard)
+
     def chaos_plan(self) -> Optional[FaultPlan]:
         """Materialise the chaos plan (built-in names scale to duration)."""
         if self.chaos is None:
@@ -593,6 +639,7 @@ class ScenarioSpec:
             "initial_freq_ghz": self.initial_freq_ghz,
             "allocation": _deep_list(self.allocation),
             "controller": dict(self.controller),
+            "guard": dict(self.guard),
             "contention": _deep_list(self.contention),
             "n_cores": self.n_cores,
             "sample_interval_s": self.sample_interval_s,
@@ -637,7 +684,7 @@ class ScenarioSpec:
                 kwargs[key] = _deep_tuple(value or ())
             elif key == "allocation":
                 kwargs[key] = None if value is None else _deep_tuple(value)
-            elif key in ("controller", "options"):
+            elif key in ("controller", "guard", "options"):
                 kwargs[key] = _sorted_items(value or {})
             elif key == "observe":
                 kwargs[key] = tuple(value or ())

@@ -282,6 +282,126 @@ class TestEngine:
             execute_cell(CellSpec.artefact("nosuch"))
 
 
+class _FakeFuture:
+    """A future that fails with a scripted error instead of computing."""
+
+    def __init__(self, error: Exception) -> None:
+        self._error = error
+        self.cancelled = False
+        self.polled = False
+
+    def result(self, timeout=None):
+        self.polled = True
+        raise self._error
+
+    def cancel(self) -> bool:
+        self.cancelled = True
+        return True
+
+
+class _FakePool:
+    """Stands in for ProcessPoolExecutor; never spawns a process."""
+
+    def __init__(self, errors, max_workers=None):
+        self._errors = list(errors)
+        self.futures: list[_FakeFuture] = []
+        self.shut_down = False
+
+    def submit(self, fn, *args, **kwargs):
+        future = _FakeFuture(self._errors[len(self.futures)])
+        self.futures.append(future)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shut_down = True
+
+
+class TestDeterministicRetryPath:
+    """The crash/timeout retry path, driven by a scripted fake pool.
+
+    The real-pool tests above prove the plumbing end to end but lean on
+    wall-clock sleeps; these pin the retry contract — exactly one
+    in-process recompute, ``source == "retry"``, ``attempts == 2`` —
+    without spawning a single process.
+    """
+
+    def _arm(self, monkeypatch, errors):
+        pools = []
+
+        def fake_pool_factory(max_workers=None):
+            pool = _FakePool(errors, max_workers=max_workers)
+            pools.append(pool)
+            return pool
+
+        calls = []
+        real_timed_execute = parallel._timed_execute
+
+        def counting_timed_execute(spec):
+            calls.append(spec)
+            return real_timed_execute(spec)
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", fake_pool_factory)
+        monkeypatch.setattr(parallel, "_timed_execute", counting_timed_execute)
+        return pools, calls
+
+    def test_timeout_retries_exactly_once_in_process(self, monkeypatch):
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+        from repro.obs.metrics import MetricsRegistry
+
+        specs = latency_specs(2)
+        pools, calls = self._arm(
+            monkeypatch, [FutureTimeoutError(), FutureTimeoutError()]
+        )
+        registry = MetricsRegistry()
+        report = run_cells(
+            specs, max_workers=2, timeout_s=0.01, registry=registry
+        )
+        assert [o.source for o in report.outcomes] == ["retry", "retry"]
+        assert [o.attempts for o in report.outcomes] == [2, 2]
+        # Exactly one in-process recompute per timed-out cell, no more.
+        assert calls == specs
+        assert all(f.cancelled for f in pools[0].futures)
+        assert pools[0].shut_down
+        retries = registry.counter("repro_cell_retries_total")
+        assert int(retries.value()) == 2
+        assert all(o.result().queries_completed > 0 for o in report.outcomes)
+
+    def test_worker_exception_retries_exactly_once_in_process(self, monkeypatch):
+        specs = latency_specs(1)
+        pools, calls = self._arm(monkeypatch, [RuntimeError("worker died")])
+        report = run_cells(specs, max_workers=2)
+        assert report.outcomes[0].source == "retry"
+        assert report.outcomes[0].attempts == 2
+        assert calls == specs
+        assert report.outcomes[0].result().queries_completed > 0
+
+    def test_broken_pool_degrades_remaining_cells_to_serial(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        specs = latency_specs(2)
+        pools, calls = self._arm(
+            monkeypatch,
+            [BrokenProcessPool("pool died"), RuntimeError("never polled")],
+        )
+        report = run_cells(specs, max_workers=2)
+        # Both cells fall back serially with a single attempt each: the
+        # first broke the pool, the second is cancelled without polling.
+        assert [o.source for o in report.outcomes] == ["serial", "serial"]
+        assert [o.attempts for o in report.outcomes] == [1, 1]
+        assert calls == specs
+        assert not pools[0].futures[1].polled
+        assert pools[0].futures[1].cancelled
+
+    def test_retry_payload_matches_serial_compute(self, monkeypatch):
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        specs = latency_specs(1)
+        clean = run_cells(specs, max_workers=1)
+        self._arm(monkeypatch, [FutureTimeoutError()])
+        retried = run_cells(specs, max_workers=2, timeout_s=0.01)
+        assert retried.outcomes[0].payload == clean.outcomes[0].payload
+
+
 class TestFanOut:
     def test_serial_path(self):
         assert fan_out(_double, [(1,), (2,), (3,)], max_workers=1) == [2, 4, 6]

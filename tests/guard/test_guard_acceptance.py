@@ -1,0 +1,115 @@
+"""The tentpole acceptance gates for controller supervision.
+
+Three pins: (1) a violation-free supervised run is byte-identical to its
+unsupervised twin (supervision is free when nothing is wrong); (2) under
+every builtin fault plan, across seeds, a supervised PowerChief run never
+ends a control tick with allocated power above the cap — the per-tick
+``budget.assert_within()`` hard-raises on breach, so completing the run
+*is* the invariant proof, and the goodput ledger must still balance;
+(3) the ladder engages and re-promotes deterministically per seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import run_result_to_dict
+from repro.experiments.runner import run_latency_experiment
+from repro.faults import run_chaos_experiment
+from repro.faults.plan import load_plan, named_plans
+from repro.guard import GuardConfig
+from repro.workloads.loadgen import ConstantLoad
+
+DURATION_S = 60.0
+RATE_QPS = 3.0
+
+#: The tuned demote-then-recover arc (matches the CI smoke-guard job).
+RECOVERY_GUARD = GuardConfig(
+    ladder="conserve,safe",
+    demote_after=1,
+    probation_s=60.0,
+    burn_threshold=2.0,
+    storm_ticks=2,
+)
+
+
+def supervised_chaos(plan_name, seed, guard=None, **kwargs):
+    return run_chaos_experiment(
+        "sirius",
+        "powerchief",
+        ConstantLoad(RATE_QPS),
+        DURATION_S,
+        load_plan(plan_name, DURATION_S),
+        seed=seed,
+        with_baseline=False,
+        guard=guard if guard is not None else GuardConfig(),
+        **kwargs,
+    )
+
+
+class TestByteIdenticalGolden:
+    def test_violation_free_supervised_run_matches_unsupervised_twin(self):
+        kwargs = dict(duration_s=120.0, seed=3)
+        trace = ConstantLoad(2.0)
+        plain = run_latency_experiment("sirius", "powerchief", trace, **kwargs)
+        guarded = run_latency_experiment(
+            "sirius", "powerchief", trace, guard=GuardConfig(), **kwargs
+        )
+        plain_payload = json.dumps(run_result_to_dict(plain), sort_keys=True)
+        guarded_payload = json.dumps(run_result_to_dict(guarded), sort_keys=True)
+        assert guarded_payload == plain_payload
+
+    def test_healthy_supervised_run_reports_zero_guard_activity(self):
+        result = supervised_chaos("telemetry-dark", seed=3)
+        guard = result.report.guard
+        assert guard is not None
+        # No SLO tracker armed and no faults that breach invariants:
+        # the guard watched the whole run and had nothing to do.
+        assert guard["violations_total"] == 0
+        assert guard["transitions"] == []
+        assert guard["final_mode"] == "powerchief"
+
+
+class TestInvariantSweep:
+    @pytest.mark.parametrize("plan_name", named_plans())
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_supervised_run_never_ends_a_tick_over_cap(self, plan_name, seed):
+        # budget.assert_within() runs after every supervised tick and
+        # raises on breach — a completed run is the invariant holding.
+        result = supervised_chaos(plan_name, seed=seed)
+        assert result.report.accounted, (
+            f"plan {plan_name} seed {seed} lost queries"
+        )
+        guard = result.report.guard
+        assert guard is not None
+        assert guard["modes"] == ["powerchief", "conserve", "safe"]
+
+
+class TestLadderDeterminism:
+    def _recovery_run(self, seed):
+        return run_chaos_experiment(
+            "sirius",
+            "powerchief",
+            ConstantLoad(3.0),
+            600.0,
+            load_plan("telemetry-dark", 600.0),
+            seed=seed,
+            with_baseline=False,
+            guard=RECOVERY_GUARD,
+            slo_target_s=20.0,
+        )
+
+    def test_engages_and_recovers_identically_per_seed(self):
+        first = self._recovery_run(seed=3)
+        second = self._recovery_run(seed=3)
+        guard_one = first.report.guard
+        guard_two = second.report.guard
+        assert guard_one is not None and guard_two is not None
+        assert guard_one["transitions"] == guard_two["transitions"]
+        assert guard_one["safe_mode_engaged"]
+        assert guard_one["recovered"]
+        modes_walked = [t["to_mode"] for t in guard_one["transitions"]]
+        assert modes_walked == ["conserve", "safe", "conserve", "powerchief"]
+        assert first.report.accounted

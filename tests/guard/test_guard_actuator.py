@@ -1,0 +1,73 @@
+"""ClampingActuator: feasible requests pass through, infeasible ones clip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.budget import PowerBudget
+from repro.cluster.frequency import HASWELL_LADDER
+from repro.errors import ClusterError
+from repro.guard import ClampingActuator
+
+
+LEVEL_1_8 = int(HASWELL_LADDER.level_of(1.8))
+
+
+@pytest.fixture
+def core(machine):
+    return machine.acquire_core(LEVEL_1_8)
+
+
+class TestClampingActuator:
+    def test_feasible_request_passes_through(self, sim, machine, budget, core):
+        actuator = ClampingActuator(sim, budget)
+        actuator.set_level(core, LEVEL_1_8 + 1)
+        assert core.level == LEVEL_1_8 + 1
+        assert actuator.clamped_actions == 0
+        assert actuator.requests == 1
+
+    def test_out_of_bounds_level_clips_to_ladder(self, sim, machine, budget, core):
+        actuator = ClampingActuator(sim, budget)
+        raw_max = int(HASWELL_LADDER.max_level)
+        actuator.set_level(core, raw_max + 7)
+        assert core.level == raw_max
+        assert actuator.clamped_actions == 1
+        clamp = actuator.clamps[0]
+        assert clamp.reason == "ladder-bounds"
+        assert clamp.requested_level == raw_max + 7
+        assert clamp.applied_level == raw_max
+        # The raw actuator would have raised instead.
+        with pytest.raises(ClusterError):
+            super(ClampingActuator, actuator).set_level(core, raw_max + 7)
+
+    def test_unfundable_raise_caps_at_headroom(self, sim, machine, core):
+        model = machine.power_model
+        current_watts = model.power_of_level(HASWELL_LADDER, core.level)
+        # Budget funds the current level plus one step, not a jump to max.
+        next_watts = model.power_of_level(HASWELL_LADDER, core.level + 1)
+        tight = PowerBudget(machine, float(next_watts) + 0.001)
+        actuator = ClampingActuator(sim, tight)
+        actuator.set_level(core, int(HASWELL_LADDER.max_level))
+        assert core.level == LEVEL_1_8 + 1
+        assert actuator.clamps[0].reason == "budget-headroom"
+        assert float(current_watts) < float(next_watts)
+
+    def test_zero_headroom_raise_is_a_counted_no_op(self, sim, machine, core):
+        model = machine.power_model
+        current_watts = model.power_of_level(HASWELL_LADDER, core.level)
+        exhausted = PowerBudget(machine, float(current_watts) + 0.001)
+        actuator = ClampingActuator(sim, exhausted)
+        actuator.set_level(core, core.level + 1)
+        assert core.level == LEVEL_1_8
+        assert actuator.clamped_actions == 1
+        # Fully clamped to a no-op: the raw actuator never saw a request.
+        assert actuator.requests == 0
+
+    def test_step_down_is_never_clamped(self, sim, machine, core):
+        model = machine.power_model
+        current_watts = model.power_of_level(HASWELL_LADDER, core.level)
+        exhausted = PowerBudget(machine, float(current_watts) + 0.001)
+        actuator = ClampingActuator(sim, exhausted)
+        actuator.set_level(core, core.level - 1)
+        assert core.level == LEVEL_1_8 - 1
+        assert actuator.clamped_actions == 0

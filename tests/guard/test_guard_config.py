@@ -1,0 +1,57 @@
+"""GuardConfig validation and spec round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.guard import GuardConfig, guard_from_spec, guard_to_spec
+from repro.units import exactly
+
+
+class TestGuardConfig:
+    def test_defaults_are_the_full_ladder(self):
+        config = GuardConfig()
+        assert config.rungs() == ("conserve", "safe")
+        assert config.demote_after == 2
+        assert exactly(config.probation_s, 150.0)
+
+    def test_ladder_parsing_tolerates_spaces(self):
+        assert GuardConfig(ladder=" safe ").rungs() == ("safe",)
+        assert GuardConfig(ladder="conserve, safe").rungs() == (
+            "conserve",
+            "safe",
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ladder": ""},
+            {"ladder": " , "},
+            {"ladder": "panic"},
+            {"ladder": "safe,safe"},
+            {"demote_after": 0},
+            {"violation_window_s": 0.0},
+            {"probation_s": -1.0},
+            {"osc_window_s": 0.0},
+            {"osc_max_flips": 0},
+            {"burn_threshold": 0.0},
+            {"storm_ticks": 0},
+            {"conserve_headroom": 0.0},
+            {"conserve_headroom": 1.5},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GuardConfig(**kwargs)
+
+    def test_spec_round_trip(self):
+        config = GuardConfig(ladder="safe", demote_after=1, probation_s=50.0)
+        items = guard_to_spec(config)
+        assert items == tuple(sorted(items))
+        assert guard_from_spec(items) == config
+        assert guard_from_spec(dict(items)) == config
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown guard option"):
+            guard_from_spec({"ladder": "safe", "panic_mode": True})

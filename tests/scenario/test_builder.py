@@ -24,6 +24,7 @@ from repro.scenario import (
     StackBuilder,
     run_scenario,
 )
+from repro.units import exactly
 from repro.workloads.loadgen import ConstantLoad
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
@@ -182,3 +183,64 @@ class TestShardedFromJson:
             spec = ScenarioSpec.from_json(path.read_text(encoding="utf-8"))
             payload = json.loads(path.read_text(encoding="utf-8"))
             assert spec.to_dict()["kind"] == payload["kind"]
+
+
+class TestGuardedScenario:
+    def test_guard_block_builds_a_supervised_controller(self):
+        from repro.guard import GuardConfig
+        from repro.guard.supervisor import SupervisedController
+        from repro.scenario.builder import StackBuilder
+
+        spec = ScenarioSpec.latency(
+            "sirius",
+            "powerchief",
+            ("constant", 1.5),
+            60.0,
+            seed=7,
+            guard=GuardConfig(demote_after=1),
+        )
+        builder = StackBuilder(spec)
+        builder.build()
+        assert isinstance(builder.controller, SupervisedController)
+        assert builder.controller.modes == ("powerchief", "conserve", "safe")
+
+    def test_guarded_run_matches_the_unguarded_golden(self):
+        from repro.guard import GuardConfig
+
+        spec = ScenarioSpec.latency(
+            "sirius",
+            "powerchief",
+            ("constant", 1.5),
+            180.0,
+            seed=7,
+            guard=GuardConfig(),
+        )
+        result = run_scenario(spec)
+        # The byte-identity contract through the scenario path: a
+        # violation-free supervised run reproduces the committed golden.
+        assert result.queries_submitted == LATENCY_GOLDEN["queries_submitted"]
+        assert result.queries_completed == LATENCY_GOLDEN["queries_completed"]
+        assert exactly(result.latency.mean, LATENCY_GOLDEN["mean"])
+        assert exactly(
+            result.average_power_watts, LATENCY_GOLDEN["average_power_watts"]
+        )
+        assert len(result.actions) == LATENCY_GOLDEN["n_actions"]
+
+    def test_guarded_scenario_attaches_slo_to_the_storm_monitor(self):
+        from repro.guard import GuardConfig
+        from repro.scenario.builder import StackBuilder
+
+        spec = ScenarioSpec.latency(
+            "sirius",
+            "powerchief",
+            ("constant", 1.5),
+            60.0,
+            seed=7,
+            guard=GuardConfig(),
+            observe=("metrics", "slo"),
+            slo_target_s=2.0,
+        )
+        builder = StackBuilder(spec)
+        builder.build().arm()
+        storm = builder.controller._storm
+        assert storm.tracker is not None

@@ -229,3 +229,70 @@ class TestHelpers:
         config = spec.controller_config()
         assert config is not None and config.adjust_interval_s == 25.0
         assert latency_spec().controller_config() is None
+
+
+class TestGuardBlock:
+    def test_guard_block_round_trips(self):
+        from repro.guard import GuardConfig, guard_to_spec
+
+        config = GuardConfig(ladder="safe", demote_after=1, probation_s=50.0)
+        spec = latency_spec(guard=guard_to_spec(config))
+        assert spec.guard_config() == config
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.guard_config() == config
+
+    def test_latency_classmethod_accepts_guard_forms(self):
+        from repro.guard import GuardConfig
+
+        config = GuardConfig(demote_after=1)
+        from_config = ScenarioSpec.latency(
+            "sirius", "powerchief", ("constant", 1.5), 180.0, guard=config
+        )
+        from_mapping = ScenarioSpec.latency(
+            "sirius",
+            "powerchief",
+            ("constant", 1.5),
+            180.0,
+            guard={
+                "ladder": config.ladder,
+                "demote_after": 1,
+                "violation_window_s": config.violation_window_s,
+                "probation_s": config.probation_s,
+                "osc_window_s": config.osc_window_s,
+                "osc_max_flips": config.osc_max_flips,
+                "burn_threshold": config.burn_threshold,
+                "storm_ticks": config.storm_ticks,
+                "conserve_headroom": config.conserve_headroom,
+            },
+        )
+        assert from_config == from_mapping
+        assert from_config.guard_config() == config
+
+    def test_empty_guard_block_means_disabled(self):
+        spec = latency_spec()
+        assert spec.guard == ()
+        assert spec.guard_config() is None
+        assert spec.to_dict()["guard"] == {}
+
+    def test_unknown_guard_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown guard option"):
+            latency_spec(guard=(("panic_mode", True),))
+
+    def test_invalid_guard_values_fail_at_spec_time(self):
+        with pytest.raises(ConfigurationError, match="demote_after"):
+            latency_spec(guard=(("demote_after", 0),))
+
+    def test_guard_rejected_on_sharded_scenarios(self):
+        with pytest.raises(ConfigurationError, match="sharded"):
+            latency_spec(guard=(("demote_after", 1),), shards=2)
+
+    def test_qos_rejects_guard(self):
+        spec = ScenarioSpec.qos("sirius", "baseline", 2.0, 60.0)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(spec, guard=(("demote_after", 1),))
+
+    def test_guard_block_changes_the_digest(self):
+        plain = latency_spec()
+        guarded = latency_spec(guard=(("demote_after", 1),))
+        assert plain.digest() != guarded.digest()
