@@ -35,6 +35,7 @@ from typing import Callable, Optional, Sequence, Union
 from repro.errors import ConfigurationError, ReproError
 from repro.bench.scenarios import (
     HEADLINE_SCENARIO,
+    SERVE_TICK_QUANTUM_S,
     BenchScenario,
     bench_scenarios,
 )
@@ -55,15 +56,16 @@ __all__ = [
 #: Artifact format marker; consumers key on this before parsing.
 BENCH_FORMAT = "repro-bench"
 
-#: Bumped when the artifact's layout changes; the ``v9`` in
-#: ``BENCH_v9.json``.
-BENCH_VERSION = 9
+#: Bumped when the artifact's layout changes; the ``v10`` in
+#: ``BENCH_v10.json``.
+BENCH_VERSION = 10
 
 #: Versions :meth:`BenchReport.from_dict` can still parse.  v6 artifacts
-#: lack the ``trajectory`` section and v7 artifacts predate the
-#: supervised-headline cell, but the cells they do carry read
-#: identically, so committed baselines keep gating.
-COMPATIBLE_VERSIONS = frozenset({6, 7, 9})
+#: lack the ``trajectory`` section, v7 artifacts predate the
+#: supervised-headline cell and v9 artifacts predate the serve-headline
+#: cell, but the cells they do carry read identically, so committed
+#: baselines keep gating.
+COMPATIBLE_VERSIONS = frozenset({6, 7, 9, 10})
 
 
 @dataclass(frozen=True)
@@ -269,7 +271,15 @@ def _measure_once(scenario: BenchScenario, quick: bool) -> tuple[float, float, i
     spec = scenario.quick_spec if quick else scenario.spec
     started = time.perf_counter()
     builder = StackBuilder(spec)
-    result = builder.execute()
+    if scenario.driver == "serve":
+        # The reprod --turbo loop: arm the stack, then advance it in
+        # fixed tick quanta until the drain window closes.
+        builder.build().arm().start()
+        while not builder.finished:
+            builder.tick(builder.sim.now + SERVE_TICK_QUANTUM_S)
+        result = builder.collect()
+    else:
+        result = builder.execute()
     wall = time.perf_counter() - started
     sim = builder.sim
     assert sim is not None

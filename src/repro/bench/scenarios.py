@@ -12,6 +12,11 @@ out:
   stack armed (monitors, ladder, clamping actuator) and nothing going
   wrong: the measured distance between the two cells *is* the guard's
   overhead, and the gate holds it under a few percent of wall.
+* ``serve-headline`` — the headline cell advanced through the serve-mode
+  incremental lifecycle (repeated ``StackBuilder.tick`` quanta, the loop
+  the ``reprod`` daemon runs in ``--turbo``) instead of one one-shot
+  ``run``: the measured distance between this and ``headline-large`` is
+  the tick-loop overhead, and the gate holds it under 5% of wall.
 * ``table2-standard`` — the paper's own Table-2 deployment (one instance
   per stage, 16 cores, the 13.56 W budget) under high load: what one
   ordinary campaign cell costs.
@@ -36,6 +41,8 @@ __all__ = [
     "bench_scenarios",
     "HEADLINE_SCENARIO",
     "SUPERVISED_SCENARIO",
+    "SERVE_SCENARIO",
+    "SERVE_TICK_QUANTUM_S",
 ]
 
 #: The cell the headline speedup number is measured on.
@@ -45,15 +52,30 @@ HEADLINE_SCENARIO = "headline-large"
 #: guard's wall-clock overhead.
 SUPERVISED_SCENARIO = "supervised-headline"
 
+#: The headline cell driven through the incremental tick loop; headline
+#: vs this is the serve-mode (run-loop inversion) overhead.
+SERVE_SCENARIO = "serve-headline"
+
+#: Simulated seconds per tick in the serve cell — the daemon's default
+#: ``--turbo`` quantum, so the cell measures the loop CI actually runs.
+SERVE_TICK_QUANTUM_S = 10.0
+
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One pinned benchmark cell: a name plus its full/quick specs."""
+    """One pinned benchmark cell: a name plus its full/quick specs.
+
+    ``driver`` selects how the harness advances the stack: ``"batch"``
+    walks :meth:`StackBuilder.execute` in one shot; ``"serve"`` arms the
+    stack and advances it in :data:`SERVE_TICK_QUANTUM_S` tick quanta,
+    the way the ``reprod`` daemon does in ``--turbo`` mode.
+    """
 
     name: str
     description: str
     spec: ScenarioSpec
     quick_spec: ScenarioSpec
+    driver: str = "batch"
 
 
 def _headline_large(duration_s: float, supervised: bool = False) -> ScenarioSpec:
@@ -110,6 +132,17 @@ def bench_scenarios() -> tuple[BenchScenario, ...]:
             ),
             spec=_headline_large(2500.0, supervised=True),
             quick_spec=_headline_large(150.0, supervised=True),
+        ),
+        BenchScenario(
+            name=SERVE_SCENARIO,
+            description=(
+                "the headline cell advanced in 10 s tick quanta (the "
+                "reprod --turbo loop) instead of one one-shot run: pure "
+                "incremental-lifecycle overhead"
+            ),
+            spec=_headline_large(2500.0),
+            quick_spec=_headline_large(150.0),
+            driver="serve",
         ),
         BenchScenario(
             name="table2-standard",

@@ -42,10 +42,17 @@ Commands:
   over source trees; exits 0 when clean, 1 on findings, 2 on a crash in
   the tool itself.
 * ``bench`` — the microbenchmark harness (:mod:`repro.bench`): times the
-  pinned cells, emits the canonical ``BENCH_v9.json`` artifact, embeds
+  pinned cells, emits the canonical ``BENCH_v10.json`` artifact, embeds
   the committed pre-PR baseline's speedup trajectory plus the prior
   artifact's cells as a cross-PR trajectory, and with ``--check`` gates
   against a committed baseline (exit 1 on a >15% wall-clock regression).
+* ``serve`` — the ``reprod`` control-plane daemon: hosts armed stacks,
+  paces them against the wall clock (``--rate`` sim-seconds per real
+  second, or ``--turbo``), takes live commands over a line-delimited
+  JSON control socket and streams metrics snapshots to watchers.
+* ``ctl`` — the client for a running daemon: submit specs, check
+  status, move the power budget or SLO target live (guarded and
+  audited), pause/resume/drain/stop runs, fetch results, watch streams.
 
 Both single-run commands can archive their full result with ``--json``.
 The global ``--log-level`` flag configures one shared structured-logging
@@ -378,7 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="time the pinned microbenchmark cells and emit BENCH_v9.json",
+        help="time the pinned microbenchmark cells and emit BENCH_v10.json",
     )
     bench.add_argument(
         "--quick",
@@ -400,14 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output",
-        default="BENCH_v9.json",
-        help="artifact path (default: BENCH_v9.json)",
+        default="BENCH_v10.json",
+        help="artifact path (default: BENCH_v10.json)",
     )
     bench.add_argument(
         "--prior",
-        default="BENCH_v7.json",
+        default="BENCH_v9.json",
         help="prior bench artifact whose cells join the trajectory "
-        "section when it exists (default: BENCH_v7.json)",
+        "section when it exists (default: BENCH_v9.json)",
     )
     bench.add_argument(
         "--pre-pr-baseline",
@@ -553,6 +560,135 @@ def build_parser() -> argparse.ArgumentParser:
     qos.add_argument("--duration", type=float, default=400.0)
     qos.add_argument("--seed", type=int, default=3)
     qos.add_argument("--json", help="write the full result to this path")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the reprod control-plane daemon: host armed stacks, "
+        "pace them against the wall clock, take live commands",
+    )
+    serve.add_argument(
+        "--socket",
+        default="reprod.sock",
+        help="unix control socket path (default: reprod.sock)",
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="additionally listen on a TCP address",
+    )
+    serve.add_argument(
+        "--rate",
+        type=_positive_float,
+        default=1.0,
+        help="simulated seconds advanced per real second (default: 1.0)",
+    )
+    serve.add_argument(
+        "--turbo",
+        action="store_true",
+        help="ignore the wall clock: advance a fixed quantum per loop "
+        "iteration, as fast as the host allows",
+    )
+    serve.add_argument(
+        "--quantum",
+        type=_positive_float,
+        default=10.0,
+        help="simulated seconds per --turbo chunk (default: 10)",
+    )
+    serve.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=0.05,
+        help="socket poll interval in real seconds (default: 0.05)",
+    )
+    serve.add_argument(
+        "--spec",
+        action="append",
+        dest="specs",
+        metavar="FILE",
+        help="scenario spec file to submit at boot (repeatable)",
+    )
+    serve.add_argument(
+        "--paused",
+        action="store_true",
+        help="boot-submitted specs start paused (resume via repro ctl)",
+    )
+
+    ctl = commands.add_parser(
+        "ctl",
+        help="drive a running reprod daemon over its control socket",
+    )
+    ctl.add_argument(
+        "--socket",
+        default="reprod.sock",
+        help="unix control socket path (default: reprod.sock)",
+    )
+    ctl.add_argument(
+        "--tcp", metavar="HOST:PORT", help="connect over TCP instead"
+    )
+    ctl.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=30.0,
+        help="socket timeout in seconds (default: 30)",
+    )
+    ctl_actions = ctl.add_subparsers(dest="action", required=True)
+    ctl_actions.add_parser("ping", help="liveness check")
+    ctl_submit = ctl_actions.add_parser(
+        "submit", help="submit a scenario spec file as a hosted run"
+    )
+    ctl_submit.add_argument("spec", help="scenario spec .json")
+    ctl_submit.add_argument("--name", help="run name (default: assigned)")
+    ctl_submit.add_argument(
+        "--paused", action="store_true", help="submit paused"
+    )
+    ctl_status = ctl_actions.add_parser(
+        "status", help="one run's status, or every run's"
+    )
+    ctl_status.add_argument("run", nargs="?", help="run name (default: all)")
+    ctl_budget = ctl_actions.add_parser(
+        "budget", help="move a run's power budget live (guarded + audited)"
+    )
+    ctl_budget.add_argument("run")
+    ctl_budget.add_argument("watts", type=_positive_float)
+    ctl_slo = ctl_actions.add_parser(
+        "slo", help="retarget a run's SLO live (audited)"
+    )
+    ctl_slo.add_argument("run")
+    ctl_slo.add_argument("target_s", type=_positive_float)
+    for simple in ("pause", "resume", "drain", "stop", "result"):
+        ctl_simple = ctl_actions.add_parser(
+            simple,
+            help={
+                "pause": "freeze a run's simulated clock",
+                "resume": "unfreeze a paused run",
+                "drain": "fast-forward a run to the end of its drain "
+                "window and collect",
+                "stop": "abort a run, releasing its resources",
+                "result": "print a finished run's result payload",
+            }[simple],
+        )
+        ctl_simple.add_argument("run")
+    ctl_audit = ctl_actions.add_parser(
+        "audit", help="print a run's audit log entries"
+    )
+    ctl_audit.add_argument("run")
+    ctl_audit.add_argument(
+        "--kind", help="only entries of this kind (e.g. budget-change)"
+    )
+    ctl_audit.add_argument(
+        "--tail", type=_positive_int, help="only the last N entries"
+    )
+    ctl_watch = ctl_actions.add_parser(
+        "watch", help="subscribe to a run's stream and print event lines"
+    )
+    ctl_watch.add_argument("run")
+    ctl_watch.add_argument(
+        "--count",
+        type=_positive_int,
+        default=1,
+        help="stop after this many events (default: 1)",
+    )
+    ctl_actions.add_parser("shutdown", help="stop the daemon")
 
     return parser
 
@@ -1109,6 +1245,89 @@ def _cmd_qos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tcp(text: Optional[str]) -> tuple[Optional[str], Optional[int]]:
+    if text is None:
+        return None, None
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ReproError(f"--tcp takes HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproDaemon
+
+    host, port = _parse_tcp(args.tcp)
+    daemon = ReproDaemon(
+        args.socket,
+        host=host,
+        port=port,
+        rate=args.rate,
+        turbo=args.turbo,
+        quantum_s=args.quantum,
+        poll_interval_s=args.poll,
+    )
+    for path in args.specs or ():
+        spec = _load_scenario(path)
+        run = daemon.submit(spec, paused=args.paused)
+        print(f"submitted {path} as {run.name} (end_s={run.end_s:g})")
+    where = args.socket if args.tcp is None else f"{args.socket} and {args.tcp}"
+    pacing = "turbo" if args.turbo else f"rate {args.rate:g} sim-s/s"
+    print(f"reprod listening on {where} ({pacing})", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.shutdown()
+    print("reprod stopped")
+    return 0
+
+
+def _cmd_ctl(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import CtlClient
+
+    host, port = _parse_tcp(args.tcp)
+    client = CtlClient(
+        None if host is not None else args.socket,
+        host=host,
+        port=port,
+        timeout_s=args.timeout,
+    )
+    with client as ctl:
+        if args.action == "watch":
+            ctl.call("watch", run=args.run)
+            for event in ctl.events(max_events=args.count):
+                print(_json.dumps(event, sort_keys=True))
+            return 0
+        call_args: dict[str, object] = {}
+        if args.action == "submit":
+            spec = _load_scenario(args.spec)
+            call_args["spec"] = spec.to_dict()
+            if args.name:
+                call_args["name"] = args.name
+            if args.paused:
+                call_args["paused"] = True
+        elif args.action == "status":
+            if args.run:
+                call_args["run"] = args.run
+        elif args.action == "budget":
+            call_args = {"run": args.run, "watts": args.watts}
+        elif args.action == "slo":
+            call_args = {"run": args.run, "target_s": args.target_s}
+        elif args.action == "audit":
+            call_args = {"run": args.run}
+            if args.kind:
+                call_args["kind"] = args.kind
+            if args.tail is not None:
+                call_args["tail"] = args.tail
+        elif args.action in ("pause", "resume", "drain", "stop", "result"):
+            call_args = {"run": args.run}
+        result = ctl.call(args.action, **call_args)
+        print(_json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -1128,6 +1347,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "scenario": _cmd_scenario,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "ctl": _cmd_ctl,
     }
     try:
         return handlers[args.command](args)

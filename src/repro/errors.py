@@ -20,6 +20,8 @@ __all__ = [
     "InstanceStateError",
     "ConfigurationError",
     "ExperimentError",
+    "ProtocolError",
+    "ServeError",
 ]
 
 
@@ -81,3 +83,11 @@ class ConfigurationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment cannot be run or produced no usable data."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a ``reprod`` control-socket message is malformed."""
+
+
+class ServeError(ReproError):
+    """Raised when a ``reprod`` daemon command cannot be honoured."""

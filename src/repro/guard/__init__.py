@@ -24,6 +24,13 @@ bare policy and pays nothing.
 """
 
 from repro.guard.actuator import ClampEvent, ClampingActuator
+from repro.guard.budget import (
+    BudgetChange,
+    SloRetarget,
+    apply_budget_change,
+    feasible_floor_watts,
+    retarget_slo,
+)
 from repro.guard.config import GuardConfig, guard_from_spec, guard_to_spec
 from repro.guard.ladder import ConserveController, SafeModeController
 from repro.guard.monitors import (
@@ -51,6 +58,11 @@ __all__ = [
     "SloStormMonitor",
     "ClampEvent",
     "ClampingActuator",
+    "BudgetChange",
+    "SloRetarget",
+    "apply_budget_change",
+    "feasible_floor_watts",
+    "retarget_slo",
     "ConserveController",
     "SafeModeController",
     "GuardSummary",

@@ -46,12 +46,14 @@ from repro.obs.audit import (
     AuditLog,
     BoostEntry,
     BottleneckEntry,
+    BudgetChangeEntry,
     GuardTransitionEntry,
     GuardViolationEntry,
     InstanceMetricReading,
     PlannedDropReading,
     RecycleEntry,
     SkipEntry,
+    SloRetargetEntry,
     WithdrawEntry,
 )
 from repro.obs.energy import EnergyAttributor
@@ -102,6 +104,8 @@ __all__ = [
     "SkipEntry",
     "GuardViolationEntry",
     "GuardTransitionEntry",
+    "BudgetChangeEntry",
+    "SloRetargetEntry",
     "InstanceMetricReading",
     "PlannedDropReading",
     # accounting plane

@@ -36,6 +36,8 @@ __all__ = [
     "ResilienceEntry",
     "GuardViolationEntry",
     "GuardTransitionEntry",
+    "BudgetChangeEntry",
+    "SloRetargetEntry",
     "AuditLog",
 ]
 
@@ -210,6 +212,40 @@ class GuardTransitionEntry(AuditEntry):
     reason: str
 
     kind = "guard-transition"
+
+
+@dataclass(frozen=True)
+class BudgetChangeEntry(AuditEntry):
+    """One live power-budget adjustment applied through the guard layer.
+
+    ``requested_watts`` is what the operator asked for, ``applied_watts``
+    what the guard actually set (clamped to ``floor_watts``, the draw
+    achievable with every running instance at the ladder minimum);
+    ``step_downs`` counts the enforced frequency drops needed to bring
+    the draw under the new cap.  ``source`` names who asked (``ctl``,
+    ``daemon``, a test).
+    """
+
+    requested_watts: float
+    applied_watts: float
+    previous_watts: float
+    floor_watts: float
+    clamped: bool
+    step_downs: int
+    source: str
+
+    kind = "budget-change"
+
+
+@dataclass(frozen=True)
+class SloRetargetEntry(AuditEntry):
+    """One live SLO retarget (the attainment window keeps its history)."""
+
+    previous_target_s: float
+    target_s: float
+    source: str
+
+    kind = "slo-retarget"
 
 
 _E = TypeVar("_E", bound=AuditEntry)

@@ -14,6 +14,19 @@ finalises observability, re-asserts the power budget and returns the
 result record.  :meth:`StackBuilder.execute` walks all six phases, and
 :func:`run_scenario` is the one-call convenience around it.
 
+The run/drain phases are driven incrementally underneath: once
+``start`` has armed the initial events, :meth:`StackBuilder.tick`
+advances the stack to any simulated-time deadline an external clock
+chooses — the ``reprod`` daemon paces ticks against the wall clock —
+and walks the ``run -> drain`` boundary transitions (controller and
+sampler stop at the end of the arrival window, chaos teardown at the
+end of the drain window) exactly where the batch path does, so a run
+split across any sequence of ``tick`` deadlines replays the one-shot
+event sequence byte for byte.  ``run``/``drain`` are thin ticks to the
+phase boundaries, and :meth:`StackBuilder.abort` releases every live
+resource (periodic processes, telemetry listeners, observability
+hooks) from any phase when a run must be torn down early.
+
 Anything a spec cannot content-address (a custom load trace, a custom
 contention model, a pre-armed chaos harness, an observability bundle the
 caller wants to keep) is handed to the builder as a live override.
@@ -129,6 +142,10 @@ SPLITTERS: dict[str, Callable[[], QuerySplitter]] = {
 }
 
 _PHASES = ("new", "built", "armed", "started", "ran", "drained", "collected")
+
+#: Phases :meth:`StackBuilder.tick` may be called from: the arrival
+#: window ("started") and the drain window ("ran").
+_TICKABLE_PHASES = ("started", "ran")
 
 
 def _profiles_for(app: str) -> list[ServiceProfile]:
@@ -359,6 +376,9 @@ class StackBuilder:
                 "give the chaos plan either in the spec or as a live "
                 "harness, not both"
             )
+        #: Teardown steps that raised during :meth:`abort`, as
+        #: ``(label, exception)`` pairs; abort never raises itself.
+        self.abort_errors: list[tuple[str, Exception]] = []
         # Populated by build()/arm():
         self.sim: Optional[Simulator] = None
         self.machine: Optional[Machine] = None
@@ -390,12 +410,25 @@ class StackBuilder:
         """The bundle this run observes through (None when nothing armed)."""
         return self._observability
 
-    def _advance(self, expected: str, to: str) -> None:
+    @property
+    def end_s(self) -> float:
+        """Simulated time at which the drain window closes."""
+        return self.spec.duration_s + self.spec.drain_s
+
+    @property
+    def finished(self) -> bool:
+        """Whether the stack has drained (collect is the only step left)."""
+        return self._phase in ("drained", "collected")
+
+    def _require(self, expected: str, to: str) -> None:
         if self._phase != expected:
             raise ExperimentError(
                 f"cannot {to} from phase {self._phase!r}; the lifecycle is "
                 f"{' -> '.join(_PHASES[1:])}"
             )
+
+    def _advance(self, expected: str, to: str) -> None:
+        self._require(expected, to)
         self._phase = to
 
     # ------------------------------------------------------------------
@@ -931,14 +964,66 @@ class StackBuilder:
         return self
 
     # ------------------------------------------------------------------
-    # Phase 4: run
+    # Phases 4+5: run / drain — incremental underneath
     # ------------------------------------------------------------------
-    def run(self) -> "StackBuilder":
-        """Advance the simulation through the arrival window, then stop
-        the controller and samplers (arrivals cease; retries may linger)."""
-        self._advance("started", "ran")
+    def tick(self, until: float) -> "StackBuilder":
+        """Advance the stack to simulated time ``until`` (clamped to
+        :attr:`end_s`), walking any window boundary it crosses.
+
+        Legal from the arrival window (phase ``started``) and the drain
+        window (phase ``ran``); crossing ``duration_s`` stops the
+        controller/samplers exactly as :meth:`run` does, and reaching
+        :attr:`end_s` performs the chaos teardown exactly as
+        :meth:`drain` does — so any sequence of tick deadlines replays
+        the batch path's event sequence byte for byte.  A deadline at or
+        before the current clock (after clamping) is a no-op, never a
+        replay of already-fired events.
+        """
+        if self._phase not in _TICKABLE_PHASES:
+            raise ExperimentError(
+                f"cannot tick from phase {self._phase!r}; tick is legal "
+                f"from {' and '.join(repr(p) for p in _TICKABLE_PHASES)}"
+            )
         assert self.sim is not None
-        self.sim.run(until=self.spec.duration_s)
+        if until < self.sim.now:
+            raise ExperimentError(
+                f"cannot tick to t={until}; the stack is already at "
+                f"t={self.sim.now}"
+            )
+        if self._phase == "started":
+            self._tick_run_window(min(until, self.spec.duration_s))
+        if self._phase == "ran":
+            self._tick_drain_window(min(until, self.end_s))
+        return self
+
+    def _tick_run_window(self, target: float) -> None:
+        """Advance within the arrival window; stop samplers at its end."""
+        assert self.sim is not None
+        if target > self.sim.now:
+            self.sim.run_until(target)
+        if self.sim.now >= self.spec.duration_s:
+            self._on_arrivals_complete()
+
+    def _tick_drain_window(self, target: float) -> None:
+        """Advance within the drain window; tear chaos down at its end.
+
+        The batch path never touches the simulator when the spec has no
+        drain window, so this only runs the clock when the target is
+        strictly ahead — events scheduled at exactly ``duration_s`` by
+        the stop hooks must not fire here.
+        """
+        assert self.sim is not None
+        if target > self.sim.now:
+            # The generator stopped at ``duration_s``; the health monitor
+            # keeps respawning while retries settle.
+            self.sim.run_until(target)
+        if self.sim.now >= self.end_s:
+            self._on_drain_complete()
+
+    def _on_arrivals_complete(self) -> None:
+        """The arrival window closed: stop the controller and samplers
+        (arrivals cease; retries may linger through the drain window)."""
+        self._advance("started", "ran")
         if self.deployment is not None:
             self.deployment.stop()
         else:
@@ -948,30 +1033,110 @@ class StackBuilder:
                 self._sampler.stop()
             if self._qos_sampler is not None:
                 self._qos_sampler.stop()
-        return self
 
-    # ------------------------------------------------------------------
-    # Phase 5: drain
-    # ------------------------------------------------------------------
-    def drain(self) -> "StackBuilder":
-        """Let in-flight retries/timeouts settle past the last arrival.
-
-        A no-op when the spec has no drain window, but the phase is still
-        walked so chaos teardown has one well-defined home.
-        """
+    def _on_drain_complete(self) -> None:
+        """The drain window closed: tear down the chaos subsystem."""
         self._advance("ran", "drained")
-        assert self.sim is not None
-        if self.spec.drain_s > 0.0:
-            # The generator stopped at ``duration_s``; the health monitor
-            # keeps respawning while retries settle.
-            self.sim.run(until=self.spec.duration_s + self.spec.drain_s)
         if self.deployment is not None:
             for stack in self._shard_stacks:
                 if stack.harness is not None:
                     stack.harness.stop()
         elif self.chaos is not None:
             self.chaos.stop()
+
+    def run(self) -> "StackBuilder":
+        """Advance the simulation through the arrival window, then stop
+        the controller and samplers (arrivals cease; retries may linger)."""
+        self._require("started", "ran")
+        self._tick_run_window(self.spec.duration_s)
         return self
+
+    def drain(self) -> "StackBuilder":
+        """Let in-flight retries/timeouts settle past the last arrival.
+
+        A no-op when the spec has no drain window, but the phase is still
+        walked so chaos teardown has one well-defined home.
+        """
+        self._require("ran", "drained")
+        self._tick_drain_window(self.end_s)
+        return self
+
+    # ------------------------------------------------------------------
+    # Abort: off-lifecycle teardown
+    # ------------------------------------------------------------------
+    def abort(self) -> "StackBuilder":
+        """Tear the stack down from whatever phase it is in.
+
+        Releases everything live — periodic processes (controller,
+        samplers, chaos, shard harnesses), telemetry listeners, stream
+        exporters and the simulator-time binding — so a failed or
+        cancelled run never strands global observability state.  Legal
+        from any phase; a second call (or a call after ``collect``,
+        which already finalised) is a no-op.  Teardown is best-effort:
+        a step that raises is recorded in :attr:`abort_errors` rather
+        than masking whatever error caused the abort.
+        """
+        if self._phase in ("collected", "aborted"):
+            return self
+
+        def safely(label: str, action: Callable[[], None]) -> None:
+            try:
+                action()
+            except Exception as exc:  # noqa: BLE001 - best-effort teardown
+                self.abort_errors.append((label, exc))
+
+        if self._phase == "started":
+            # Periodic processes are live; stop() is idempotent on all
+            # of them, so over-stopping is safe.
+            if self.deployment is not None:
+                safely("deployment", self.deployment.stop)
+            else:
+                if self.controller is not None:
+                    safely("controller", self.controller.stop)
+                if self._sampler is not None:
+                    safely("sampler", self._sampler.stop)
+                if self._qos_sampler is not None:
+                    safely("qos-sampler", self._qos_sampler.stop)
+        if self._phase in ("started", "ran"):
+            # Chaos outlives the arrival window; stop it from either.
+            if self.deployment is not None:
+                for index, stack in enumerate(self._shard_stacks):
+                    if stack.harness is not None:
+                        safely(f"chaos[shard{index}]", stack.harness.stop)
+            elif self.chaos is not None:
+                safely("chaos", self.chaos.stop)
+        # Armed or later: observability hooks/listeners are attached.
+        safely("observability", self._finalize_obs)
+        self._finalize_obs = lambda: None
+        self._phase = "aborted"
+        return self
+
+    def status(self) -> dict[str, object]:
+        """A JSON-able snapshot of where the stack is — the control-plane
+        daemon's ``status`` answer."""
+        submitted = (
+            self.generator.queries_submitted
+            if self.generator is not None
+            else 0
+        )
+        if self.deployment is not None:
+            completed = self.deployment.completed
+        elif self.application is not None:
+            completed = self.application.completed
+        else:
+            completed = 0
+        return {
+            "phase": self._phase,
+            "app": self.spec.app,
+            "policy": self.spec.policy,
+            "digest": self.spec.digest(),
+            "now_s": self.sim.now if self.sim is not None else 0.0,
+            "duration_s": self.spec.duration_s,
+            "end_s": self.end_s,
+            "finished": self.finished,
+            "queries_submitted": submitted,
+            "queries_completed": completed,
+        }
 
     # ------------------------------------------------------------------
     # Phase 6: collect
@@ -1107,7 +1272,7 @@ class StackBuilder:
             self.run()
             self.drain()
         except BaseException:
-            self._finalize_obs()
+            self.abort()
             raise
         return self.collect()
 

@@ -182,6 +182,26 @@ class Simulator:
             Safety valve for tests; raises :class:`SimulationError` when
             exceeded, which usually indicates a runaway event loop.
         """
+        self._advance(until, max_events)
+
+    def run_until(self, until: float, max_events: Optional[int] = None) -> int:
+        """Advance the clock to exactly ``until``, firing every due event.
+
+        The stepper contract for external drivers (the :class:`StackBuilder`
+        tick loop, the ``reprod`` daemon): events at ``t <= until`` fire in
+        order, then the clock lands exactly on ``until`` — never short,
+        never past — so a run split across any sequence of deadlines
+        replays the same event sequence as one uninterrupted
+        :meth:`run`.  ``until == now`` is a legal no-op; ``until < now``
+        raises.  Returns the number of events fired this call.
+        """
+        if until is None:  # explicit: the stepper always has a deadline
+            raise SimulationError("run_until() needs a deadline")
+        return self._advance(until, max_events)
+
+    def _advance(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> int:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         if until is not None and until < self._now:
@@ -224,6 +244,7 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+        return processed
 
     # ------------------------------------------------------------------
     # Observability hooks

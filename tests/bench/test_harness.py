@@ -1,4 +1,4 @@
-"""Tests for the v9 bench artifact: trajectory chaining and v6/v7 compat."""
+"""Tests for the v10 bench artifact: trajectory chaining and v6-v9 compat."""
 
 from __future__ import annotations
 
@@ -40,9 +40,9 @@ def _report(**kwargs):
 
 
 class TestVersioning:
-    def test_current_version_is_nine(self):
-        assert BENCH_VERSION == 9
-        assert _report().to_dict()["version"] == 9
+    def test_current_version_is_ten(self):
+        assert BENCH_VERSION == 10
+        assert _report().to_dict()["version"] == 10
 
     def test_v6_artifacts_still_load(self):
         payload = _report().to_dict()
@@ -80,7 +80,7 @@ class TestTrajectory:
         middle = _report(measurements=(_measurement(wall_s=4.0),)).to_dict()
         middle["trajectory"] = trajectory_from_prior(oldest)
         trajectory = trajectory_from_prior(middle)
-        assert [entry["version"] for entry in trajectory] == [6, 9]
+        assert [entry["version"] for entry in trajectory] == [6, 10]
         assert trajectory[0]["cells"]["cell"]["wall_s"] == 5.0
         assert trajectory[1]["cells"]["cell"]["wall_s"] == 4.0
 
@@ -114,26 +114,40 @@ class TestTrajectory:
 
 
 class TestCommittedArtifact:
-    def test_repo_bench_v9_carries_the_v7_generation(self):
-        payload = json.loads((REPO_ROOT / "BENCH_v9.json").read_text())
+    def test_repo_bench_v10_carries_the_v9_generation(self):
+        payload = json.loads((REPO_ROOT / "BENCH_v10.json").read_text())
         assert payload["format"] == BENCH_FORMAT
-        assert payload["version"] == 9
+        assert payload["version"] == 10
         trajectory = payload["trajectory"]
-        assert [entry["version"] for entry in trajectory] == [6, 7]
+        assert [entry["version"] for entry in trajectory] == [6, 7, 9]
         assert trajectory[-1]["cells"], "prior cells missing from trajectory"
         assert set(payload["scenarios"]) >= set(trajectory[-1]["cells"])
 
-    def test_committed_v7_artifact_still_loads(self):
-        report = load_report(REPO_ROOT / "BENCH_v7.json")
-        assert report.measurements
+    def test_committed_prior_artifacts_still_load(self):
+        for name in ("BENCH_v7.json", "BENCH_v9.json"):
+            report = load_report(REPO_ROOT / name)
+            assert report.measurements
 
     def test_guard_overhead_is_pinned_under_three_percent(self):
         # The supervised headline cell is the headline cell plus the
         # guard stack with nothing going wrong: the committed artifact
         # is the measured proof that supervision costs < 3% wall.
-        payload = json.loads((REPO_ROOT / "BENCH_v9.json").read_text())
+        payload = json.loads((REPO_ROOT / "BENCH_v10.json").read_text())
         cells = payload["scenarios"]
         headline = cells["headline-large"]
         supervised = cells["supervised-headline"]
         assert supervised["queries_completed"] == headline["queries_completed"]
         assert supervised["wall_s"] <= headline["wall_s"] * 1.03
+
+    def test_tick_loop_overhead_is_pinned_under_five_percent(self):
+        # The serve cell replays the headline cell through the reprod
+        # --turbo tick loop: identical event sequence (the equivalence
+        # proof rides along as events/queries equality), and the
+        # incremental advance costs <= 5% of wall.
+        payload = json.loads((REPO_ROOT / "BENCH_v10.json").read_text())
+        cells = payload["scenarios"]
+        headline = cells["headline-large"]
+        serve = cells["serve-headline"]
+        assert serve["queries_completed"] == headline["queries_completed"]
+        assert serve["events"] == headline["events"]
+        assert serve["wall_s"] <= headline["wall_s"] * 1.05

@@ -1,0 +1,199 @@
+"""Boundary semantics of the stepper contract: ``run_until``/``run(until=)``.
+
+The incremental stack lifecycle (StackBuilder.tick, the reprod daemon)
+leans on exact deadline behaviour: events at ``t <= until`` fire, the
+clock lands exactly on ``until``, and a rerun at the same deadline is a
+true no-op.  These tests pin that contract, its ``max_events``
+interplay, and that cancelled-event heap compaction never skips a due
+event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import _COMPACT_MIN_CANCELLED, Simulator
+from repro.units import exactly
+
+
+class TestRunUntilBoundary:
+    def test_clock_lands_exactly_on_until_with_no_events(self):
+        sim = Simulator()
+        fired = sim.run_until(12.5)
+        assert exactly(sim.now, 12.5)
+        assert fired == 0
+
+    def test_events_at_or_before_deadline_fire(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(5.0, log.append, "b")  # exactly at the deadline
+        sim.schedule(5.000001, log.append, "c")
+        fired = sim.run_until(5.0)
+        assert log == ["a", "b"]
+        assert fired == 2
+        assert exactly(sim.now, 5.0)
+        assert sim.pending_count == 1
+
+    def test_until_equal_to_now_is_a_noop(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "x")
+        sim.run_until(3.0)
+        assert log == ["x"]
+        # An event scheduled at exactly the current clock by the first
+        # run's callbacks must NOT fire on a same-deadline rerun...
+        sim.schedule_at(3.0, log.append, "late")
+        before = sim.events_processed
+        assert sim.run_until(3.0) == 1  # ...but t==now events are due
+        assert log == ["x", "late"]
+        assert sim.events_processed == before + 1
+        # With nothing due, the rerun really is a no-op.
+        assert sim.run_until(3.0) == 0
+        assert exactly(sim.now, 3.0)
+
+    def test_until_in_the_past_raises(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError, match="already at"):
+            sim.run_until(9.0)
+        with pytest.raises(SimulationError, match="already at"):
+            sim.run(until=9.0)
+
+    def test_run_until_requires_a_deadline(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="needs a deadline"):
+            sim.run_until(None)  # type: ignore[arg-type]
+
+    def test_run_without_until_drains_the_queue(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "a")
+        sim.schedule(7.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b"]
+        assert exactly(sim.now, 7.0)  # drained queues leave the clock on the last event
+        assert sim.empty()
+
+    def test_returned_count_equals_events_fired(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(delay, lambda: None)
+        assert sim.run_until(2.5) == 2
+        assert sim.run_until(10.0) == 2
+
+
+class TestMaxEventsInterplay:
+    def test_budget_exceeded_raises(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until(1000.0, max_events=50)
+
+    def test_budget_not_hit_when_deadline_cuts_first(self):
+        sim = Simulator()
+        log = []
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, log.append, delay)
+        assert sim.run_until(2.0, max_events=3) == 2
+        assert log == [1.0, 2.0]
+
+    def test_budget_is_per_call_not_cumulative(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(delay, lambda: None)
+        assert sim.run_until(2.0, max_events=2) == 2
+        # The next call gets a fresh budget.
+        assert sim.run_until(4.0, max_events=2) == 2
+
+
+class TestCompactionSafety:
+    def test_compaction_does_not_skip_a_due_event(self):
+        """Cancel enough events to trigger wholesale heap compaction,
+        then check every surviving due event still fires in order."""
+        sim = Simulator()
+        log = []
+        keepers = []
+        victims = []
+        for i in range(2 * _COMPACT_MIN_CANCELLED):
+            victims.append(sim.schedule(1.0 + i * 0.001, log.append, ("v", i)))
+        for i in range(5):
+            keepers.append(sim.schedule(2.0 + i, log.append, ("k", i)))
+        for event in victims:
+            event.cancel()
+        assert sim.compactions >= 1
+        sim.run_until(4.0)
+        assert log == [("k", 0), ("k", 1), ("k", 2)]
+        sim.run_until(10.0)
+        assert log == [("k", 0), ("k", 1), ("k", 2), ("k", 3), ("k", 4)]
+
+    def test_cancelling_mid_run_between_deadlines(self):
+        sim = Simulator()
+        log = []
+        later = [
+            sim.schedule(5.0 + i * 0.01, log.append, i)
+            for i in range(_COMPACT_MIN_CANCELLED + 10)
+        ]
+        due = sim.schedule(6.0, log.append, "due")
+        assert due is not None
+        sim.run_until(4.0)
+        for event in later:
+            event.cancel()
+        sim.run_until(8.0)
+        assert log == ["due"]
+
+
+class TestSplitRunEquivalence:
+    @staticmethod
+    def _stack(log):
+        sim = Simulator()
+
+        def periodic(label, interval):
+            def tick():
+                log.append((sim.now, label, sim.events_processed))
+                sim.schedule(interval, tick)
+
+            return tick
+
+        sim.schedule(0.0, periodic("a", 3.0))
+        sim.schedule(1.0, periodic("b", 7.0))
+        return sim
+
+    def test_any_deadline_split_replays_the_batch_sequence(self):
+        batch_log, split_log = [], []
+        batch = self._stack(batch_log)
+        batch.run_until(100.0)
+        split = self._stack(split_log)
+        # Deliberately awkward deadlines: repeats, event-aligned, tiny.
+        for deadline in (0.0, 0.5, 3.0, 3.0, 9.99, 10.0, 42.7, 99.0, 100.0):
+            split.run_until(deadline)
+        assert split_log == batch_log
+        assert split.events_processed == batch.events_processed
+        assert split.now == batch.now
+
+    def test_step_interleaves_with_run_until(self):
+        batch_log, step_log = [], []
+        batch = self._stack(batch_log)
+        batch.run_until(20.0)
+        stepped = self._stack(step_log)
+        stepped.run_until(5.0)
+        while stepped.peek() is not None and stepped.peek() <= 20.0:
+            assert stepped.step()
+        stepped.run_until(20.0)  # advances the clock the steps left behind
+        assert step_log == batch_log
+        assert exactly(stepped.now, 20.0)
+
+    def test_reentrancy_guard(self):
+        sim = Simulator()
+
+        def naughty():
+            sim.run_until(50.0)
+
+        sim.schedule(1.0, naughty)
+        with pytest.raises(SimulationError, match="not reentrant"):
+            sim.run_until(10.0)
